@@ -1,0 +1,1 @@
+bench/bench_util.ml: Printf Spr_util Unix

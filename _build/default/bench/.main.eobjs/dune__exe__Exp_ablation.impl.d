@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Bench_util Fj_program List Printf Prog_tree Sim Spr_core Spr_hybrid Spr_om Spr_prog Spr_race Spr_sched Spr_sptree Spr_util Spr_workloads

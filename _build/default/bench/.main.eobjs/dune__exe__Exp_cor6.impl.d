@@ -1,0 +1,1 @@
+bench/exp_cor6.ml: Array Bench_util Fj_program List Printf Prog_tree Spr_core Spr_prog Spr_race Spr_sptree Spr_util Spr_workloads

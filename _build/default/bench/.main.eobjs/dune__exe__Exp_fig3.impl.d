@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Array Bench_util Hashtbl List Printf Sp_tree Spr_core Spr_sptree Spr_util Tree_gen

@@ -1,0 +1,1 @@
+bench/exp_om.ml: Array Bench_util List Printf Spr_om Spr_util

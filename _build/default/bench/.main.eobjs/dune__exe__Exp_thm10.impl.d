@@ -1,0 +1,1 @@
+bench/exp_thm10.ml: Array Bench_util Fj_program List Printf Sim Spr_hybrid Spr_prog Spr_sched Spr_util Spr_workloads

@@ -1,0 +1,1 @@
+bench/exp_thm5.ml: Array Bench_util List Printf Sp_tree Spr_core Spr_om Spr_sptree Spr_util Tree_gen

@@ -1,0 +1,1 @@
+bench/exp_traces.ml: Bench_util Hashtbl List Option Printf Sim Spr_hybrid Spr_prog Spr_sched Spr_util Spr_workloads

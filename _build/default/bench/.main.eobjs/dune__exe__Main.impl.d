@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Exp_ablation Exp_cor6 Exp_fig3 Exp_om Exp_steals Exp_thm10 Exp_thm5 Exp_traces Gc List Printf Sys

@@ -1,0 +1,112 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment/table, all
+   registered in this one executable.  These give statistically sound
+   ns/run estimates (OLS over run counts) for each experiment's kernel
+   operation; the shaped tables printed by the exp_* modules put the
+   numbers in the paper's coordinates. *)
+
+open Bechamel
+open Toolkit
+
+(* EXP-FIG3 kernel: one SP-order query on a fully built structure. *)
+let test_fig3_query =
+  let tree = Spr_sptree.Tree_gen.balanced ~leaves:4096 in
+  let inst = Spr_core.Algorithms.sp_order tree in
+  Spr_core.Driver.run tree inst;
+  let ls = Spr_sptree.Sp_tree.leaves tree in
+  let a = ls.(17) and b = ls.(4090) in
+  Test.make ~name:"fig3/sp-order-query"
+    (Staged.stage (fun () -> Spr_core.Sp_maintainer.precedes inst a b))
+
+(* EXP-THM5 kernel: full on-the-fly SP-order construction. *)
+let test_thm5_construct =
+  let tree = Spr_sptree.Tree_gen.balanced ~leaves:1024 in
+  Test.make ~name:"thm5/sp-order-construct-1024"
+    (Staged.stage (fun () ->
+         let inst = Spr_core.Algorithms.sp_order tree in
+         Spr_core.Driver.run tree inst))
+
+(* EXP-COR6 kernel: a full detection pass over a dc_sum program. *)
+let test_cor6_detect =
+  let p = Spr_workloads.Progs.dc_sum ~leaves:256 ~grain:4 () in
+  let pt = Spr_prog.Prog_tree.of_program p in
+  Test.make ~name:"cor6/detect-dcsum-256"
+    (Staged.stage (fun () ->
+         Spr_race.Drivers.detect_serial pt Spr_core.Algorithms.sp_order))
+
+(* EXP-THM10 kernel: one instrumented hybrid simulation. *)
+let test_thm10_hybrid =
+  let p = Spr_workloads.Progs.fib ~n:10 ~cost:4 () in
+  Test.make ~name:"thm10/hybrid-sim-fib10-P8"
+    (Staged.stage (fun () ->
+         let h = Spr_hybrid.Sp_hybrid.create p in
+         Spr_sched.Sim.run ~hooks:(Spr_hybrid.Sp_hybrid.hooks h) ~seed:3 ~procs:8 p))
+
+(* EXP-STEALS kernel: one bare simulator run. *)
+let test_steals_sim =
+  let p = Spr_workloads.Progs.fib ~n:10 ~cost:4 () in
+  Test.make ~name:"steals/sim-fib10-P8"
+    (Staged.stage (fun () -> Spr_sched.Sim.run ~seed:3 ~procs:8 p))
+
+(* EXP-OM kernel: two-level OM insertion (the hot operation of the
+   whole paper). *)
+let test_om_insert =
+  let om = Spr_om.Om.create () in
+  let anchor = Spr_om.Om.base om in
+  Test.make ~name:"om/two-level-insert-hammer"
+    (Staged.stage (fun () -> ignore (Spr_om.Om.insert_after om anchor)))
+
+(* EXP-FIG11-12 kernel: a global-tier split (5-trace multi-insert). *)
+let test_split =
+  let g = Spr_hybrid.Global_tier.create () in
+  let u = ref (Spr_hybrid.Global_tier.initial g) in
+  Test.make ~name:"fig11-12/global-tier-split"
+    (Staged.stage (fun () ->
+         let s = Spr_hybrid.Global_tier.split g !u in
+         u := s.Spr_hybrid.Global_tier.u4))
+
+let all_tests =
+  [
+    test_fig3_query;
+    test_thm5_construct;
+    test_cor6_detect;
+    test_thm10_hybrid;
+    test_steals_sim;
+    test_om_insert;
+    test_split;
+  ]
+
+let run () =
+  Bench_util.header "Bechamel micro-benchmarks (one Test.make per experiment)";
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) ~stabilize:true ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let tbl =
+    Spr_util.Table.create
+      [
+        ("benchmark", Spr_util.Table.Left);
+        ("ns/run", Spr_util.Table.Right);
+        ("r²", Spr_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Spr_util.Table.fmt_ns e
+            | _ -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Spr_util.Table.add_row tbl [ name; est; r2 ])
+        results)
+    all_tests;
+  Spr_util.Table.print tbl

@@ -1,0 +1,31 @@
+(* Shared helpers for the benchmark harness. *)
+
+module T = Spr_util.Table
+
+let now () = Unix.gettimeofday ()
+
+(* Wall-clock a thunk once; seconds. *)
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+(* ns per iteration of [f], amortized over [iters] runs. *)
+let time_ns ~iters f =
+  let t0 = now () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (now () -. t0) *. 1e9 /. float_of_int iters
+
+let header title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let note fmt = Printf.printf fmt
+
+(* Growth summary: factor between the measurement at the smallest and
+   largest parameter — the "shape" the experiment tables compare
+   against the paper's asymptotic rows. *)
+let growth_factor first last = if first <= 0.0 then infinity else last /. first

@@ -1,0 +1,185 @@
+(* EXP-ABLATION — design-choice ablations called out in DESIGN.md:
+
+   1. SP-order's order-maintenance backend: the two-level O(1)
+      structure (the paper's choice) vs the one-level O(lg n) labeled
+      list vs the naive O(n)-insert specification.  Quantifies what
+      Theorem 5 buys.
+
+   2. The Section 7 conjecture: SP-hybrid's local tier with union by
+      rank only (required for concurrent FIND-TRACE) vs with path
+      compression (safe once finds synchronize, e.g. via CAS).  The
+      paper conjectures compression brings the T1/P coefficient down
+      from O(lg n) to O(alpha); we measure mean find depth and
+      operation counts.
+
+   3. The same comparison for the serial SP-bags detector. *)
+
+open Spr_prog
+open Spr_sched
+module H = Spr_hybrid.Sp_hybrid
+module T = Spr_util.Table
+
+module Sp_order_two_level = Spr_core.Sp_order
+module Sp_order_one_level = Spr_core.Sp_order_generic.Make (Spr_om.Om_label)
+module Sp_order_naive_om = Spr_core.Sp_order_generic.Make (Spr_om.Om_naive)
+
+let om_backend () =
+  Printf.printf "\n-- 1. SP-order's OM backend --\n";
+  let tbl =
+    T.create
+      [ ("backend", T.Left); ("n (leaves)", T.Right); ("construct ms", T.Right); ("ns/node", T.Right) ]
+  in
+  let measure name n run =
+    let tree = Spr_sptree.Tree_gen.balanced ~leaves:n in
+    let _, s = Bench_util.time (fun () -> run tree) in
+    T.add_row tbl
+      [
+        name;
+        T.fmt_int n;
+        Printf.sprintf "%.2f" (s *. 1e3);
+        Printf.sprintf "%.1f" (s *. 1e9 /. float_of_int (Spr_sptree.Sp_tree.node_count tree));
+      ]
+  in
+  List.iter
+    (fun n ->
+      measure "two-level (paper)" n (fun tree ->
+          let t = Sp_order_two_level.create tree in
+          Spr_sptree.Sp_tree.iter_events tree (Sp_order_two_level.on_event t));
+      measure "one-level labels" n (fun tree ->
+          let t = Sp_order_one_level.create tree in
+          Spr_sptree.Sp_tree.iter_events tree (Sp_order_one_level.on_event t)))
+    [ 16_384; 131_072 ];
+  (* Footnote 2: drop the English OM structure entirely. *)
+  List.iter
+    (fun n ->
+      measure "implicit English (fn. 2)" n (fun tree ->
+          let inst = Spr_core.Algorithms.sp_order_implicit tree in
+          Spr_core.Driver.run tree inst))
+    [ 16_384; 131_072 ];
+  (* The naive OM relabels everything per insert: only feasible tiny. *)
+  measure "naive OM (spec)" 2_048 (fun tree ->
+      let t = Sp_order_naive_om.create tree in
+      Spr_sptree.Sp_tree.iter_events tree (Sp_order_naive_om.on_event t));
+  T.print tbl
+
+let local_tier_compression () =
+  Printf.printf "\n-- 2. SP-hybrid local tier: union-by-rank vs + path compression --\n";
+  Printf.printf "(after the run, three FIND-TRACE sweeps over every thread — the\n";
+  Printf.printf " query load a race detector generates)\n";
+  let p = Spr_workloads.Progs.dc_sum ~leaves:8_192 ~grain:2 () in
+  let nthreads = Fj_program.thread_count p in
+  let tbl =
+    T.create
+      [
+        ("local tier", T.Left);
+        ("sweep 1 hops/find", T.Right);
+        ("sweep 2", T.Right);
+        ("sweep 3", T.Right);
+      ]
+  in
+  List.iter
+    (fun compress ->
+      let h = H.create ~local_path_compression:compress p in
+      ignore (Sim.run ~hooks:(H.hooks h) ~seed:4 ~procs:8 p);
+      let sweep () =
+        let st0 = H.stats h in
+        for tid = 0 to nthreads - 1 do
+          ignore (H.find_trace_id h ~tid)
+        done;
+        let st1 = H.stats h in
+        float_of_int (st1.H.uf_find_steps - st0.H.uf_find_steps)
+        /. float_of_int (max 1 (st1.H.uf_finds - st0.H.uf_finds))
+      in
+      let s1 = sweep () and s2 = sweep () and s3 = sweep () in
+      T.add_row tbl
+        [
+          (if compress then "rank + compression (conjecture)" else "rank only (paper 5)");
+          Printf.sprintf "%.2f" s1;
+          Printf.sprintf "%.2f" s2;
+          Printf.sprintf "%.2f" s3;
+        ])
+    [ false; true ];
+  T.print tbl;
+  Printf.printf
+    "Section 7 conjecture shape: with compression, repeated finds flatten the\n\
+     forest (later sweeps approach 1 hop); rank-only pays the same depth\n\
+     every time.\n"
+
+(* Footnote 3: the global tier's concurrent OM, one-level vs the
+   two-level hierarchy. *)
+let concurrent_backend () =
+  Printf.printf "\n-- 4. concurrent OM backend (global tier, footnote 3) --\n";
+  let n = 100_000 in
+  let tbl =
+    T.create
+      [
+        ("backend", T.Left);
+        ("pattern", T.Left);
+        ("ns/insert", T.Right);
+        ("ns/query", T.Right);
+      ]
+  in
+  let bench (module C : Spr_om.Om_intf.CONCURRENT) =
+    List.iter
+      (fun (pname, pick) ->
+        let t = C.create () in
+        let rng = Spr_util.Rng.create 3 in
+        let elts = Array.make (n + 1) (C.base t) in
+        let len = ref 1 in
+        let _, secs =
+          Bench_util.time (fun () ->
+              for _ = 1 to n do
+                let anchor = elts.(pick rng !len) in
+                elts.(!len) <- C.insert_after t anchor;
+                incr len
+              done)
+        in
+        let pairs =
+          Array.init 100_000 (fun _ ->
+              (elts.(Spr_util.Rng.int rng !len), elts.(Spr_util.Rng.int rng !len)))
+        in
+        let sink = ref 0 in
+        let _, qsecs =
+          Bench_util.time (fun () ->
+              Array.iter (fun (a, b) -> if C.precedes t a b then incr sink) pairs)
+        in
+        ignore !sink;
+        T.add_row tbl
+          [
+            C.name;
+            pname;
+            Printf.sprintf "%.1f" (secs *. 1e9 /. float_of_int n);
+            Printf.sprintf "%.1f" (qsecs *. 1e9 /. 100_000.0);
+          ])
+      [
+        ("hammer", fun _ _ -> 0);
+        ("random", fun rng len -> Spr_util.Rng.int rng len);
+      ];
+    T.add_sep tbl
+  in
+  bench (module Spr_om.Om_concurrent);
+  bench (module Spr_om.Om_concurrent2);
+  T.print tbl
+
+let serial_spbags_compression () =
+  Printf.printf "\n-- 3. serial SP-bags detector: with vs without compression --\n";
+  let p = Spr_workloads.Progs.dc_sum ~leaves:16_384 ~grain:8 () in
+  let pt = Prog_tree.of_program p in
+  let tbl = T.create [ ("oracle", T.Left); ("detect ms", T.Right) ] in
+  List.iter
+    (fun (name, algo) ->
+      let _, s = Bench_util.time (fun () -> Spr_race.Drivers.detect_serial pt algo) in
+      T.add_row tbl [ name; Printf.sprintf "%.2f" (s *. 1e3) ])
+    [
+      ("sp-bags (rank + compression)", Spr_core.Algorithms.sp_bags);
+      ("sp-bags (rank only)", Spr_core.Algorithms.sp_bags_no_compression);
+      ("sp-order", Spr_core.Algorithms.sp_order);
+    ];
+  T.print tbl
+
+let run () =
+  Bench_util.header "EXP-ABLATION: design-choice ablations";
+  om_backend ();
+  local_tier_compression ();
+  serial_spbags_compression ();
+  concurrent_backend ()

@@ -1,0 +1,101 @@
+(* EXP-FIG3 — the paper's Figure 3 comparison table.
+
+   For each of the four serial SP-maintenance algorithms, on workloads
+   chosen to stress each row's weakness, measure:
+
+     - time per thread creation (drive the whole on-the-fly walk,
+       divide by thread count);
+     - time per SP query (random executed pairs);
+     - space per thread in label words.
+
+   Paper shapes to reproduce:
+     english-hebrew : query/space grow with the number of forks f
+     offset-span    : query/space grow with the nesting depth d
+     sp-bags        : ~alpha() per op, constant space
+     sp-order       : O(1) per op, constant space                     *)
+
+open Spr_sptree
+module Sm = Spr_core.Sp_maintainer
+module T = Spr_util.Table
+
+let query_samples = 20_000
+
+(* Build, walk, then time queries over random executed leaf pairs. *)
+let measure tree make =
+  let inst = make tree in
+  let n = Sp_tree.leaf_count tree in
+  let (), build_s = Bench_util.time (fun () -> Spr_core.Driver.run tree inst) in
+  let ns_create = build_s *. 1e9 /. float_of_int n in
+  let rng = Spr_util.Rng.create 99 in
+  let ls = Sp_tree.leaves tree in
+  let current = ls.(n - 1) in
+  let pairs =
+    Array.init query_samples (fun _ ->
+        let a = ls.(Spr_util.Rng.int rng n) in
+        if Sm.requires_current_operand inst then (a, current)
+        else (a, ls.(Spr_util.Rng.int rng n)))
+  in
+  let sink = ref 0 in
+  let ns_query =
+    Bench_util.time_ns ~iters:1 (fun () ->
+        Array.iter
+          (fun (a, b) -> if not (a == b) && Sm.precedes inst a b then incr sink)
+          pairs)
+    /. float_of_int query_samples
+  in
+  ignore !sink;
+  (ns_create, ns_query, Sm.avg_label_words inst)
+
+let family name trees =
+  let tbl =
+    T.create
+      ~title:(Printf.sprintf "Figure 3 on the %s family" name)
+      [
+        ("algorithm", T.Left);
+        ("param", T.Right);
+        ("ns/creation", T.Right);
+        ("ns/query", T.Right);
+        ("label words", T.Right);
+      ]
+  in
+  let growth = Hashtbl.create 8 in
+  List.iter
+    (fun (algo_name, make) ->
+      List.iter
+        (fun (param, tree) ->
+          let c, q, w = measure tree make in
+          (match Hashtbl.find_opt growth algo_name with
+          | None -> Hashtbl.add growth algo_name (q, q)
+          | Some (first, _) -> Hashtbl.replace growth algo_name (first, q));
+          T.add_row tbl
+            [
+              algo_name;
+              T.fmt_int param;
+              Printf.sprintf "%.1f" c;
+              Printf.sprintf "%.1f" q;
+              Printf.sprintf "%.2f" w;
+            ])
+        trees;
+      T.add_sep tbl)
+    Spr_core.Algorithms.figure3;
+  T.print tbl;
+  Printf.printf "query-cost growth (largest/smallest param):\n";
+  List.iter
+    (fun (algo_name, _) ->
+      let first, last = Hashtbl.find growth algo_name in
+      Printf.printf "  %-16s %.1fx\n" algo_name (Bench_util.growth_factor first last))
+    Spr_core.Algorithms.figure3;
+  print_newline ()
+
+let run () =
+  Bench_util.header
+    "EXP-FIG3: serial SP-maintenance comparison (paper Figure 3)";
+  family "fork-chain (f grows, d = 1; stresses english-hebrew)"
+    (List.map (fun f -> (f, Tree_gen.fork_chain ~forks:f)) [ 64; 512; 4096 ]);
+  family "deep-nest (d grows; stresses offset-span)"
+    (List.map (fun d -> (d, Tree_gen.deep_nest ~depth:d)) [ 64; 512; 4096 ]);
+  family "balanced divide-and-conquer (the friendly case)"
+    (List.map (fun n -> (n, Tree_gen.balanced ~leaves:n)) [ 1024; 8192 ]);
+  Printf.printf
+    "Paper shape: english-hebrew explodes with f, offset-span with d,\n\
+     sp-bags and sp-order stay flat with sp-order the cheapest per query.\n"

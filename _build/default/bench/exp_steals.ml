@@ -1,0 +1,85 @@
+(* EXP-STEALS — the structural bounds of Sections 3 and 7:
+
+     - successful steals s = O(P * Tinf) (the work-stealing bound the
+       analysis leans on);
+     - the computation always splits into exactly |C| = 4s + 1 traces;
+     - the seven-bucket accounting of Theorem 10's proof, observed
+       directly on an instrumented run. *)
+
+open Spr_prog
+open Spr_sched
+module H = Spr_hybrid.Sp_hybrid
+module T = Spr_util.Table
+
+let run () =
+  Bench_util.header "EXP-STEALS: steal bound, 4s+1 traces, bucket accounting";
+  let tbl =
+    T.create
+      [
+        ("workload", T.Left);
+        ("P", T.Right);
+        ("Tinf", T.Right);
+        ("steals s", T.Right);
+        ("s/(P*Tinf)", T.Right);
+        ("traces", T.Right);
+        ("4s+1 ok", T.Right);
+      ]
+  in
+  let workloads =
+    [
+      ("fib(14)", Spr_workloads.Progs.fib ~n:14 ~cost:4 ());
+      ("deep(300)", Spr_workloads.Progs.deep_spawn ~cost:2 ~depth:300 ());
+      ("wide(600)", Spr_workloads.Progs.wide ~cost:4 ~n:600 ());
+    ]
+  in
+  List.iter
+    (fun (name, p) ->
+      let tinf = Fj_program.span p in
+      List.iter
+        (fun procs ->
+          let h = H.create p in
+          let res = Sim.run ~hooks:(H.hooks h) ~seed:9 ~procs p in
+          let st = H.stats h in
+          T.add_row tbl
+            [
+              name;
+              string_of_int procs;
+              T.fmt_int tinf;
+              T.fmt_int res.Sim.steals;
+              Printf.sprintf "%.3f" (float_of_int res.Sim.steals /. float_of_int (procs * tinf));
+              T.fmt_int st.H.traces;
+              (if st.H.traces = (4 * st.H.splits) + 1 then "yes" else "NO");
+            ])
+        [ 2; 4; 8; 16 ];
+      T.add_sep tbl)
+    workloads;
+  T.print tbl;
+  Printf.printf
+    "Paper shape: s/(P*Tinf) bounded by a small constant; traces always 4s+1.\n\n";
+
+  (* One run dissected into Theorem 10's buckets. *)
+  let p = Spr_workloads.Progs.fib ~n:14 ~cost:4 () in
+  let h = H.create p in
+  let res = Sim.run ~hooks:(H.hooks h) ~seed:9 ~procs:8 p in
+  let st = H.stats h in
+  let tbl2 =
+    T.create ~title:"Seven-bucket accounting (fib(14), P=8)"
+      [ ("bucket", T.Left); ("meaning", T.Left); ("ticks", T.Right) ]
+  in
+  let rows =
+    [
+      ("B1", "work of the original computation", res.Sim.work_ticks);
+      ("B2", "global-tier insertions (lock held)", st.H.global_insert_ticks);
+      ("B3", "local-tier SP-bags operations", st.H.local_ops);
+      ("B4", "waiting on the global lock", st.H.lock_wait_ticks);
+      ("B5", "failed lock-free query retries", st.H.query_retries);
+      ( "B6",
+        "steal attempts while lock free",
+        res.Sim.steal_attempts - res.Sim.steal_attempts_lock_held );
+      ("B7", "steal attempts while lock held", res.Sim.steal_attempts_lock_held);
+      ("--", "scheduler bookkeeping (spawn/sync/return)", res.Sim.overhead_ticks);
+    ]
+  in
+  List.iter (fun (b, m, v) -> T.add_row tbl2 [ b; m; T.fmt_int v ]) rows;
+  T.print tbl2;
+  Printf.printf "total virtual makespan: %s ticks on P=8\n" (T.fmt_int res.Sim.time)

@@ -1,0 +1,116 @@
+(* EXP-THM10 — Theorem 10: SP-hybrid executes in
+   O((T1/P + P*Tinf) lg n) virtual time, against the naive locked
+   parallelization of SP-order whose apparent work degrades to
+   Theta(P*T1).
+
+   Reported per worker count P:
+     - instrumented virtual makespan T_P and speedup;
+     - the Theorem 10 bound (T1/P + P*Tinf) lg n and the ratio
+       T_P / bound (should stay below a constant);
+     - the same program under the *naive* instrumentation (a global
+       lock around every SP operation): total apparent work P*T_P,
+       which grows like P*T1.
+
+   Linear speedup should persist while P = O(sqrt(T1/Tinf)) — the
+   crossover the paper highlights. *)
+
+open Spr_prog
+open Spr_sched
+module H = Spr_hybrid.Sp_hybrid
+module T = Spr_util.Table
+
+(* The naive parallelization of Section 3: every SP-maintenance
+   operation (2 OM inserts per thread, 1 per query) takes the global
+   lock.  We model its apparent work through the same virtual-lock
+   device SP-hybrid uses for its (rare) global inserts. *)
+let naive_hooks () =
+  let lock_until = ref 0 in
+  let grab ~now ticks =
+    let wait = max 0 (!lock_until - now) in
+    lock_until := now + wait + ticks;
+    wait + ticks
+  in
+  {
+    Sim.no_hooks with
+    Sim.on_thread = (fun ~wid:_ ~now _ _ -> grab ~now 2);
+    Sim.on_spawn = (fun ~wid:_ ~now ~parent:_ ~child:_ -> grab ~now 2);
+    Sim.lock_busy = (fun ~now -> now < !lock_until);
+  }
+
+let sweep name p ps =
+  let t1 = Fj_program.work p in
+  let tinf = Fj_program.span p in
+  let n = Fj_program.thread_count p in
+  let lg_n = log (float_of_int n) /. log 2.0 in
+  Printf.printf "\nworkload %s: T1=%d Tinf=%d n=%d sqrt(T1/Tinf)=%.1f\n" name t1 tinf n
+    (sqrt (float_of_int t1 /. float_of_int tinf));
+  let tbl =
+    T.create
+      [
+        ("P", T.Right);
+        ("hybrid T_P", T.Right);
+        ("speedup", T.Right);
+        ("bound", T.Right);
+        ("T_P/bound", T.Right);
+        ("steals", T.Right);
+        ("naive T_P", T.Right);
+        ("naive P*T_P", T.Right);
+      ]
+  in
+  (* Theorem 10 is an expectation over the scheduler's random choices:
+     aggregate each configuration over several seeds (median time,
+     total steals averaged). *)
+  let seeds = [ 42; 43; 44; 45; 46 ] in
+  let tp1 = ref 0 in
+  List.iter
+    (fun procs ->
+      let hybrid_runs =
+        List.map
+          (fun seed ->
+            let h = H.create p in
+            Sim.run ~hooks:(H.hooks h) ~seed ~procs p)
+          seeds
+      in
+      let times = Array.of_list (List.map (fun r -> float_of_int r.Sim.time) hybrid_runs) in
+      let time = Spr_util.Stats.median times in
+      let steals =
+        List.fold_left (fun acc r -> acc + r.Sim.steals) 0 hybrid_runs / List.length seeds
+      in
+      if procs = 1 then tp1 := int_of_float time;
+      let bound =
+        ((float_of_int t1 /. float_of_int procs) +. float_of_int (procs * tinf)) *. lg_n
+      in
+      let naive_times =
+        Array.of_list
+          (List.map
+             (fun seed -> float_of_int (Sim.run ~hooks:(naive_hooks ()) ~seed ~procs p).Sim.time)
+             seeds)
+      in
+      let naive = Spr_util.Stats.median naive_times in
+      T.add_row tbl
+        [
+          string_of_int procs;
+          T.fmt_int (int_of_float time);
+          Printf.sprintf "%.2fx" (float_of_int !tp1 /. time);
+          T.fmt_int (int_of_float bound);
+          Printf.sprintf "%.2f" (time /. bound);
+          T.fmt_int steals;
+          T.fmt_int (int_of_float naive);
+          T.fmt_int (procs * int_of_float naive);
+        ])
+    ps;
+  T.print tbl;
+  Printf.printf "(each row: median of %d scheduler seeds)\n" (List.length seeds)
+
+let run () =
+  Bench_util.header
+    "EXP-THM10: SP-hybrid vs naive locked SP-order (Theorem 10)";
+  sweep "fib(16) (huge parallelism)" (Spr_workloads.Progs.fib ~n:16 ~cost:6 ())
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  sweep "deep_spawn(400) (parallelism ~ 2)"
+    (Spr_workloads.Progs.deep_spawn ~cost:3 ~depth:400 ())
+    [ 1; 2; 4; 8; 16 ];
+  Printf.printf
+    "\nPaper shape: hybrid T_P/bound stays below a constant; hybrid keeps\n\
+     near-linear speedup while P <~ sqrt(T1/Tinf); the naive scheme's\n\
+     apparent work (P*T_P column) grows ~linearly with P, i.e. Theta(P*T1).\n"

@@ -1,0 +1,46 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment
+     dune exec bench/main.exe -- fig3         # one experiment
+     dune exec bench/main.exe -- list         # available experiments
+
+   Each experiment regenerates one table/figure/theorem of the paper;
+   see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md
+   for paper-vs-measured notes. *)
+
+let experiments =
+  [
+    ("fig3", "Figure 3: serial algorithm comparison", Exp_fig3.run);
+    ("thm5", "Theorem 5: SP-order construction is O(n)", Exp_thm5.run);
+    ("cor6", "Corollary 6: race detection in O(T1)", Exp_cor6.run);
+    ("thm10", "Theorem 10: SP-hybrid vs naive parallel SP-order", Exp_thm10.run);
+    ("steals", "Steal bound, 4s+1 traces, bucket accounting", Exp_steals.run);
+    ("om", "Order-maintenance substrate", Exp_om.run);
+    ("fig11-12", "Subtrace split structure", Exp_traces.run);
+    ("ablation", "Design-choice ablations (OM backend, path compression)", Exp_ablation.run);
+    ("bechamel", "Bechamel micro-benchmarks (one per experiment)", Bechamel_suite.run);
+  ]
+
+let list_experiments () =
+  Printf.printf "available experiments:\n";
+  List.iter (fun (k, d, _) -> Printf.printf "  %-10s %s\n" k d) experiments
+
+let () =
+  (* A roomy minor heap keeps GC noise out of the asymptotic-shape
+     measurements (they allocate many small linked nodes). *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024; space_overhead = 200 };
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> List.iter (fun (_, _, f) -> f ()) experiments
+  | [ _; "list" ] -> list_experiments ()
+  | [ _; key ] -> begin
+      match List.find_opt (fun (k, _, _) -> k = key) experiments with
+      | Some (_, _, f) -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S\n" key;
+          list_experiments ();
+          exit 1
+    end
+  | _ ->
+      Printf.eprintf "usage: main.exe [all|list|<experiment>]\n";
+      exit 1

@@ -1,0 +1,205 @@
+(* spview — command-line explorer for the SP-maintenance library.
+
+   Subcommands:
+     tree    generate a parse tree; print it, its English/Hebrew labels
+             and (optionally) its computation dag
+     detect  run a determinacy-race detector over a workload
+     hybrid  simulate SP-hybrid on the work-stealing scheduler
+
+   Examples:
+     spview tree --gen paper --labels --dag
+     spview tree --gen random --size 12 --seed 3
+     spview detect --workload dcsum-buggy --size 64 --algo sp-order
+     spview hybrid --workload fib --size 12 --procs 8                  *)
+
+open Cmdliner
+open Spr_sptree
+
+(* ------------------------------------------------------------------ *)
+(* tree                                                                *)
+
+let gen_tree kind size seed =
+  match kind with
+  | "paper" -> Paper_example.tree ()
+  | "balanced" -> Tree_gen.balanced ~leaves:size
+  | "deep" -> Tree_gen.deep_nest ~depth:size
+  | "forks" -> Tree_gen.fork_chain ~forks:size
+  | "serial" -> Tree_gen.serial_chain ~leaves:size
+  | "wide" -> Tree_gen.wide_flat ~leaves:size
+  | "random" ->
+      Tree_gen.random_tree ~rng:(Spr_util.Rng.create seed) ~leaves:size ~p_prob:0.5
+  | other -> failwith (Printf.sprintf "unknown generator %S" other)
+
+let tree_cmd_run kind size seed labels dag =
+  let t = gen_tree kind size seed in
+  Format.printf "parse tree (%d threads, %d forks, nesting depth %d, span %d):@.  %a@."
+    (Sp_tree.leaf_count t) (Sp_tree.fork_count t) (Sp_tree.nesting_depth t) (Sp_tree.span t)
+    Sp_tree.pp t;
+  if labels then begin
+    let eng = Sp_tree.english_order t and heb = Sp_tree.hebrew_order t in
+    Format.printf "@.thread : (E, H)@.";
+    Array.iteri
+      (fun i (leaf : Sp_tree.node) ->
+        Format.printf "  u%-4d : (%d, %d)@." i eng.(leaf.Sp_tree.id) heb.(leaf.Sp_tree.id))
+      (Sp_tree.leaves t)
+  end;
+  if dag then begin
+    Format.printf "@.computation dag:@.";
+    Format.printf "%a" Sp_dag.pp (Sp_dag.of_tree t)
+  end;
+  0
+
+let gen_arg =
+  let doc = "Tree generator: paper, balanced, deep, forks, serial, wide, random." in
+  Arg.(value & opt string "paper" & info [ "gen"; "g" ] ~docv:"KIND" ~doc)
+
+let size_arg =
+  Arg.(value & opt int 16 & info [ "size"; "n" ] ~docv:"N" ~doc:"Generator size parameter.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let tree_cmd =
+  let labels = Arg.(value & flag & info [ "labels" ] ~doc:"Print English/Hebrew orders.") in
+  let dag = Arg.(value & flag & info [ "dag" ] ~doc:"Print the computation dag.") in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Generate and display an SP parse tree")
+    Term.(const tree_cmd_run $ gen_arg $ size_arg $ seed_arg $ labels $ dag)
+
+(* ------------------------------------------------------------------ *)
+(* detect                                                              *)
+
+let gen_workload kind size seed =
+  let module W = Spr_workloads.Progs in
+  match kind with
+  | "dcsum" -> W.dc_sum ~leaves:size ()
+  | "dcsum-buggy" -> W.dc_sum ~buggy:true ~leaves:size ()
+  | "fib" -> W.fib ~n:size ()
+  | "deep" -> W.deep_spawn ~depth:size ()
+  | "wide" -> W.wide ~n:size ()
+  | "locked" -> W.locked_counter ~mode:`Common_lock ~leaves:size ()
+  | "locked-buggy" -> W.locked_counter ~mode:`Distinct_locks ~leaves:size ()
+  | "random" ->
+      W.random_prog ~rng:(Spr_util.Rng.create seed) ~threads:size ~locs:8
+        ~accesses_per_thread:4 ()
+  | other -> failwith (Printf.sprintf "unknown workload %S" other)
+
+let detect_cmd_run kind size seed algo locked =
+  let p = gen_workload kind size seed in
+  let pt = Spr_prog.Prog_tree.of_program p in
+  let make =
+    try Spr_core.Algorithms.find algo
+    with Not_found -> failwith (Printf.sprintf "unknown algorithm %S" algo)
+  in
+  if locked then begin
+    let r = Spr_race.Drivers.detect_serial_locked pt make in
+    Format.printf "lock-aware detection (%s): %d race report(s) on locations [%s]@." algo
+      (List.length r.Spr_race.Drivers.lock_races)
+      (String.concat "; " (List.map string_of_int r.Spr_race.Drivers.racy_locs))
+  end
+  else begin
+    let r = Spr_race.Drivers.detect_serial pt make in
+    Format.printf "detection (%s): %d race report(s) on locations [%s], %d SP queries@." algo
+      (List.length r.Spr_race.Drivers.races)
+      (String.concat "; " (List.map string_of_int r.Spr_race.Drivers.racy_locs))
+      r.Spr_race.Drivers.sp_queries;
+    List.iteri
+      (fun i (race : Spr_race.Detector.race) ->
+        if i < 10 then
+          Format.printf "  loc %d: t%d (%s) vs t%d (%s)@." race.Spr_race.Detector.loc
+            race.Spr_race.Detector.earlier
+            (if race.Spr_race.Detector.earlier_write then "W" else "R")
+            race.Spr_race.Detector.later
+            (if race.Spr_race.Detector.later_write then "W" else "R"))
+      r.Spr_race.Drivers.races
+  end;
+  0
+
+let workload_arg =
+  let doc =
+    "Workload: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random."
+  in
+  Arg.(value & opt string "dcsum-buggy" & info [ "workload"; "w" ] ~docv:"KIND" ~doc)
+
+let detect_cmd =
+  let algo =
+    Arg.(
+      value & opt string "sp-order"
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:"SP oracle: sp-order, sp-bags, english-hebrew, offset-span, ...")
+  in
+  let locked =
+    Arg.(value & flag & info [ "locked" ] ~doc:"Use the lock-aware (All-Sets) detector.")
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Run a determinacy-race detector")
+    Term.(const detect_cmd_run $ workload_arg $ size_arg $ seed_arg $ algo $ locked)
+
+(* ------------------------------------------------------------------ *)
+(* hybrid                                                              *)
+
+let hybrid_cmd_run kind size seed procs =
+  let p = gen_workload kind size seed in
+  Format.printf "workload: %a@." Spr_prog.Fj_program.pp_stats p;
+  let h = Spr_hybrid.Sp_hybrid.create p in
+  let res =
+    Spr_sched.Sim.run ~hooks:(Spr_hybrid.Sp_hybrid.hooks h) ~seed ~procs p
+  in
+  let st = Spr_hybrid.Sp_hybrid.stats h in
+  Format.printf
+    "P=%d: virtual time %d, steals %d, traces %d (= 4s+1: %b),@\n\
+     local ops %d, global-insert ticks %d, lock-wait ticks %d@." procs res.Spr_sched.Sim.time
+    res.Spr_sched.Sim.steals st.Spr_hybrid.Sp_hybrid.traces
+    (st.Spr_hybrid.Sp_hybrid.traces = (4 * st.Spr_hybrid.Sp_hybrid.splits) + 1)
+    st.Spr_hybrid.Sp_hybrid.local_ops st.Spr_hybrid.Sp_hybrid.global_insert_ticks
+    st.Spr_hybrid.Sp_hybrid.lock_wait_ticks;
+  0
+
+let hybrid_cmd =
+  let procs = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Workers.") in
+  Cmd.v
+    (Cmd.info "hybrid" ~doc:"Simulate SP-hybrid under work stealing")
+    Term.(const hybrid_cmd_run $ workload_arg $ size_arg $ seed_arg $ procs)
+
+(* ------------------------------------------------------------------ *)
+(* runtime — the same instrumented execution, on real domains          *)
+
+let runtime_cmd_run kind size seed procs spin =
+  let p = gen_workload kind size seed in
+  Format.printf "workload: %a@." Spr_prog.Fj_program.pp_stats p;
+  let h = Spr_hybrid.Sp_hybrid.create p in
+  let res =
+    Spr_runtime.Runtime.run ~hooks:(Spr_hybrid.Sp_hybrid.hooks h) ~seed ~spin ~workers:procs p
+  in
+  let st = Spr_hybrid.Sp_hybrid.stats h in
+  Format.printf
+    "workers=%d: %.1f ms wall, %d steals (%d attempts), %d threads, traces %d (4s+1: %b)@."
+    procs
+    (res.Spr_runtime.Runtime.elapsed_s *. 1e3)
+    res.Spr_runtime.Runtime.steals res.Spr_runtime.Runtime.steal_attempts
+    res.Spr_runtime.Runtime.threads_run st.Spr_hybrid.Sp_hybrid.traces
+    (st.Spr_hybrid.Sp_hybrid.traces = (4 * res.Spr_runtime.Runtime.steals) + 1);
+  0
+
+let runtime_cmd =
+  let procs = Arg.(value & opt int 4 & info [ "workers"; "p" ] ~docv:"P" ~doc:"Domains.") in
+  let spin =
+    Arg.(
+      value & opt int 5_000
+      & info [ "spin" ] ~docv:"N"
+          ~doc:
+            "Busy-loop iterations per instruction of thread cost.  On a \
+             single-core machine larger values create the preemption windows \
+             in which steals can land.")
+  in
+  Cmd.v
+    (Cmd.info "runtime" ~doc:"Run SP-hybrid on real OCaml domains")
+    Term.(const runtime_cmd_run $ workload_arg $ size_arg $ seed_arg $ procs $ spin)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "spview" ~version:"1.0.0"
+      ~doc:"Explore on-the-fly series-parallel maintenance (SPAA 2004 reproduction)"
+  in
+  exit (Cmd.eval' (Cmd.group info [ tree_cmd; detect_cmd; hybrid_cmd; runtime_cmd ]))

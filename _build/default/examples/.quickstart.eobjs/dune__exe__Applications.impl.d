@@ -1,0 +1,1 @@
+examples/applications.ml: Fj_program Format List Prog_tree Spr_core Spr_hybrid Spr_prog Spr_race Spr_sched Spr_workloads

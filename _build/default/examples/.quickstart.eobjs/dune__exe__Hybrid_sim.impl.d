@@ -1,0 +1,1 @@
+examples/hybrid_sim.ml: Fj_program Format List Printf Sim Spr_hybrid Spr_prog Spr_sched Spr_util Spr_workloads

@@ -1,0 +1,1 @@
+examples/order_maintenance.ml: Array Atomic Domain Format List Spr_om Spr_util

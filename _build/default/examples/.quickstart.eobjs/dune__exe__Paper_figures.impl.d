@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Array Format List Paper_example Printf Sp_dag Sp_reference Sp_tree Spr_core Spr_hybrid Spr_sptree Spr_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sp_reference Sp_tree Spr_core Spr_sptree

@@ -1,0 +1,1 @@
+examples/race_demo.ml: Format List Printf Prog_tree Spr_core Spr_hybrid Spr_prog Spr_race Spr_sched Spr_workloads String

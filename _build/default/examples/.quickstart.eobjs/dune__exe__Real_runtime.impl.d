@@ -1,0 +1,1 @@
+examples/real_runtime.ml: Fj_program Format List Mutex Prog_tree Spr_hybrid Spr_prog Spr_runtime Spr_sptree Spr_workloads

@@ -1,0 +1,61 @@
+(* Quickstart: build a small fork-join computation, maintain its
+   series-parallel relationships on the fly with SP-order, and query
+   them.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Spr_sptree
+
+let () =
+  (* A little computation:
+
+       do A; then in parallel { do B ; do (C then D) }; then do E
+
+     As an SP parse tree: S(A, S(P(B, S(C, D)), E)). *)
+  let b = Sp_tree.Builder.create () in
+  let leaf = Sp_tree.Builder.leaf in
+  let a = leaf b and b_ = leaf b and c = leaf b and d = leaf b and e = leaf b in
+  let tree =
+    Sp_tree.Builder.(
+      finish b (series b a (series b (parallel b b_ (series b c d)) e)))
+  in
+  Format.printf "Parse tree:@.  %a@.@." Sp_tree.pp tree;
+
+  (* Maintain SP relationships *on the fly*: drive SP-order with the
+     left-to-right unfolding and query as threads "execute". *)
+  let inst = Spr_core.Algorithms.sp_order tree in
+  let seen = ref [] in
+  Spr_core.Driver.run_with_queries tree inst ~on_thread:(fun inst ~current ->
+      List.iter
+        (fun prev ->
+          let rel =
+            if Spr_core.Sp_maintainer.precedes inst prev current then "precedes"
+            else if Spr_core.Sp_maintainer.parallel inst prev current then "is parallel to"
+            else "follows"
+          in
+          Format.printf "  thread %d %s thread %d@." prev.Sp_tree.id rel current.Sp_tree.id)
+        (List.rev !seen);
+      seen := current :: !seen;
+      Format.printf "  -- executed thread %d@." current.Sp_tree.id);
+
+  (* After the run, any pair can still be queried in O(1). *)
+  Format.printf "@.Final queries:@.";
+  let name n =
+    List.assq n [ (a, "A"); (b_, "B"); (c, "C"); (d, "D"); (e, "E") ]
+  in
+  List.iter
+    (fun (x, y) ->
+      let rel =
+        if Spr_core.Sp_maintainer.precedes inst x y then "<"
+        else if Spr_core.Sp_maintainer.parallel inst x y then "||"
+        else ">"
+      in
+      Format.printf "  %s %s %s@." (name x) rel (name y))
+    [ (a, b_); (b_, c); (c, d); (b_, d); (a, e); (d, e) ];
+
+  (* B || C and B || D (they sit under the P-node); everything else is
+     ordered.  Cross-check against the a-posteriori LCA relation: *)
+  assert (Sp_reference.parallel b_ c);
+  assert (Sp_reference.parallel b_ d);
+  assert (Sp_reference.precedes a e);
+  Format.printf "@.All quickstart assertions hold.@."

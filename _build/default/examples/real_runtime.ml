@@ -1,0 +1,50 @@
+(* SP-hybrid on real OCaml domains.
+
+   The simulator (examples/hybrid_sim.exe) studies the *performance
+   model* of Theorem 10 deterministically; this example runs the same
+   instrumented computation on actual domains — real work stealing,
+   real lock-free global-tier queries — and audits the results that are
+   schedule-independent: SP answers against the a-posteriori reference,
+   and the 4s+1 trace law against the observed steal count.
+
+   Run with:  dune exec examples/real_runtime.exe *)
+
+open Spr_prog
+module H = Spr_hybrid.Sp_hybrid
+module Rt = Spr_runtime.Runtime
+
+let () =
+  let p = Spr_workloads.Progs.fib ~n:12 ~cost:6 () in
+  Format.printf "Workload: fib(12) — %a@.@." Fj_program.pp_stats p;
+  let pt = Prog_tree.of_program p in
+  let leaf tid = Prog_tree.leaf_of_thread pt tid in
+  List.iter
+    (fun workers ->
+      let h = H.create p in
+      let started = ref [] in
+      let lock = Mutex.create () in
+      let queries = ref 0 and wrong = ref 0 in
+      let on_thread_user h ~wid:_ ~now:_ (u : Fj_program.thread) =
+        let current = u.Fj_program.tid in
+        let snapshot = Mutex.protect lock (fun () -> !started) in
+        List.iter
+          (fun e ->
+            incr queries;
+            let want = Spr_sptree.Sp_reference.precedes (leaf e) (leaf current) in
+            if H.precedes h ~executed:e ~current <> want then incr wrong)
+          snapshot;
+        Mutex.protect lock (fun () -> started := current :: !started);
+        0
+      in
+      let res = Rt.run ~hooks:(H.hooks ~on_thread_user h) ~workers ~spin:100 p in
+      let st = H.stats h in
+      Format.printf
+        "workers=%d: %.1f ms wall, %d steals, %d traces (4s+1 %s), %d lock-free@.  SP queries \
+         issued from running threads, %d wrong answers, %d query retries@."
+        workers (res.Rt.elapsed_s *. 1e3) res.Rt.steals st.H.traces
+        (if st.H.traces = (4 * res.Rt.steals) + 1 then "ok" else "VIOLATED")
+        !queries !wrong st.H.query_retries;
+      assert (!wrong = 0);
+      assert (st.H.traces = (4 * res.Rt.steals) + 1))
+    [ 1; 2; 4; 8 ];
+  Format.printf "@.All real-runtime assertions hold.@."

@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: English_hebrew List Offset_span Sp_bags Sp_maintainer Sp_naive Sp_order Sp_order_implicit

@@ -1,0 +1,1 @@
+lib/core/algorithms.mli: Sp_maintainer Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Sp_maintainer Sp_tree Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Sp_maintainer Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/english_hebrew.ml: Array List Sp_tree Spr_sptree

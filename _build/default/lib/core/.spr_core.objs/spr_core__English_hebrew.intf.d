@@ -1,0 +1,1 @@
+lib/core/english_hebrew.mli: Sp_maintainer Spr_sptree

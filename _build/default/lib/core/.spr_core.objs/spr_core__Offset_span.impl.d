@@ -1,0 +1,1 @@
+lib/core/offset_span.ml: Array List Option Sp_tree Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/offset_span.mli: Sp_maintainer Spr_sptree

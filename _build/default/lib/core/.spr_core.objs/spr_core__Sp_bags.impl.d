@@ -1,0 +1,1 @@
+lib/core/sp_bags.ml: Array Sp_tree Spr_sptree Spr_unionfind Spr_util

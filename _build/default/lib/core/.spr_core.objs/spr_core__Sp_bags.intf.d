@@ -1,0 +1,1 @@
+lib/core/sp_bags.mli: Sp_maintainer Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/sp_maintainer.ml: Spr_sptree

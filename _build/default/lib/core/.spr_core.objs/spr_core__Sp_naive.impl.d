@@ -1,0 +1,1 @@
+lib/core/sp_naive.ml: Sp_reference Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/sp_naive.mli: Sp_maintainer

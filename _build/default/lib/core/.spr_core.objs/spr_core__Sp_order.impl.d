@@ -1,0 +1,1 @@
+lib/core/sp_order.ml: Sp_order_generic Spr_om

@@ -1,0 +1,1 @@
+lib/core/sp_order.mli: Sp_maintainer Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/sp_order_implicit.ml: Array Sp_tree Spr_om Spr_sptree

@@ -1,0 +1,1 @@
+lib/core/sp_order_implicit.mli: Sp_maintainer

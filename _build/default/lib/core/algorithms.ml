@@ -1,0 +1,40 @@
+let sp_order tree = Sp_maintainer.Instance ((module Sp_order), Sp_order.create tree)
+
+let sp_order_implicit tree =
+  Sp_maintainer.Instance ((module Sp_order_implicit), Sp_order_implicit.create tree)
+
+let sp_bags tree = Sp_maintainer.Instance ((module Sp_bags), Sp_bags.create tree)
+
+let sp_bags_no_compression tree =
+  Sp_maintainer.Instance
+    ( (module struct
+        include Sp_bags
+
+        let name = "sp-bags-norank"
+      end),
+      Sp_bags.create_no_compression tree )
+
+let english_hebrew tree =
+  Sp_maintainer.Instance ((module English_hebrew), English_hebrew.create tree)
+
+let offset_span tree = Sp_maintainer.Instance ((module Offset_span), Offset_span.create tree)
+
+let lca_reference tree = Sp_maintainer.Instance ((module Sp_naive), Sp_naive.create tree)
+
+let figure3 =
+  [
+    ("english-hebrew", english_hebrew);
+    ("offset-span", offset_span);
+    ("sp-bags", sp_bags);
+    ("sp-order", sp_order);
+  ]
+
+let all =
+  figure3
+  @ [
+      ("sp-order-implicit", sp_order_implicit);
+      ("sp-bags-norank", sp_bags_no_compression);
+      ("lca-reference", lca_reference);
+    ]
+
+let find name tree = (List.assoc name all) tree

@@ -1,0 +1,32 @@
+(** Registry of all serial SP-maintenance algorithms.
+
+    One constructor per algorithm, plus [all] for uniform iteration in
+    the Figure-3 table, cross-validation tests and the CLI. *)
+
+val sp_order : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+
+val sp_order_implicit : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+(** SP-order with the English order kept implicitly (paper,
+    footnote 2): one OM structure instead of two; thread queries
+    only. *)
+
+val sp_bags : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+
+val sp_bags_no_compression : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+(** Union-by-rank-only ablation (Section 5 / Section 7 conjecture). *)
+
+val english_hebrew : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+
+val offset_span : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+
+val lca_reference : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+
+val all : (string * (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance)) list
+(** The four algorithms of Figure 3, in the paper's order, plus the
+    reference oracle and the ablation variant. *)
+
+val figure3 : (string * (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance)) list
+(** Exactly the four rows of Figure 3. *)
+
+val find : string -> Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+(** Look an algorithm up by name.  @raise Not_found. *)

@@ -1,0 +1,19 @@
+open Spr_sptree
+
+let run tree inst = Sp_tree.iter_events tree (Sp_maintainer.on_event inst)
+
+let run_with_queries tree inst ~on_thread =
+  Sp_tree.iter_events tree (fun ev ->
+      Sp_maintainer.on_event inst ev;
+      match ev with
+      | Sp_tree.Thread u -> on_thread inst ~current:u
+      | Sp_tree.Enter _ | Sp_tree.Mid _ | Sp_tree.Exit _ -> ())
+
+let feed_prefix tree inst ~events =
+  let fed = ref 0 in
+  Sp_tree.iter_events tree (fun ev ->
+      if !fed < events then begin
+        Sp_maintainer.on_event inst ev;
+        incr fed
+      end);
+  !fed

@@ -1,0 +1,18 @@
+(** Drive a maintainer through the on-the-fly unfolding of a tree.
+
+    [run] replays the left-to-right walk (the serial execution order of
+    a Cilk-like program, Section 2) into the maintainer.
+    [run_with_queries] additionally invokes a callback at each thread's
+    execution — the moment a race detector would issue SP queries. *)
+
+val run : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance -> unit
+
+val run_with_queries :
+  Spr_sptree.Sp_tree.t ->
+  Sp_maintainer.instance ->
+  on_thread:(Sp_maintainer.instance -> current:Spr_sptree.Sp_tree.node -> unit) ->
+  unit
+
+val feed_prefix : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance -> events:int -> int
+(** Feed only the first [events] events of the walk (for tests of
+    partial unfoldings); returns the number of events actually fed. *)

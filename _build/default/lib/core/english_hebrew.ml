@@ -1,0 +1,105 @@
+open Spr_sptree
+
+(* A label is the root path in reversed order (head = deepest step).
+   Because children's labels are consed onto their parent's, the part
+   of two labels above the divergence point is physically shared, which
+   both makes construction O(1) and lets comparison detect the
+   divergence with pointer equality. *)
+type label = int list
+
+type info = { e_label : label; h_label : label; depth : int }
+
+type t = { info : info option array; mutable total_len : int; mutable threads : int }
+
+let name = "english-hebrew"
+
+let create tree =
+  let n = Sp_tree.node_count tree in
+  let t = { info = Array.make n None; total_len = 0; threads = 0 } in
+  let root = Sp_tree.root tree in
+  t.info.(root.id) <- Some { e_label = []; h_label = []; depth = 0 };
+  t
+
+let info t (n : Sp_tree.node) =
+  match t.info.(n.id) with
+  | Some i -> i
+  | None -> invalid_arg "English_hebrew: node not yet discovered"
+
+let on_event t ev =
+  match ev with
+  | Sp_tree.Enter x -> begin
+      match x.shape with
+      | Leaf -> assert false
+      | Internal { kind; left; right } ->
+          let parent = info t x in
+          let extend child e_dir =
+            (* Hebrew flips direction at P-nodes. *)
+            let h_dir = match kind with Series -> e_dir | Parallel -> 1 - e_dir in
+            t.info.((child : Sp_tree.node).id) <-
+              Some
+                {
+                  e_label = e_dir :: parent.e_label;
+                  h_label = h_dir :: parent.h_label;
+                  depth = parent.depth + 1;
+                }
+          in
+          extend left 0;
+          extend right 1
+    end
+  | Sp_tree.Thread u ->
+      let i = info t u in
+      t.total_len <- t.total_len + i.depth;
+      t.threads <- t.threads + 1
+  | Sp_tree.Mid _ | Sp_tree.Exit _ -> ()
+
+(* Compare two equal-depth reversed labels: walk down both in lockstep
+   until their tails are physically shared (that shared tail is the
+   path above the lca); the heads at that point are the two divergence
+   directions. *)
+let rec divergence a b =
+  match (a, b) with
+  | xa :: ta, xb :: tb -> if ta == tb then compare xa xb else divergence ta tb
+  | _ -> invalid_arg "English_hebrew: comparing a node with its ancestor"
+
+let rec strip l k = if k = 0 then l else strip (List.tl l) (k - 1)
+
+(* -1 / 0 / +1 order of x and y in the E (resp. H) total order. *)
+let cmp_in sel ix iy =
+  if ix == iy then 0
+  else begin
+    let la, lb = (sel ix, sel iy) in
+    if ix.depth = iy.depth && la == lb then 0
+    else begin
+      let la = strip la (max 0 (ix.depth - iy.depth)) in
+      let lb = strip lb (max 0 (iy.depth - ix.depth)) in
+      if la == lb then invalid_arg "English_hebrew: ancestor query on non-leaf"
+      else divergence la lb
+    end
+  end
+
+let relate t x y =
+  let ix = info t x and iy = info t y in
+  (cmp_in (fun i -> i.e_label) ix iy, cmp_in (fun i -> i.h_label) ix iy)
+
+let precedes t x y =
+  if x == y then false
+  else begin
+    let e, h = relate t x y in
+    e < 0 && h < 0
+  end
+
+let parallel t x y =
+  if x == y then false
+  else begin
+    let e, h = relate t x y in
+    (e < 0) <> (h < 0)
+  end
+
+let requires_current_operand = false
+
+let leaves_only = true
+
+let avg_label_words t =
+  if t.threads = 0 then 0.0 else float_of_int (2 * t.total_len) /. float_of_int t.threads
+
+let label_length t n = (info t n).depth

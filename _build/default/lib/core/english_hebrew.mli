@@ -1,0 +1,23 @@
+(** Static English-Hebrew labeling — the Nudler–Rudolph baseline.
+
+    Each thread receives, once and for all, two static labels: its
+    root-path in {e English} coordinates (left = 0, right = 1 at every
+    node) and in {e Hebrew} coordinates (directions flipped at
+    P-nodes).  Lexicographic label order equals the English (resp.
+    Hebrew) total order, so Lemma 1 applies: x ≺ y iff x's labels are
+    smaller in both.
+
+    Labels are persistent lists consed from the parent's label: O(1)
+    work per node (the "Θ(1) thread creation" entry of Figure 3), and
+    physically shared — but a {e query} must walk to the divergence
+    point, so both logical label size and query time grow with the
+    nesting of the tree, reproducing the Θ(f)-flavoured costs of the
+    English-Hebrew row of Figure 3 (on the fork-chain workload the
+    divergence depth is proportional to the number of forks).
+
+    Queries are valid between any two discovered {e leaves}. *)
+
+include Sp_maintainer.S
+
+val label_length : t -> Spr_sptree.Sp_tree.node -> int
+(** Logical length (components) of the thread's labels. *)

@@ -1,0 +1,125 @@
+open Spr_sptree
+
+(* Pair lists are kept reversed (head = innermost fork) and shared with
+   the enclosing context, so extending at a fork is O(1). *)
+type pairs = (int * int) list
+
+type info = { label : pairs; len : int; seq : int }
+
+type t = {
+  info : info option array;  (* per-leaf assignment *)
+  (* Walk state: the current segment's label and intra-segment counter. *)
+  mutable cur : pairs;
+  mutable cur_len : int;
+  mutable seq : int;
+  (* Per-P-node saved pre-fork state, restored at the join. *)
+  saved : (pairs * int) option array;
+  mutable total_pairs : int;
+  mutable threads : int;
+}
+
+let name = "offset-span"
+
+let create tree =
+  let n = Sp_tree.node_count tree in
+  {
+    info = Array.make n None;
+    cur = [ (0, 1) ];
+    cur_len = 1;
+    seq = 0;
+    saved = Array.make n None;
+    total_pairs = 0;
+    threads = 0;
+  }
+
+let info t (n : Sp_tree.node) =
+  match t.info.(n.id) with
+  | Some i -> i
+  | None -> invalid_arg "Offset_span: thread not yet discovered"
+
+let bump_head = function
+  | (o, s) :: rest -> (o + s, s) :: rest
+  | [] -> assert false
+
+let on_event t ev =
+  match ev with
+  | Sp_tree.Enter x -> begin
+      match x.shape with
+      | Leaf -> assert false
+      | Internal { kind = Series; _ } -> ()
+      | Internal { kind = Parallel; _ } ->
+          t.saved.(x.id) <- Some (t.cur, t.seq);
+          t.cur <- (1, 2) :: t.cur;
+          t.cur_len <- t.cur_len + 1;
+          t.seq <- 0
+    end
+  | Sp_tree.Mid x -> begin
+      match x.shape with
+      | Leaf -> assert false
+      | Internal { kind = Series; _ } -> ()
+      | Internal { kind = Parallel; _ } ->
+          let pre, _ = Option.get t.saved.(x.id) in
+          t.cur <- (2, 2) :: pre;
+          t.seq <- 0
+    end
+  | Sp_tree.Exit x -> begin
+      match x.shape with
+      | Leaf -> assert false
+      | Internal { kind = Series; _ } -> ()
+      | Internal { kind = Parallel; _ } ->
+          let pre, _ = Option.get t.saved.(x.id) in
+          t.saved.(x.id) <- None;
+          (* The join: offset of the pre-fork head pair advances by its
+             span, starting a fresh segment serial to both branches. *)
+          t.cur <- bump_head pre;
+          t.cur_len <- t.cur_len - 1;
+          t.seq <- 0
+    end
+  | Sp_tree.Thread u ->
+      t.info.(u.id) <- Some { label = t.cur; len = t.cur_len; seq = t.seq };
+      t.seq <- t.seq + 1;
+      t.total_pairs <- t.total_pairs + t.cur_len;
+      t.threads <- t.threads + 1
+
+type order = Lt | Gt | Par
+
+(* Root-first comparison; labels arrive reversed, so materialize. *)
+let order_labels (a : info) (b : info) =
+  let ra = Array.of_list (List.rev a.label) in
+  let rb = Array.of_list (List.rev b.label) in
+  let la = Array.length ra and lb = Array.length rb in
+  let rec walk i =
+    if i >= la && i >= lb then
+      (* Same segment: program order. *)
+      if a.seq < b.seq then Lt else Gt
+    else if i >= la then Lt (* a's segment forked b's region later *)
+    else if i >= lb then Gt
+    else begin
+      let oa, sa = ra.(i) and ob, sb = rb.(i) in
+      if oa = ob && sa = sb then walk (i + 1)
+      else if sa = sb && (oa - ob) mod sa = 0 then if oa < ob then Lt else Gt
+      else Par
+    end
+  in
+  walk 0
+
+let precedes t x y =
+  if x == y then false
+  else begin
+    match order_labels (info t x) (info t y) with Lt -> true | Gt | Par -> false
+  end
+
+let parallel t x y =
+  if x == y then false
+  else begin
+    match order_labels (info t x) (info t y) with Par -> true | Lt | Gt -> false
+  end
+
+let requires_current_operand = false
+
+let leaves_only = true
+
+let avg_label_words t =
+  if t.threads = 0 then 0.0 else float_of_int (2 * t.total_pairs) /. float_of_int t.threads
+
+let label_length t n = (info t n).len

@@ -1,0 +1,27 @@
+(** Offset-span labeling — the Mellor-Crummey (1991) baseline.
+
+    Every thread gets a static label: a list of (offset, span) pairs
+    plus a sequence number within its {e segment} (the run of threads
+    between two consecutive fork/join events, which all share one
+    pair-list).  During the left-to-right walk:
+
+    - entering a P-node appends the pair [(1, 2)] for the left branch
+      and [(2, 2)] for the right branch;
+    - leaving a P-node (the join) replaces the head pair [(o, s)] of
+      the pre-fork label by [(o + s, s)];
+    - S-nodes leave the label unchanged (pure program order, handled by
+      the per-segment sequence number).
+
+    Two labels are ordered iff one is a prefix of the other (the prefix
+    side is earlier), or at their first differing pair the spans agree
+    and the offsets are congruent mod the span (then smaller offset is
+    earlier); otherwise the threads are parallel.
+
+    Label length — and hence query time — is proportional to the
+    nesting depth of parallelism [d]: the offset-span row of Figure 3.
+    Queries are valid between any two discovered leaves. *)
+
+include Sp_maintainer.S
+
+val label_length : t -> Spr_sptree.Sp_tree.node -> int
+(** Number of (offset, span) pairs in the thread's label. *)

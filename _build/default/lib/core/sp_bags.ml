@@ -1,0 +1,100 @@
+open Spr_sptree
+module Uf = Spr_unionfind.Union_find
+
+(* The payload at each set representative tells which kind of bag the
+   set currently is. *)
+type bag_kind = S_bag | P_bag
+
+type frame = { mutable sbag : bag_kind Uf.node option; mutable pbag : bag_kind Uf.node option }
+
+type t = {
+  uf : bag_kind Uf.t;
+  set_of : bag_kind Uf.node option array;  (* leaf id -> its set *)
+  frames : frame option array;  (* internal node id -> open frame *)
+  results : bag_kind Uf.node Spr_util.Vec.t;  (* completed-subtree stack *)
+}
+
+let name = "sp-bags"
+
+let create_with config tree =
+  let n = Sp_tree.node_count tree in
+  {
+    uf = Uf.create config;
+    set_of = Array.make n None;
+    frames = Array.make n None;
+    results = Spr_util.Vec.create ();
+  }
+
+let create tree = create_with { Uf.path_compression = true } tree
+
+let create_no_compression tree = create_with { Uf.path_compression = false } tree
+
+let frame t (x : Sp_tree.node) =
+  match t.frames.(x.id) with
+  | Some f -> f
+  | None -> invalid_arg "Sp_bags: node has no open frame"
+
+(* Union a completed subtree's set into a bag slot, flagging the merged
+   set with the bag's kind. *)
+let into_bag t slot kind set =
+  match slot with
+  | None ->
+      Uf.set_payload t.uf set kind;
+      Some set
+  | Some bag ->
+      Uf.union t.uf ~into:bag set;
+      Some bag
+
+let pop_result t =
+  match Spr_util.Vec.pop t.results with
+  | Some r -> r
+  | None -> invalid_arg "Sp_bags: event stream out of order"
+
+let on_event t ev =
+  match ev with
+  | Sp_tree.Enter x -> t.frames.(x.id) <- Some { sbag = None; pbag = None }
+  | Sp_tree.Thread u ->
+      let set = Uf.make_set t.uf S_bag in
+      t.set_of.(u.id) <- Some set;
+      Spr_util.Vec.push t.results set
+  | Sp_tree.Mid x ->
+      (* The left subtree just completed: serial before the right
+         subtree under an S-node, parallel to it under a P-node. *)
+      let f = frame t x in
+      let left_set = pop_result t in
+      (match Sp_tree.kind x with
+      | Series -> f.sbag <- into_bag t f.sbag S_bag left_set
+      | Parallel -> f.pbag <- into_bag t f.pbag P_bag left_set)
+  | Sp_tree.Exit x ->
+      (* Both subtrees done: merge this node's bags into one set that
+         represents the whole subtree for the enclosing node. *)
+      let f = frame t x in
+      let right_set = pop_result t in
+      f.sbag <- into_bag t f.sbag S_bag right_set;
+      let combined =
+        match (f.sbag, f.pbag) with
+        | Some s, Some p ->
+            Uf.union t.uf ~into:s p;
+            s
+        | Some s, None -> s
+        | None, _ -> assert false (* sbag just received right_set *)
+      in
+      t.frames.(x.id) <- None;
+      Spr_util.Vec.push t.results combined
+
+let set_of t (n : Sp_tree.node) =
+  match t.set_of.(n.id) with
+  | Some s -> s
+  | None -> invalid_arg "Sp_bags: thread not yet executed"
+
+(* While [cur] executes, [e]'s bag kind decides the relation. *)
+let precedes t e cur = (not (e == cur)) && Uf.payload t.uf (set_of t e) = S_bag
+
+let parallel t e cur = (not (e == cur)) && Uf.payload t.uf (set_of t e) = P_bag
+
+let requires_current_operand = true
+
+let leaves_only = true
+
+(* One disjoint-set node per thread: constant space. *)
+let avg_label_words _ = 1.0

@@ -1,0 +1,26 @@
+(** SP-bags — the Feng–Leiserson (1997) algorithm, adapted to binary
+    parse trees with bags of threads (paper, Section 5 footnote 7).
+
+    Every executed thread lives in a disjoint-set; each set is flagged
+    as an {e S-bag} or a {e P-bag}.  The invariant maintained by the
+    left-to-right walk is the classical one: while thread [u] executes,
+    an executed thread [e] satisfies [e ≺ u] iff [e]'s set is flagged
+    S, and [e ∥ u] iff it is flagged P.
+
+    Per internal node the walk keeps one S-bag and one P-bag; when a
+    subtree finishes, its (already merged) set is unioned into the
+    enclosing node's S-bag (series) or P-bag (parallel); when the node
+    finishes, its two bags merge and flow upward.  With union by rank +
+    path compression every operation costs Θ(α) amortized — the
+    SP-bags row of Figure 3.
+
+    Queries require the second operand to be the {e currently
+    executing} thread (the weaker semantics that race detection — and
+    the paper's SP-hybrid local tier — needs). *)
+
+include Sp_maintainer.S
+
+val create_no_compression : Spr_sptree.Sp_tree.t -> t
+(** Variant with union-by-rank only (O(lg n) worst-case finds, no
+    mutation on find) — the configuration Section 5 requires when finds
+    may run concurrently.  Used for the ablation benchmark. *)

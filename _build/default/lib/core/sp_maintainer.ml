@@ -1,0 +1,63 @@
+(** The common interface of all serial SP-maintenance algorithms.
+
+    A maintainer is driven by the event stream of a left-to-right parse
+    tree walk ({!Spr_sptree.Sp_tree.iter_events}) — the on-the-fly
+    unfolding of Section 2 — and answers SP queries about nodes seen so
+    far.  {!Driver} runs a tree through a maintainer and invokes a
+    client callback while each thread "executes", which is when a race
+    detector would issue its queries. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short name used in Figure-3 style tables. *)
+
+  val create : Spr_sptree.Sp_tree.t -> t
+  (** A maintainer for (an unfolding of) the given tree.  The tree
+      value is used for capacity and node-id indexing only; no
+      algorithm peeks at structure before its events arrive. *)
+
+  val on_event : t -> Spr_sptree.Sp_tree.event -> unit
+  (** Feed the next step of the unfolding. *)
+
+  val precedes : t -> Spr_sptree.Sp_tree.node -> Spr_sptree.Sp_tree.node -> bool
+  (** [precedes t x y]: has it been established that x ≺ y?  Both nodes
+      must already have been discovered by the walk. *)
+
+  val parallel : t -> Spr_sptree.Sp_tree.node -> Spr_sptree.Sp_tree.node -> bool
+  (** [parallel t x y]: x ∥ y. *)
+
+  val requires_current_operand : bool
+  (** If true, queries are only valid when the {e second} operand is the
+      currently executing thread (SP-bags semantics, also all that
+      SP-hybrid — and a race detector — needs). *)
+
+  val leaves_only : bool
+  (** If true, queries are only valid between threads (leaves). *)
+
+  val avg_label_words : t -> float
+  (** Average per-thread label footprint in machine words — the
+      "Space per node" column of Figure 3.  For centralized structures
+      this is the per-node constant; for labeling schemes it is the
+      mean logical label length. *)
+end
+
+(** A maintainer packaged with its state, so heterogeneous algorithm
+    lists can be iterated uniformly (Figure-3 table, cross-validation
+    tests). *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let name (Instance ((module M), _)) = M.name
+
+let on_event (Instance ((module M), st)) ev = M.on_event st ev
+
+let precedes (Instance ((module M), st)) x y = M.precedes st x y
+
+let parallel (Instance ((module M), st)) x y = M.parallel st x y
+
+let requires_current_operand (Instance ((module M), _)) = M.requires_current_operand
+
+let leaves_only (Instance ((module M), _)) = M.leaves_only
+
+let avg_label_words (Instance ((module M), st)) = M.avg_label_words st

@@ -1,0 +1,20 @@
+open Spr_sptree
+
+type t = unit
+
+let name = "lca-reference"
+
+let create _tree = ()
+
+let on_event () _ = ()
+
+let precedes () x y = Sp_reference.precedes x y
+
+let parallel () x y = Sp_reference.parallel x y
+
+let requires_current_operand = false
+
+let leaves_only = false
+
+(* Parent pointer and depth per node. *)
+let avg_label_words () = 2.0

@@ -1,0 +1,8 @@
+(** Trivial maintainer wrapping the LCA reference relation.
+
+    Ignores all events and answers queries straight from
+    {!Spr_sptree.Sp_reference} — an a posteriori oracle, O(height) per
+    query.  It anchors the cross-validation tests and appears in the
+    Figure-3 bench as the "no data structure" baseline. *)
+
+include Sp_maintainer.S

@@ -1,0 +1,3 @@
+include Sp_order_generic.Make (Spr_om.Om)
+
+let name = "sp-order"

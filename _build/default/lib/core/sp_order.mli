@@ -1,0 +1,31 @@
+(** SP-order — the paper's serial algorithm (Section 2, Figure 5).
+
+    Two order-maintenance structures hold an {e English} and a
+    {e Hebrew} ordering of the parse-tree nodes discovered so far.  On
+    entering an internal node X, its children are inserted right after
+    X in both orders: left-then-right in English; for the Hebrew order
+    left-then-right if X is an S-node, right-then-left if it is a
+    P-node (Figures 6, 7).  SP-PRECEDES(X, Y) is then simply
+    OM-PRECEDES in both orders (Lemma 1 / Theorem 4).
+
+    With the two-level {!Spr_om.Om} structure every parse-tree node
+    costs O(1) amortized and every query O(1) worst case, which is
+    Theorem 5 and the SP-order row of Figure 3.
+
+    Unlike the other serial algorithms, queries are valid between
+    {e any} two discovered nodes — internal nodes included — and do not
+    require one operand to be currently executing. *)
+
+include Sp_maintainer.S
+
+val om_size : t -> int
+(** Elements currently in each order-maintenance structure
+    (introspection: parse-tree nodes discovered so far and not
+    released). *)
+
+val release : t -> Spr_sptree.Sp_tree.node -> unit
+(** Delete a node from both orderings (the OM ADT supports deletion).
+    For clients — e.g. a race detector whose shadow memory no longer
+    mentions any thread of a completed subtree — that want the
+    structure to track the live frontier instead of the full history.
+    Querying a released node afterwards is an error. *)

@@ -1,0 +1,101 @@
+(** SP-order parameterised by its order-maintenance backend.
+
+    The algorithm of Section 2 only needs the OM abstract data type, so
+    it is written once as a functor; {!Sp_order} instantiates it with
+    the two-level O(1) structure (the paper's configuration), and the
+    ablation benchmark instantiates it with the one-level structure and
+    with the naive specification to measure what the substrate choice
+    is worth. *)
+
+open Spr_sptree
+
+module Make (Om : Spr_om.Om_intf.S) = struct
+  type t = {
+    eng : Om.t;
+    heb : Om.t;
+    (* Node id -> its element in each order; None until discovered (or
+       after release). *)
+    eng_elt : Om.elt option array;
+    heb_elt : Om.elt option array;
+  }
+
+  let name = "sp-order(" ^ Om.name ^ ")"
+
+  let create tree =
+    let n = Sp_tree.node_count tree in
+    let eng = Om.create () in
+    let heb = Om.create () in
+    let eng_elt = Array.make n None in
+    let heb_elt = Array.make n None in
+    (* The root is the base element of both orders. *)
+    let root = Sp_tree.root tree in
+    eng_elt.(root.id) <- Some (Om.base eng);
+    heb_elt.(root.id) <- Some (Om.base heb);
+    { eng; heb; eng_elt; heb_elt }
+
+  let elt arr (n : Sp_tree.node) =
+    match arr.(n.id) with
+    | Some e -> e
+    | None -> invalid_arg "Sp_order: node not discovered (or released)"
+
+  (* Lines 4-7 of Figure 5: on visiting internal node X, insert its
+     children after X in both orderings. *)
+  let on_event t ev =
+    match ev with
+    | Sp_tree.Enter x -> begin
+        match x.shape with
+        | Leaf -> assert false
+        | Internal { kind; left; right } ->
+            let ex = elt t.eng_elt x in
+            (match Om.insert_many_after t.eng ex 2 with
+            | [ el; er ] ->
+                t.eng_elt.(left.id) <- Some el;
+                t.eng_elt.(right.id) <- Some er
+            | _ -> assert false);
+            let hx = elt t.heb_elt x in
+            (match (kind, Om.insert_many_after t.heb hx 2) with
+            | Series, [ hl; hr ] ->
+                t.heb_elt.(left.id) <- Some hl;
+                t.heb_elt.(right.id) <- Some hr
+            | Parallel, [ hr; hl ] ->
+                t.heb_elt.(left.id) <- Some hl;
+                t.heb_elt.(right.id) <- Some hr
+            | _ -> assert false)
+      end
+    | Sp_tree.Mid _ | Sp_tree.Thread _ | Sp_tree.Exit _ -> ()
+
+  (* Lines 10-12 of Figure 5. *)
+  let precedes t x y =
+    Om.precedes t.eng (elt t.eng_elt x) (elt t.eng_elt y)
+    && Om.precedes t.heb (elt t.heb_elt x) (elt t.heb_elt y)
+
+  (* Corollary 2: parallel iff the two orders disagree. *)
+  let parallel t x y =
+    let e = Om.precedes t.eng (elt t.eng_elt x) (elt t.eng_elt y) in
+    let h = Om.precedes t.heb (elt t.heb_elt x) (elt t.heb_elt y) in
+    e <> h
+
+  let requires_current_operand = false
+
+  let leaves_only = false
+
+  (* Two order-maintenance elements of a few words each, independent of
+     everything — the Θ(1) "space per node" row of Figure 3. *)
+  let avg_label_words _ = 2.0
+
+  let om_size t = Om.size t.eng
+
+  (* Deletion support (the OM ADT of Section 2 supports it): a client
+     that knows it will never again query a node — e.g. a race detector
+     whose shadow memory no longer references any thread of a completed
+     subtree — can release it and keep the structures proportional to
+     the *live* frontier rather than the whole history. *)
+  let release t (n : Sp_tree.node) =
+    match (t.eng_elt.(n.id), t.heb_elt.(n.id)) with
+    | Some e, Some h ->
+        Om.delete t.eng e;
+        Om.delete t.heb h;
+        t.eng_elt.(n.id) <- None;
+        t.heb_elt.(n.id) <- None
+    | _ -> invalid_arg "Sp_order.release: node not discovered (or already released)"
+end

@@ -1,0 +1,60 @@
+open Spr_sptree
+
+type t = {
+  heb : Spr_om.Om.t;
+  heb_elt : Spr_om.Om.elt option array;
+  eng_index : int array;  (* leaf id -> execution index; -1 if not yet run *)
+  mutable next_eng : int;
+}
+
+let name = "sp-order-implicit-english"
+
+let create tree =
+  let n = Sp_tree.node_count tree in
+  let heb = Spr_om.Om.create () in
+  let heb_elt = Array.make n None in
+  let root = Sp_tree.root tree in
+  heb_elt.(root.id) <- Some (Spr_om.Om.base heb);
+  { heb; heb_elt; eng_index = Array.make n (-1); next_eng = 0 }
+
+let elt t (n : Sp_tree.node) =
+  match t.heb_elt.(n.id) with
+  | Some e -> e
+  | None -> invalid_arg "Sp_order_implicit: node not yet discovered"
+
+let on_event t ev =
+  match ev with
+  | Sp_tree.Enter x -> begin
+      match x.shape with
+      | Leaf -> assert false
+      | Internal { kind; left; right } ->
+          let hx = elt t x in
+          (match (kind, Spr_om.Om.insert_many_after t.heb hx 2) with
+          | Series, [ hl; hr ] ->
+              t.heb_elt.(left.id) <- Some hl;
+              t.heb_elt.(right.id) <- Some hr
+          | Parallel, [ hr; hl ] ->
+              t.heb_elt.(left.id) <- Some hl;
+              t.heb_elt.(right.id) <- Some hr
+          | _ -> assert false)
+    end
+  | Sp_tree.Thread u ->
+      t.eng_index.(u.id) <- t.next_eng;
+      t.next_eng <- t.next_eng + 1
+  | Sp_tree.Mid _ | Sp_tree.Exit _ -> ()
+
+let eng t (n : Sp_tree.node) =
+  let i = t.eng_index.(n.id) in
+  if i < 0 then invalid_arg "Sp_order_implicit: thread not yet executed";
+  i
+
+let precedes t x y = eng t x < eng t y && Spr_om.Om.precedes t.heb (elt t x) (elt t y)
+
+let parallel t x y = eng t x < eng t y <> Spr_om.Om.precedes t.heb (elt t x) (elt t y)
+
+let requires_current_operand = false
+
+let leaves_only = true
+
+(* One integer plus one Hebrew OM element per thread. *)
+let avg_label_words _ = 1.5

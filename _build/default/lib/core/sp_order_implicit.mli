@@ -1,0 +1,14 @@
+(** SP-order with the English order maintained implicitly — the
+    optimization of the paper's footnote 2.
+
+    During a serial left-to-right unfolding, threads {e execute} in
+    English order, so for thread-to-thread queries the English index
+    can simply be the execution counter; only the Hebrew order needs a
+    real order-maintenance structure.  This halves the OM work per
+    parse-tree node at the price of answering queries about threads
+    (leaves) only.
+
+    Validated against the reference like every other algorithm and
+    compared against the two-OM SP-order in the ablation benchmark. *)
+
+include Sp_maintainer.S

@@ -1,0 +1,1 @@
+lib/hybrid/global_tier.mli: Spr_om

@@ -1,0 +1,1 @@
+lib/hybrid/local_tier.ml: Array Global_tier Hashtbl Spr_unionfind

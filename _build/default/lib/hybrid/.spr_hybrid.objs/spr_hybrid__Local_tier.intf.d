@@ -1,0 +1,1 @@
+lib/hybrid/local_tier.mli: Global_tier

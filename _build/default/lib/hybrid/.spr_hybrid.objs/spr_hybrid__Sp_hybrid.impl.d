@@ -1,0 +1,1 @@
+lib/hybrid/sp_hybrid.ml: Fj_program Global_tier Hashtbl Local_tier Mutex Sim Spr_prog Spr_sched

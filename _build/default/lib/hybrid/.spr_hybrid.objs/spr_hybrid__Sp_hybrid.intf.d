@@ -1,0 +1,1 @@
+lib/hybrid/sp_hybrid.mli: Spr_prog Spr_sched

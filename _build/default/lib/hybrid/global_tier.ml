@@ -1,0 +1,72 @@
+module type S = sig
+  type trace
+
+  type t
+
+  val create : unit -> t
+
+  val initial : t -> trace
+
+  val trace_id : trace -> int
+
+  type split = { u1 : trace; u2 : trace; u4 : trace; u5 : trace }
+
+  val split : t -> trace -> split
+
+  val precedes : t -> trace -> trace -> bool
+
+  val parallel : t -> trace -> trace -> bool
+
+  val trace_count : t -> int
+
+  val query_retries : t -> int
+end
+
+module Make (Omc : Spr_om.Om_intf.CONCURRENT) = struct
+  type trace = { uid : int; eng : Omc.elt; heb : Omc.elt }
+
+  type t = { eng : Omc.t; heb : Omc.t; initial_trace : trace; mutable next_uid : int }
+
+  let create () =
+    let eng = Omc.create () in
+    let heb = Omc.create () in
+    let initial_trace = { uid = 0; eng = Omc.base eng; heb = Omc.base heb } in
+    { eng; heb; initial_trace; next_uid = 1 }
+
+  let initial t = t.initial_trace
+
+  let trace_id (u : trace) = u.uid
+
+  type split = { u1 : trace; u2 : trace; u4 : trace; u5 : trace }
+
+  let split t (u : trace) =
+    (* English: U1, U2 before U; U4, U5 after U. *)
+    let eng_before, eng_after = Omc.insert_around t.eng u.eng ~before:2 ~after:2 in
+    (* Hebrew: U1, U4 before U; U2, U5 after U. *)
+    let heb_before, heb_after = Omc.insert_around t.heb u.heb ~before:2 ~after:2 in
+    match (eng_before, eng_after, heb_before, heb_after) with
+    | [ e1; e2 ], [ e4; e5 ], [ h1; h4 ], [ h2; h5 ] ->
+        let mk eng heb =
+          let uid = t.next_uid in
+          t.next_uid <- t.next_uid + 1;
+          { uid; eng; heb }
+        in
+        let u1 = mk e1 h1 in
+        let u2 = mk e2 h2 in
+        let u4 = mk e4 h4 in
+        let u5 = mk e5 h5 in
+        { u1; u2; u4; u5 }
+    | _ -> assert false
+
+  let precedes t (a : trace) (b : trace) =
+    Omc.precedes t.eng a.eng b.eng && Omc.precedes t.heb a.heb b.heb
+
+  let parallel t (a : trace) (b : trace) =
+    Omc.precedes t.eng a.eng b.eng <> Omc.precedes t.heb a.heb b.heb
+
+  let trace_count t = t.next_uid
+
+  let query_retries t = Omc.query_retries t.eng + Omc.query_retries t.heb
+end
+
+include Make (Spr_om.Om_concurrent)

@@ -1,0 +1,57 @@
+(** SP-hybrid's global tier (paper, Section 4).
+
+    Maintains English and Hebrew orderings of {e traces} in two
+    concurrent order-maintenance structures (lock-free queries, locked
+    inserts).  A steal splits a trace U into ⟨U{^(1)}, U{^(2)},
+    U{^(3)}, U{^(4)}, U{^(5)}⟩ with U{^(3)} = U; the four new traces
+    enter the orders as Figure 8 lines 21–22 prescribe:
+
+    - English: ⟨U{^(1)}, U{^(2)}, U, U{^(4)}, U{^(5)}⟩
+    - Hebrew:  ⟨U{^(1)}, U{^(4)}, U, U{^(2)}, U{^(5)}⟩
+
+    The tier is a functor over its concurrent OM backend; the default
+    instantiation (this module itself) uses the one-level structure the
+    paper's prose describes ({!Spr_om.Om_concurrent}); footnote 3's
+    two-level hierarchy is available as
+    [Make (Spr_om.Om_concurrent2)]. *)
+
+module type S = sig
+  type trace
+  (** A trace: a dynamic set of threads executed on one processor,
+      represented by its elements in the two orderings. *)
+
+  type t
+
+  val create : unit -> t
+  (** A global tier whose single initial trace holds the whole
+      computation until the first steal. *)
+
+  val initial : t -> trace
+
+  val trace_id : trace -> int
+  (** Dense id (creation order; the initial trace is 0). *)
+
+  type split = { u1 : trace; u2 : trace; u4 : trace; u5 : trace }
+
+  val split : t -> trace -> split
+  (** Split around a stolen P-node: create the four new traces and
+      insert them into both orderings around the victim's trace
+      (= U{^(3)}). *)
+
+  val precedes : t -> trace -> trace -> bool
+  (** Eng(a) < Eng(b) && Heb(a) < Heb(b) — the two lock-free
+      OM-PRECEDES of Figure 9 line 32. *)
+
+  val parallel : t -> trace -> trace -> bool
+  (** The orders disagree (Corollary 2 lifted to traces). *)
+
+  val trace_count : t -> int
+  (** Total traces created; equals [4 s + 1] after [s] splits. *)
+
+  val query_retries : t -> int
+  (** Failed-and-retried lock-free query attempts across both orders. *)
+end
+
+module Make (_ : Spr_om.Om_intf.CONCURRENT) : S
+
+include S

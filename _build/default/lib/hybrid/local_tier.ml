@@ -1,0 +1,134 @@
+module Uf = Spr_unionfind.Union_find
+
+type kind = S_bag | P_bag
+
+type payload = { trace : Global_tier.trace; kind : kind }
+
+type bags = {
+  mutable sbag : payload Uf.node option;
+  mutable pbag : payload Uf.node option;
+}
+
+type t = {
+  uf : payload Uf.t;
+  set_of : payload Uf.node option array;  (* tid -> set *)
+  frames : (int, bags) Hashtbl.t;  (* frame id -> its bags *)
+  mutable ops : int;
+}
+
+let create ?(path_compression = false) ~thread_capacity () =
+  {
+    (* Union by rank only by default: finds are read-only (Section 5).
+       Compression implements the Section 7 conjecture. *)
+    uf = Uf.create { Uf.path_compression };
+    set_of = Array.make thread_capacity None;
+    frames = Hashtbl.create 64;
+    ops = 0;
+  }
+
+let bags t frame_id =
+  match Hashtbl.find_opt t.frames frame_id with
+  | Some b -> b
+  | None ->
+      let b = { sbag = None; pbag = None } in
+      Hashtbl.add t.frames frame_id b;
+      b
+
+let set_of t tid =
+  match t.set_of.(tid) with
+  | Some s -> s
+  | None -> invalid_arg "Local_tier: thread not started"
+
+(* Union a set into a bag slot, retagging the merged set.  A bag only
+   ever aggregates threads of one trace epoch: the frame's bags are
+   moved out at splits and sealed at trace switches. *)
+let into_bag t slot_get slot_set kind trace set =
+  t.ops <- t.ops + 1;
+  match slot_get () with
+  | None ->
+      Uf.set_payload t.uf set { trace; kind };
+      slot_set (Some set)
+  | Some bag ->
+      assert ((Uf.payload t.uf bag).trace == trace);
+      Uf.union t.uf ~into:bag set
+
+let thread_started t ~tid ~frame_id trace =
+  let b = bags t frame_id in
+  let set = Uf.make_set t.uf { trace; kind = S_bag } in
+  t.set_of.(tid) <- Some set;
+  t.ops <- t.ops + 1;
+  into_bag t (fun () -> b.sbag) (fun s -> b.sbag <- s) S_bag trace set
+
+let child_returned t ~child_frame ~parent_frame ~merge =
+  let cb = bags t child_frame in
+  (* The final sync of the child merged its P-bag into its S-bag. *)
+  assert (cb.pbag = None);
+  (match (merge, cb.sbag) with
+  | true, Some child_set ->
+      let pb = bags t parent_frame in
+      let trace = (Uf.payload t.uf child_set).trace in
+      into_bag t (fun () -> pb.pbag) (fun s -> pb.pbag <- s) P_bag trace child_set
+  | _ -> ());
+  Hashtbl.remove t.frames child_frame
+
+let block_ended t ~frame_id =
+  let b = bags t frame_id in
+  match (b.sbag, b.pbag) with
+  | _, None -> ()
+  | None, Some p ->
+      (* Everything in the block was spawned: the P-bag becomes serial
+         history wholesale. *)
+      let trace = (Uf.payload t.uf p).trace in
+      Uf.set_payload t.uf p { trace; kind = S_bag };
+      b.sbag <- Some p;
+      b.pbag <- None;
+      t.ops <- t.ops + 1
+  | Some s, Some p ->
+      let trace = (Uf.payload t.uf s).trace in
+      Uf.union t.uf ~into:s p;
+      Uf.set_payload t.uf s { trace; kind = S_bag };
+      b.pbag <- None;
+      t.ops <- t.ops + 1
+
+let seal_bags t ~frame_id =
+  let b = bags t frame_id in
+  b.sbag <- None;
+  b.pbag <- None
+
+let split t ~frame_id ~u1 ~u2 =
+  let b = bags t frame_id in
+  (match b.sbag with
+  | Some s -> Uf.set_payload t.uf s { trace = u1; kind = S_bag }
+  | None -> ());
+  (match b.pbag with
+  | Some p -> Uf.set_payload t.uf p { trace = u2; kind = P_bag }
+  | None -> ());
+  b.sbag <- None;
+  b.pbag <- None;
+  t.ops <- t.ops + 2
+
+(* [Uf.find] mutates nothing when the forest was configured without
+   path compression (the Section 5 default), so FIND-TRACE is read-only
+   exactly when it must be; with the Section 7 conjecture configuration
+   it compresses. *)
+let find_trace t ~tid =
+  t.ops <- t.ops + 1;
+  (Uf.payload t.uf (Uf.find t.uf (set_of t tid))).trace
+
+let kind_of t tid = (Uf.payload t.uf (Uf.find t.uf (set_of t tid))).kind
+
+let local_precedes t ~tid =
+  t.ops <- t.ops + 1;
+  kind_of t tid = S_bag
+
+let local_parallel t ~tid =
+  t.ops <- t.ops + 1;
+  kind_of t tid = P_bag
+
+let started t ~tid = t.set_of.(tid) <> None
+
+let ops t = t.ops
+
+let find_count t = Uf.find_count t.uf
+
+let find_steps t = Uf.find_steps t.uf

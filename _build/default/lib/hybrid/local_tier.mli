@@ -1,0 +1,76 @@
+(** SP-hybrid's local tier: SP-bags with traces (paper, Section 5).
+
+    Every executed thread lives in a disjoint-set; the payload at each
+    set's representative records (a) the {e trace} the set's threads
+    belong to — so FIND-TRACE is one read-only find — and (b) whether
+    the set is currently an S-bag or a P-bag relative to the executing
+    position of its procedure.
+
+    Bags belong to procedure activations (frames, keyed by their
+    scheduler id): the S-bag holds the frame's completed work that
+    precedes its current position, the P-bag the threads of returned
+    children that run parallel to it.  A SPLIT moves the stolen frame's
+    two bags wholesale into the subtraces U{^(1)} and U{^(2)} — two
+    payload writes, the O(1) split the paper gets from SP-bags — and
+    resets them.
+
+    Per Section 5, the disjoint-set forest uses union by rank {e
+    without} path compression, so FIND-TRACE never mutates shared state
+    (O(lg n) worst-case finds). *)
+
+type t
+
+val create : ?path_compression:bool -> thread_capacity:int -> unit -> t
+(** [path_compression] defaults to false, the configuration Section 5
+    mandates for concurrent FIND-TRACE.  Setting it true implements the
+    Section 7 conjecture (compression is safe when finds are serialized
+    — as they are under the deterministic simulator — or done with
+    compare-and-swap); the ablation benchmark measures what it buys. *)
+
+val thread_started : t -> tid:int -> frame_id:int -> Global_tier.trace -> unit
+(** Insert a thread into the given trace (Figure 8 line 3) and into its
+    frame's S-bag: it precedes everything the frame does next. *)
+
+val child_returned : t -> child_frame:int -> parent_frame:int -> merge:bool -> unit
+(** A procedure returned.  With [merge] (the parent continues inline in
+    the same trace) the child's accumulated set joins the parent's
+    P-bag — its threads run logically in parallel with the rest of the
+    parent's sync block.  Without [merge] (the continuation was stolen)
+    the child's sets stay behind in their own trace; cross-trace
+    relations are the global tier's job. *)
+
+val block_ended : t -> frame_id:int -> unit
+(** The sync at the end of a block: S-bag ∪= P-bag (everything spawned
+    in the block is serial before whatever follows the join). *)
+
+val split : t -> frame_id:int -> u1:Global_tier.trace -> u2:Global_tier.trace -> unit
+(** O(1) SPLIT: the frame's S-bag becomes U{^(1)}'s thread set, its
+    P-bag becomes U{^(2)}'s; the frame's bags restart empty. *)
+
+val seal_bags : t -> frame_id:int -> unit
+(** Restart the frame's bags without retagging the old sets — used when
+    the frame switches trace at a join (U{^(4)} → U{^(5)}): threads
+    already bagged stay in their old trace, and relations to them are
+    the global tier's job from now on. *)
+
+val find_trace : t -> tid:int -> Global_tier.trace
+(** FIND-TRACE: the trace the thread currently belongs to.  In the
+    default (no-compression) configuration the find is read-only, safe
+    under concurrent readers, as Section 5 requires. *)
+
+val local_precedes : t -> tid:int -> bool
+(** LOCAL-PRECEDES against the currently executing thread of the same
+    trace: true iff the thread's set is an S-bag. *)
+
+val local_parallel : t -> tid:int -> bool
+
+val started : t -> tid:int -> bool
+
+val ops : t -> int
+(** Local-tier operation count (bucket B3 accounting). *)
+
+val find_count : t -> int
+
+val find_steps : t -> int
+(** Parent hops over all finds; [find_steps / find_count] is the mean
+    find depth (see {!create} on the Section 7 conjecture). *)

@@ -1,0 +1,79 @@
+(** SP-hybrid — the paper's parallel SP-maintenance algorithm
+    (Sections 3–7), instrumented onto the work-stealing simulator.
+
+    Construct a maintainer with {!create}, then run the program through
+    {!Spr_sched.Sim.run} with {!hooks}.  The hooks implement Figure 8:
+
+    - a thread is inserted into its frame's current trace before it
+      executes (line 3);
+    - a steal splits the victim's trace into five subtraces, performs
+      the two OM-MULTI-INSERTs on the global tier under the global lock
+      (lines 19–24), moves the stolen frame's S-/P-bags to U{^(1)} and
+      U{^(2)} in O(1), and continues the stolen continuation in
+      U{^(4)};
+    - passing the sync block's join switches the frame to U{^(5)}
+      (line 27);
+    - a procedure returning inline hands its trace to the parent's
+      continuation (the U′ threading of lines 8–18).
+
+    Queries follow Figure 9: one operand must be the {e currently
+    executing} thread; same-trace pairs go to the local tier, others to
+    the two global orderings.
+
+    Virtual-time accounting mirrors Theorem 10's buckets: the returned
+    hook charges include global-insert lock holding (B2), local-tier
+    work (B3) and lock waiting (B4); steal-attempt buckets (B6/B7) are
+    classified by the simulator via [lock_busy]. *)
+
+type cost_model = {
+  local_op : int;  (** ticks per local-tier disjoint-set operation *)
+  global_insert : int;  (** ticks the global lock is held per split *)
+  query : int;  (** ticks per SP-PRECEDES query (charged by clients) *)
+}
+
+val default_costs : cost_model
+
+type t
+
+val create : ?costs:cost_model -> ?local_path_compression:bool -> Spr_prog.Fj_program.t -> t
+(** [local_path_compression] (default false) enables path compression
+    in the local tier's disjoint sets — the Section 7 conjecture; safe
+    whenever finds are serialized (they are under the simulator), and
+    measured by the ablation benchmark. *)
+
+val hooks :
+  ?on_thread_user:(t -> wid:int -> now:int -> Spr_prog.Fj_program.thread -> int) ->
+  t ->
+  Spr_sched.Sim.hooks
+(** Scheduler hooks driving this maintainer.  [on_thread_user] fires
+    after the thread has been inserted (so it may issue queries against
+    it as the currently executing thread — this is where a race
+    detector lives); its result is added to the virtual-time charge. *)
+
+val precedes : t -> executed:int -> current:int -> bool
+(** SP-PRECEDES (Figure 9): did thread [executed] logically precede
+    [current]?  [current] must be a currently (or most recently)
+    executing thread — the weaker query semantics of Section 3. *)
+
+val parallel : t -> executed:int -> current:int -> bool
+
+val find_trace_id : t -> tid:int -> int
+(** Trace currently containing the thread (tests/examples). *)
+
+type stats = {
+  splits : int;  (** successful steals seen = s *)
+  traces : int;  (** 4s + 1 *)
+  local_ops : int;  (** local-tier operations (bucket B3) *)
+  global_insert_ticks : int;  (** bucket B2 *)
+  lock_wait_ticks : int;  (** bucket B4 *)
+  query_ticks : int;  (** query charges issued through [charge_query] *)
+  query_retries : int;  (** failed lock-free attempts (bucket B5) *)
+  uf_finds : int;  (** disjoint-set finds in the local tier *)
+  uf_find_steps : int;  (** parent hops across those finds *)
+}
+
+val stats : t -> stats
+
+val charge_query : t -> int
+(** Ticks to charge for one query under the cost model (adds to the
+    query accounting; race detectors call this per query). *)

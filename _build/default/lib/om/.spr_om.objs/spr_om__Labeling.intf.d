@@ -1,0 +1,1 @@
+lib/om/labeling.mli:

@@ -1,0 +1,1 @@
+lib/om/om.ml: Labeling List Om_intf Option

@@ -1,0 +1,1 @@
+lib/om/om.mli: Om_intf

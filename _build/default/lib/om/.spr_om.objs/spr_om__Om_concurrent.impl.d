@@ -1,0 +1,1 @@
+lib/om/om_concurrent.ml: Array Atomic Fun Labeling List Mutex Om_intf Option

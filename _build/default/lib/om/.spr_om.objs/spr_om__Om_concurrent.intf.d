@@ -1,0 +1,1 @@
+lib/om/om_concurrent.mli: Om_intf

@@ -1,0 +1,1 @@
+lib/om/om_concurrent2.ml: Array Atomic Fun Labeling List Mutex Om_intf Option

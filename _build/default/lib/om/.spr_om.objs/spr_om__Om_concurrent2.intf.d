@@ -1,0 +1,1 @@
+lib/om/om_concurrent2.mli: Om_intf

@@ -1,0 +1,1 @@
+lib/om/om_file.ml: List Om_intf

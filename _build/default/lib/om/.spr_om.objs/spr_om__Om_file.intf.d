@@ -1,0 +1,1 @@
+lib/om/om_file.mli: Om_intf

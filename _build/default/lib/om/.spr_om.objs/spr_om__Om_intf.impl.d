@@ -1,0 +1,1 @@
+lib/om/om_intf.ml:

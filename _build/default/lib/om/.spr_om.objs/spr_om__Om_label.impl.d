@@ -1,0 +1,1 @@
+lib/om/om_label.ml: Labeling List Om_intf

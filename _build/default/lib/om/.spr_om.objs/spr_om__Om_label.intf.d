@@ -1,0 +1,1 @@
+lib/om/om_label.mli: Om_intf

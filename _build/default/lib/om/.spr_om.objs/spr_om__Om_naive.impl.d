@@ -1,0 +1,1 @@
+lib/om/om_naive.ml: List

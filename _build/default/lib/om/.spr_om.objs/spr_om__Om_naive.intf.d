@@ -1,0 +1,1 @@
+lib/om/om_naive.mli: Om_intf

@@ -1,0 +1,63 @@
+(* OCaml ints are 63-bit; 60 bits of tag space leaves headroom for the
+   midpoint arithmetic without overflow. *)
+let universe_bits = 60
+
+let universe = 1 lsl universe_bits
+
+module type LINKED = sig
+  type elt
+
+  val tag : elt -> int
+  val prev : elt -> elt option
+  val next : elt -> elt option
+end
+
+module Make (L : LINKED) = struct
+  let gap_after x =
+    let hi = match L.next x with Some y -> L.tag y | None -> universe in
+    hi - L.tag x - 1
+
+  (* Walk left/right from [x] collecting the contiguous sublist whose
+     tags lie in [lo, lo+width).  Tags increase along the list, so the
+     members of an enclosing range always form a contiguous sublist. *)
+  let range_members x lo hi =
+    let rec leftmost e =
+      match L.prev e with
+      | Some p when L.tag p >= lo -> leftmost p
+      | _ -> e
+    in
+    let first = leftmost x in
+    let rec count e acc =
+      match L.next e with
+      | Some nxt when L.tag nxt < hi -> count nxt (acc + 1)
+      | _ -> acc
+    in
+    (first, count first 1)
+
+  let find_range ~t_param x =
+    if t_param <= 1.0 || t_param >= 2.0 then
+      invalid_arg "Labeling.find_range: T must lie in (1, 2)";
+    let ratio = 2.0 /. t_param in
+    let rec search i threshold =
+      if i > universe_bits then
+        failwith "Labeling.find_range: tag universe exhausted"
+      else begin
+        let width = 1 lsl i in
+        let lo = L.tag x land lnot (width - 1) in
+        let first, count = range_members x lo (lo + width) in
+        (* Relabel only when sparse enough for amortization *and* the
+           respread leaves real gaps (width/count >= 8). *)
+        if float_of_int count <= threshold && width >= 8 * count then
+          (first, count, lo, width)
+        else search (i + 1) (threshold *. ratio)
+      end
+    in
+    search 1 ratio
+
+  let target ~lo ~width ~count j =
+    if j < 0 || j >= count then invalid_arg "Labeling.target: index out of range";
+    (* Midpoint of the j-th of [count] equal cells; integer arithmetic
+       is safe because width <= 2^60 and count >= 1. *)
+    let cell = width / count in
+    lo + (j * cell) + (cell / 2)
+end

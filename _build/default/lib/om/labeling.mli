@@ -1,0 +1,53 @@
+(** Shared tag-range machinery for label-based order maintenance.
+
+    The label-based OM structures ([Om_label], [Om], [Om_concurrent])
+    all assign integer {e tags} from a 60-bit universe to list elements
+    such that list order equals tag order.  When an insertion finds no
+    free tag between two neighbours, the structure {e rebalances}: it
+    finds the smallest enclosing tag range — aligned, of width 2{^i} —
+    that is sparse enough (density below (2/T){^i}/2{^i} for a tuning
+    constant 1 < T < 2, after Bender–Cole–Demaine–Farach-Colton–Zito),
+    and respreads that range's elements evenly.  This yields O(lg n)
+    amortized relabels per insertion for the one-level structure and is
+    the building block of the O(1) two-level structure.
+
+    This module factors out the range search and target-tag arithmetic
+    so that each structure only implements its own relabel {e commit}
+    (the concurrent one needs the paper's five-pass protocol). *)
+
+val universe_bits : int
+(** Tag universe is [\[0, 2{^universe_bits})]; 60, so tags and their
+    midpoint arithmetic stay within non-negative OCaml ints. *)
+
+val universe : int
+(** [2{^universe_bits}]. *)
+
+(** Access to the linked structure being rebalanced.  [prev]/[next]
+    traverse the total order; [None] at either end. *)
+module type LINKED = sig
+  type elt
+
+  val tag : elt -> int
+  val prev : elt -> elt option
+  val next : elt -> elt option
+end
+
+module Make (L : LINKED) : sig
+  val gap_after : L.elt -> int
+  (** Free tag slots strictly between [x] and its successor (the end of
+      the universe acts as the right boundary). *)
+
+  val find_range : t_param:float -> L.elt -> L.elt * int * int * int
+  (** [find_range ~t_param x] is [(leftmost, count, lo, width)]: the
+      smallest aligned enclosing range of some width [2{^i}] around [x]
+      that is sparse enough to relabel ([count] elements currently in
+      [\[lo, lo+width)], [leftmost] being the first).  Sparse enough
+      means [count <= (2/T)^i] {e and} [width / count >= 8] so that the
+      even respread leaves usable gaps.
+      @raise Failure if the universe itself is too dense (capacity). *)
+
+  val target : lo:int -> width:int -> count:int -> int -> int
+  (** [target ~lo ~width ~count j] is the evenly spread tag of the
+      [j]th (0-based) of [count] elements: the midpoint of the [j]th of
+      [count] equal cells of [\[lo, lo+width)]. *)
+end

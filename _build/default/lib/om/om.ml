@@ -1,0 +1,222 @@
+(* Two-level order maintenance.  Buckets hold at most [capacity] items;
+   since capacity = 62 >= lg n for any feasible n, this matches the
+   Theta(lg n) bucket size of the classical construction and yields O(1)
+   amortized insertions overall. *)
+
+let capacity = 62
+
+type item = {
+  mutable ltag : int;
+  mutable iprev : item option;
+  mutable inext : item option;
+  mutable bkt : bucket;
+  mutable alive : bool;
+}
+
+and bucket = {
+  mutable btag : int;
+  mutable bprev : bucket option;
+  mutable bnext : bucket option;
+  mutable first : item option;
+  mutable bsize : int;
+}
+
+type elt = item
+
+type t = {
+  base_item : item;
+  t_param : float;
+  mutable size : int;
+  mutable nbuckets : int;
+  st : Om_intf.stats;
+}
+
+let name = "om-two-level"
+
+module Top = Labeling.Make (struct
+  type elt = bucket
+
+  let tag b = b.btag
+  let prev b = b.bprev
+  let next b = b.bnext
+end)
+
+let create () =
+  let rec b = { btag = 0; bprev = None; bnext = None; first = Some base_item; bsize = 1 }
+  and base_item =
+    { ltag = Labeling.universe / 2; iprev = None; inext = None; bkt = b; alive = true }
+  in
+  { base_item; t_param = 1.3; size = 1; nbuckets = 1; st = Om_intf.fresh_stats () }
+
+let base t = t.base_item
+
+let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
+
+(* ------------------------------------------------------------------ *)
+(* Top level: bucket tags via one-level labeling.                      *)
+
+let top_rebalance t b =
+  let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
+  t.st.rebalances <- t.st.rebalances + 1;
+  t.st.relabels <- t.st.relabels + count;
+  if count > t.st.max_range then t.st.max_range <- count;
+  let rec assign bk j =
+    bk.btag <- Top.target ~lo ~width ~count j;
+    if j + 1 < count then
+      match bk.bnext with
+      | Some nxt -> assign nxt (j + 1)
+      | None -> assert false
+  in
+  assign first 0
+
+(* Fresh empty bucket placed immediately after [b] in the top order. *)
+let new_bucket_after t b =
+  if Top.gap_after b < 1 then top_rebalance t b;
+  let gap = Top.gap_after b in
+  assert (gap >= 1);
+  let b' =
+    { btag = b.btag + 1 + ((gap - 1) / 2); bprev = Some b; bnext = b.bnext; first = None; bsize = 0 }
+  in
+  (match b.bnext with Some n -> n.bprev <- Some b' | None -> ());
+  b.bnext <- Some b';
+  t.nbuckets <- t.nbuckets + 1;
+  b'
+
+(* ------------------------------------------------------------------ *)
+(* Bottom level: local tags inside one bucket.                         *)
+
+(* Spread the [bsize] items of [b] evenly across the local universe. *)
+let respace b =
+  let count = b.bsize in
+  if count > 0 then begin
+    let cell = Labeling.universe / count in
+    let rec assign it j =
+      it.ltag <- (j * cell) + (cell / 2);
+      match it.inext with Some nxt -> assign nxt (j + 1) | None -> ()
+    in
+    match b.first with Some f -> assign f 0 | None -> assert false
+  end
+
+(* Split a full bucket: move its upper half into a fresh bucket placed
+   right after it, then respace both halves. *)
+let split t b =
+  let keep = b.bsize / 2 in
+  let rec nth it j = if j = 0 then it else nth (Option.get it.inext) (j - 1) in
+  let last_kept = nth (Option.get b.first) (keep - 1) in
+  let moved_first = Option.get last_kept.inext in
+  let b' = new_bucket_after t b in
+  last_kept.inext <- None;
+  moved_first.iprev <- None;
+  b'.first <- Some moved_first;
+  b'.bsize <- b.bsize - keep;
+  b.bsize <- keep;
+  let rec claim it =
+    it.bkt <- b';
+    match it.inext with Some nxt -> claim nxt | None -> ()
+  in
+  claim moved_first;
+  respace b;
+  respace b'
+
+let local_gap_after x =
+  let hi = match x.inext with Some y -> y.ltag | None -> Labeling.universe in
+  hi - x.ltag - 1
+
+let insert_after t x =
+  check_alive "Om.insert_after" x;
+  if x.bkt.bsize >= capacity then split t x.bkt;
+  let b = x.bkt in
+  if local_gap_after x < 1 then respace b;
+  let gap = local_gap_after x in
+  assert (gap >= 1);
+  let y =
+    { ltag = x.ltag + 1 + ((gap - 1) / 2); iprev = Some x; inext = x.inext; bkt = b; alive = true }
+  in
+  (match x.inext with Some n -> n.iprev <- Some y | None -> ());
+  x.inext <- Some y;
+  b.bsize <- b.bsize + 1;
+  t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
+  y
+
+let insert_before t x =
+  check_alive "Om.insert_before" x;
+  match x.iprev with
+  | Some p -> insert_after t p
+  | None ->
+      (* [x] heads its bucket. *)
+      if x.bkt.bsize >= capacity then split t x.bkt;
+      let b = x.bkt in
+      if x.ltag < 1 then respace b;
+      assert (x.ltag >= 1);
+      let y = { ltag = x.ltag / 2; iprev = None; inext = Some x; bkt = b; alive = true } in
+      x.iprev <- Some y;
+      b.first <- Some y;
+      b.bsize <- b.bsize + 1;
+      t.size <- t.size + 1;
+      t.st.inserts <- t.st.inserts + 1;
+      y
+
+let insert_many_after t x k =
+  let rec go anchor k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let y = insert_after t anchor in
+      go y (k - 1) (y :: acc)
+    end
+  in
+  go x k []
+
+let precedes _t x y =
+  check_alive "Om.precedes" x;
+  check_alive "Om.precedes" y;
+  if x.bkt == y.bkt then x.ltag < y.ltag else x.bkt.btag < y.bkt.btag
+
+let delete t e =
+  check_alive "Om.delete" e;
+  if e == t.base_item then invalid_arg "Om.delete: cannot delete base";
+  let b = e.bkt in
+  (match e.iprev with Some p -> p.inext <- e.inext | None -> b.first <- e.inext);
+  (match e.inext with Some n -> n.iprev <- e.iprev | None -> ());
+  e.alive <- false;
+  b.bsize <- b.bsize - 1;
+  t.size <- t.size - 1;
+  if b.bsize = 0 then begin
+    (match b.bprev with Some p -> p.bnext <- b.bnext | None -> ());
+    (match b.bnext with Some n -> n.bprev <- b.bprev | None -> ());
+    t.nbuckets <- t.nbuckets - 1
+  end
+
+let size t = t.size
+
+let stats t = t.st
+
+let bucket_count t = t.nbuckets
+
+let check_invariants t =
+  (* Find the first bucket by walking left from the base's bucket. *)
+  let rec head b = match b.bprev with Some p -> head p | None -> b in
+  let rec check_bucket b prev_btag total nbuckets =
+    (match prev_btag with
+    | Some pt when pt >= b.btag -> failwith "Om.check_invariants: bucket tags not increasing"
+    | _ -> ());
+    let rec check_items it prev_ltag n =
+      (match prev_ltag with
+      | Some pl when pl >= it.ltag -> failwith "Om.check_invariants: local tags not increasing"
+      | _ -> ());
+      if not (it.bkt == b) then failwith "Om.check_invariants: stale bucket pointer";
+      if not it.alive then failwith "Om.check_invariants: dead item linked";
+      match it.inext with
+      | Some nxt -> check_items nxt (Some it.ltag) (n + 1)
+      | None -> n + 1
+    in
+    let n = match b.first with Some f -> check_items f None 0 | None -> 0 in
+    if n <> b.bsize then failwith "Om.check_invariants: bucket size mismatch";
+    if n = 0 then failwith "Om.check_invariants: empty bucket linked";
+    match b.bnext with
+    | Some nxt -> check_bucket nxt (Some b.btag) (total + n) (nbuckets + 1)
+    | None -> (total + n, nbuckets + 1)
+  in
+  let total, nbuckets = check_bucket (head t.base_item.bkt) None 0 0 in
+  if total <> t.size then failwith "Om.check_invariants: size mismatch";
+  if nbuckets <> t.nbuckets then failwith "Om.check_invariants: bucket count mismatch"

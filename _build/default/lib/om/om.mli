@@ -1,0 +1,31 @@
+(** Two-level order maintenance: O(1) amortized insert, O(1) worst-case
+    query.
+
+    This is the structure the paper's SP-order algorithm relies on
+    (citations [10, 15, 17, 33] there).  Elements are grouped into
+    {e buckets} of at most 62 items; bucket order is maintained by
+    one-level list labeling over a 60-bit tag universe (cost O(lg #buckets)
+    amortized per bucket creation, and a bucket is created at most every
+    31 insertions, so per-element cost is O(1) — 62 >= lg n for every
+    feasible n), and items inside a bucket carry evenly spread local
+    tags.  A query compares (bucket tag, local tag) lexicographically:
+    two integer comparisons, O(1) worst case.
+
+    Use this implementation in anything performance-sensitive; use
+    {!Om_naive} as the specification and {!Om_label} when you want to
+    observe one-level rebalancing behaviour. *)
+
+include Om_intf.S
+
+val stats : t -> Om_intf.stats
+(** Counters for the {e top level} (bucket) labeling: rebalances,
+    relabels, max range.  [inserts] counts element insertions. *)
+
+val bucket_count : t -> int
+(** Number of live buckets (introspection). *)
+
+val check_invariants : t -> unit
+(** Walk the whole structure and verify ordering invariants: bucket
+    tags strictly increase, local tags strictly increase within each
+    bucket, sizes are consistent.  Test hook; O(n).
+    @raise Failure on violation. *)

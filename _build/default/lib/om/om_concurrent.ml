@@ -1,0 +1,188 @@
+type elt = {
+  label : int Atomic.t;
+  stamp : int Atomic.t;
+  mutable prev : elt option;
+  mutable next : elt option;
+  mutable alive : bool;
+}
+
+type t = {
+  base_elt : elt;
+  lock : Mutex.t;
+  t_param : float;
+  mutable size : int;
+  st : Om_intf.stats;
+  retries : int Atomic.t;
+}
+
+let name = "om-concurrent"
+
+module Lab = Labeling.Make (struct
+  type nonrec elt = elt
+
+  let tag e = Atomic.get e.label
+  let prev e = e.prev
+  let next e = e.next
+end)
+
+let mk_elt label prev next =
+  { label = Atomic.make label; stamp = Atomic.make 0; prev; next; alive = true }
+
+let create () =
+  let base_elt = mk_elt 0 None None in
+  {
+    base_elt;
+    lock = Mutex.create ();
+    t_param = 1.3;
+    size = 1;
+    st = Om_intf.fresh_stats ();
+    retries = Atomic.make 0;
+  }
+
+let base t = t.base_elt
+
+let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
+
+(* Five-pass rebalance; caller holds [t.lock]. *)
+let rebalance t x =
+  (* Pass 1: choose the range. *)
+  let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
+  t.st.rebalances <- t.st.rebalances + 1;
+  t.st.relabels <- t.st.relabels + count;
+  if count > t.st.max_range then t.st.max_range <- count;
+  let members = Array.make count first in
+  let rec collect e j =
+    members.(j) <- e;
+    if j + 1 < count then collect (Option.get e.next) (j + 1)
+  in
+  collect first 0;
+  (* Pass 2: bump stamps — queries overlapping pass 3 will notice. *)
+  Array.iter (fun e -> Atomic.incr e.stamp) members;
+  (* Pass 3: minimal labels, left to right.  Item j has at least j
+     distinct labels >= lo below it inside the range, so lo + j only
+     ever decreases a label and order is preserved pointwise. *)
+  Array.iteri (fun j e -> Atomic.set e.label (lo + j)) members;
+  (* Pass 4: bump stamps again — queries overlapping pass 5 retry. *)
+  Array.iter (fun e -> Atomic.incr e.stamp) members;
+  (* Pass 5: final evenly spread labels, right to left (labels only
+     increase, so going right-to-left preserves order throughout). *)
+  for j = count - 1 downto 0 do
+    Atomic.set members.(j).label (Lab.target ~lo ~width ~count j)
+  done
+
+(* Insertion primitives; caller holds [t.lock]. *)
+let insert_after_locked t x =
+  check_alive "Om_concurrent.insert_after" x;
+  if Lab.gap_after x < 1 then rebalance t x;
+  let gap = Lab.gap_after x in
+  assert (gap >= 1);
+  let y = mk_elt (Atomic.get x.label + 1 + ((gap - 1) / 2)) (Some x) x.next in
+  (match x.next with Some n -> n.prev <- Some y | None -> ());
+  x.next <- Some y;
+  t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
+  y
+
+let insert_before_locked t x =
+  check_alive "Om_concurrent.insert_before" x;
+  match x.prev with
+  | Some p -> insert_after_locked t p
+  | None ->
+      if Atomic.get x.label < 1 then rebalance t x;
+      let xl = Atomic.get x.label in
+      assert (xl >= 1);
+      let y = mk_elt (xl / 2) None (Some x) in
+      x.prev <- Some y;
+      t.size <- t.size + 1;
+      t.st.inserts <- t.st.inserts + 1;
+      y
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let insert_after t x = with_lock t (fun () -> insert_after_locked t x)
+
+let insert_before t x = with_lock t (fun () -> insert_before_locked t x)
+
+let insert_many_after t x k =
+  with_lock t (fun () ->
+      let rec go anchor k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let y = insert_after_locked t anchor in
+          go y (k - 1) (y :: acc)
+        end
+      in
+      go x k [])
+
+let insert_around t x ~before ~after =
+  with_lock t (fun () ->
+      let rec go_before anchor k acc =
+        if k = 0 then acc
+        else begin
+          let y = insert_before_locked t anchor in
+          go_before y (k - 1) (y :: acc)
+        end
+      in
+      (* Building right-to-left keeps the returned list in order. *)
+      let befores = go_before x before [] in
+      let rec go_after anchor k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let y = insert_after_locked t anchor in
+          go_after y (k - 1) (y :: acc)
+        end
+      in
+      let afters = go_after x after [] in
+      (befores, afters))
+
+(* Lock-free query with double-read validation. *)
+let precedes t x y =
+  check_alive "Om_concurrent.precedes" x;
+  check_alive "Om_concurrent.precedes" y;
+  let rec attempt () =
+    let xl1 = Atomic.get x.label in
+    let xs1 = Atomic.get x.stamp in
+    let yl1 = Atomic.get y.label in
+    let ys1 = Atomic.get y.stamp in
+    let xl2 = Atomic.get x.label in
+    let xs2 = Atomic.get x.stamp in
+    let yl2 = Atomic.get y.label in
+    let ys2 = Atomic.get y.stamp in
+    if xl1 = xl2 && xs1 = xs2 && yl1 = yl2 && ys1 = ys2 then xl1 < yl1
+    else begin
+      Atomic.incr t.retries;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let delete t e =
+  with_lock t (fun () ->
+      check_alive "Om_concurrent.delete" e;
+      if e == t.base_elt then invalid_arg "Om_concurrent.delete: cannot delete base";
+      (match e.prev with Some p -> p.next <- e.next | None -> ());
+      (match e.next with Some n -> n.prev <- e.prev | None -> ());
+      e.alive <- false;
+      t.size <- t.size - 1)
+
+let size t = t.size
+
+let query_retries t = Atomic.get t.retries
+
+let stats t = t.st
+
+let check_invariants t =
+  with_lock t (fun () ->
+      let rec head e = match e.prev with Some p -> head p | None -> e in
+      let rec walk e n =
+        match e.next with
+        | Some nxt ->
+            if Atomic.get e.label >= Atomic.get nxt.label then
+              failwith "Om_concurrent.check_invariants: labels not increasing";
+            walk nxt (n + 1)
+        | None -> n + 1
+      in
+      let n = walk (head t.base_elt) 0 in
+      if n <> t.size then failwith "Om_concurrent.check_invariants: size mismatch")

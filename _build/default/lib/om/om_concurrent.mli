@@ -1,0 +1,39 @@
+(** Concurrent order maintenance — the global tier's engine (Section 4).
+
+    Insertions serialize through a mutex (the paper's global lock), but
+    [precedes] is {e lock-free}: each element carries an atomic label
+    and an atomic timestamp; a query reads (label, stamp) of X, then Y,
+    then X again, then Y again, and succeeds only if both second
+    readings match the first — otherwise it retries.  A rebalance
+    (performed while holding the insertion lock) follows the paper's
+    five passes:
+
+    + determine the range of items to rebalance;
+    + increment every member's timestamp (first pass begins);
+    + assign minimal labels left-to-right (labels only decrease);
+    + increment every member's timestamp (second pass begins);
+    + assign final evenly spread labels right-to-left (labels only
+      increase).
+
+    Relative order therefore never changes mid-rebalance, and a query
+    that witnesses a torn view is guaranteed to observe a timestamp
+    change and retry.  Failed attempts are counted so EXP-OM can verify
+    the "O(1) failed queries per processor per insertion" accounting of
+    Theorem 10's bucket B5. *)
+
+include Om_intf.S
+
+val insert_around : t -> elt -> before:int -> after:int -> elt list * elt list
+(** [insert_around l x ~before ~after] atomically (under one lock
+    acquisition) inserts [before] fresh elements immediately before [x]
+    (returned in order) and [after] fresh elements immediately after
+    [x] (in order).  This is exactly the shape OM-MULTI-INSERT needs in
+    Figure 8 lines 21–22. *)
+
+val query_retries : t -> int
+(** Total failed-and-retried query attempts so far. *)
+
+val stats : t -> Om_intf.stats
+
+val check_invariants : t -> unit
+(** Verify label monotonicity along the list (takes the lock; O(n)). *)

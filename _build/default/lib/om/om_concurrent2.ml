@@ -1,0 +1,360 @@
+let capacity = 62
+
+type bucket = {
+  blabel : int Atomic.t;
+  bstamp : int Atomic.t;
+  mutable bprev : bucket option;  (* link fields: writers only, under the lock *)
+  mutable bnext : bucket option;
+  mutable bfirst : item option;
+  mutable bsize : int;
+}
+
+and item = {
+  label : int Atomic.t;
+  stamp : int Atomic.t;
+  bkt : bucket Atomic.t;
+  mutable iprev : item option;
+  mutable inext : item option;
+  mutable alive : bool;
+}
+
+type elt = item
+
+type t = {
+  base_item : item;
+  lock : Mutex.t;
+  t_param : float;
+  mutable size : int;
+  mutable nbuckets : int;
+  st : Om_intf.stats;
+  retries : int Atomic.t;
+}
+
+let name = "om-concurrent-2level"
+
+module Top = Labeling.Make (struct
+  type elt = bucket
+
+  let tag b = Atomic.get b.blabel
+  let prev b = b.bprev
+  let next b = b.bnext
+end)
+
+let create () =
+  (* Tie the bucket/item knot through the atomic pointer. *)
+  let dummy =
+    { blabel = Atomic.make 0; bstamp = Atomic.make 0; bprev = None; bnext = None; bfirst = None; bsize = 0 }
+  in
+  let base_item =
+    {
+      label = Atomic.make (Labeling.universe / 2);
+      stamp = Atomic.make 0;
+      bkt = Atomic.make dummy;
+      iprev = None;
+      inext = None;
+      alive = true;
+    }
+  in
+  let b =
+    {
+      blabel = Atomic.make 0;
+      bstamp = Atomic.make 0;
+      bprev = None;
+      bnext = None;
+      bfirst = Some base_item;
+      bsize = 1;
+    }
+  in
+  Atomic.set base_item.bkt b;
+  {
+    base_item;
+    lock = Mutex.create ();
+    t_param = 1.3;
+    size = 1;
+    nbuckets = 1;
+    st = Om_intf.fresh_stats ();
+    retries = Atomic.make 0;
+  }
+
+let base t = t.base_item
+
+let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
+
+(* ------------------------------------------------------------------ *)
+(* Writer-side machinery (caller holds [t.lock]).  [dirty]/[clean]
+   bracket mutation batches with stamp increments; queries reject any
+   odd stamp. *)
+
+let dirty_item (x : item) = Atomic.incr x.stamp
+
+let clean_item (x : item) = Atomic.incr x.stamp
+
+let dirty_bucket (b : bucket) = Atomic.incr b.bstamp
+
+let clean_bucket (b : bucket) = Atomic.incr b.bstamp
+
+let iter_items b f =
+  let rec go = function
+    | Some it ->
+        f it;
+        go it.inext
+    | None -> ()
+  in
+  go b.bfirst
+
+(* Evenly respace the items of one bucket over the local universe. *)
+let respace t b =
+  iter_items b dirty_item;
+  let count = b.bsize in
+  let cell = Labeling.universe / (count + 1) in
+  let j = ref 0 in
+  iter_items b (fun it ->
+      incr j;
+      t.st.relabels <- t.st.relabels + 1;
+      Atomic.set it.label (!j * cell));
+  iter_items b clean_item
+
+(* Relabel the enclosing sparse range of buckets (one-level labeling on
+   the top list). *)
+let top_rebalance t b =
+  let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
+  t.st.rebalances <- t.st.rebalances + 1;
+  t.st.relabels <- t.st.relabels + count;
+  if count > t.st.max_range then t.st.max_range <- count;
+  let members = Array.make count first in
+  let rec collect bk j =
+    members.(j) <- bk;
+    if j + 1 < count then collect (Option.get bk.bnext) (j + 1)
+  in
+  collect first 0;
+  Array.iter dirty_bucket members;
+  Array.iteri (fun j bk -> Atomic.set bk.blabel (Top.target ~lo ~width ~count j)) members;
+  Array.iter clean_bucket members
+
+let new_bucket_after t b =
+  if Top.gap_after b < 1 then top_rebalance t b;
+  let gap = Top.gap_after b in
+  assert (gap >= 1);
+  let b' =
+    {
+      blabel = Atomic.make (Atomic.get b.blabel + 1 + ((gap - 1) / 2));
+      bstamp = Atomic.make 0;
+      bprev = Some b;
+      bnext = b.bnext;
+      bfirst = None;
+      bsize = 0;
+    }
+  in
+  (match b.bnext with Some n -> n.bprev <- Some b' | None -> ());
+  b.bnext <- Some b';
+  t.nbuckets <- t.nbuckets + 1;
+  b'
+
+(* Split a full bucket: fresh bucket after it takes the upper half.
+   All items of the old bucket are marked dirty for the duration, so
+   queries that touch them retry rather than observe the move. *)
+let split t b =
+  iter_items b dirty_item;
+  let b' = new_bucket_after t b in
+  let keep = b.bsize / 2 in
+  let rec nth it j = if j = 0 then it else nth (Option.get it.inext) (j - 1) in
+  let last_kept = nth (Option.get b.bfirst) (keep - 1) in
+  let moved_first = Option.get last_kept.inext in
+  last_kept.inext <- None;
+  moved_first.iprev <- None;
+  b'.bfirst <- Some moved_first;
+  b'.bsize <- b.bsize - keep;
+  b.bsize <- keep;
+  let rec claim = function
+    | Some it ->
+        Atomic.set it.bkt b';
+        claim it.inext
+    | None -> ()
+  in
+  claim (Some moved_first);
+  (* Respace both halves while everything is still dirty, then clean
+     every item (they all carried one dirty increment). *)
+  let assign b =
+    let cell = Labeling.universe / (b.bsize + 1) in
+    let j = ref 0 in
+    iter_items b (fun it ->
+        incr j;
+        t.st.relabels <- t.st.relabels + 1;
+        Atomic.set it.label (!j * cell))
+  in
+  assign b;
+  assign b';
+  iter_items b clean_item;
+  iter_items b' clean_item
+
+let local_gap_after (x : item) =
+  let hi = match x.inext with Some y -> Atomic.get y.label | None -> Labeling.universe in
+  hi - Atomic.get x.label - 1
+
+let mk_item label bkt iprev inext =
+  { label = Atomic.make label; stamp = Atomic.make 0; bkt = Atomic.make bkt; iprev; inext; alive = true }
+
+let insert_after_locked t x =
+  check_alive "Om_concurrent2.insert_after" x;
+  if (Atomic.get x.bkt).bsize >= capacity then split t (Atomic.get x.bkt);
+  let b = Atomic.get x.bkt in
+  if local_gap_after x < 1 then respace t b;
+  let gap = local_gap_after x in
+  assert (gap >= 1);
+  let y = mk_item (Atomic.get x.label + 1 + ((gap - 1) / 2)) b (Some x) x.inext in
+  (match x.inext with Some n -> n.iprev <- Some y | None -> ());
+  x.inext <- Some y;
+  b.bsize <- b.bsize + 1;
+  t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
+  y
+
+let insert_before_locked t x =
+  check_alive "Om_concurrent2.insert_before" x;
+  match x.iprev with
+  | Some p -> insert_after_locked t p
+  | None ->
+      if (Atomic.get x.bkt).bsize >= capacity then split t (Atomic.get x.bkt);
+      let b = Atomic.get x.bkt in
+      if Atomic.get x.label < 1 then respace t b;
+      let xl = Atomic.get x.label in
+      assert (xl >= 1);
+      let y = mk_item (xl / 2) b None (Some x) in
+      x.iprev <- Some y;
+      b.bfirst <- Some y;
+      b.bsize <- b.bsize + 1;
+      t.size <- t.size + 1;
+      t.st.inserts <- t.st.inserts + 1;
+      y
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let insert_after t x = with_lock t (fun () -> insert_after_locked t x)
+
+let insert_before t x = with_lock t (fun () -> insert_before_locked t x)
+
+let insert_many_after t x k =
+  with_lock t (fun () ->
+      let rec go anchor k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let y = insert_after_locked t anchor in
+          go y (k - 1) (y :: acc)
+        end
+      in
+      go x k [])
+
+let insert_around t x ~before ~after =
+  with_lock t (fun () ->
+      let rec go_before anchor k acc =
+        if k = 0 then acc
+        else begin
+          let y = insert_before_locked t anchor in
+          go_before y (k - 1) (y :: acc)
+        end
+      in
+      let befores = go_before x before [] in
+      let rec go_after anchor k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let y = insert_after_locked t anchor in
+          go_after y (k - 1) (y :: acc)
+        end
+      in
+      (befores, go_after x after []))
+
+(* ------------------------------------------------------------------ *)
+(* Lock-free queries.                                                  *)
+
+type view = { vb : bucket; vbl : int; vbs : int; vl : int; vs : int }
+
+let read_view (e : item) =
+  let vb = Atomic.get e.bkt in
+  let vbl = Atomic.get vb.blabel in
+  let vbs = Atomic.get vb.bstamp in
+  let vl = Atomic.get e.label in
+  let vs = Atomic.get e.stamp in
+  { vb; vbl; vbs; vl; vs }
+
+let stable a b =
+  a.vb == b.vb && a.vbl = b.vbl && a.vbs = b.vbs && a.vl = b.vl && a.vs = b.vs
+  && a.vbs land 1 = 0
+  && a.vs land 1 = 0
+
+let precedes t x y =
+  check_alive "Om_concurrent2.precedes" x;
+  check_alive "Om_concurrent2.precedes" y;
+  let rec attempt () =
+    let x1 = read_view x in
+    let y1 = read_view y in
+    let x2 = read_view x in
+    let y2 = read_view y in
+    if stable x1 x2 && stable y1 y2 then
+      if x1.vb == y1.vb then x1.vl < y1.vl else x1.vbl < y1.vbl
+    else begin
+      Atomic.incr t.retries;
+      attempt ()
+    end
+  in
+  attempt ()
+
+(* ------------------------------------------------------------------ *)
+
+let delete t e =
+  with_lock t (fun () ->
+      check_alive "Om_concurrent2.delete" e;
+      if e == t.base_item then invalid_arg "Om_concurrent2.delete: cannot delete base";
+      let b = Atomic.get e.bkt in
+      (match e.iprev with Some p -> p.inext <- e.inext | None -> b.bfirst <- e.inext);
+      (match e.inext with Some n -> n.iprev <- e.iprev | None -> ());
+      e.alive <- false;
+      b.bsize <- b.bsize - 1;
+      t.size <- t.size - 1;
+      if b.bsize = 0 then begin
+        (match b.bprev with Some p -> p.bnext <- b.bnext | None -> ());
+        (match b.bnext with Some n -> n.bprev <- b.bprev | None -> ());
+        t.nbuckets <- t.nbuckets - 1
+      end)
+
+let size t = t.size
+
+let query_retries t = Atomic.get t.retries
+
+let stats t = t.st
+
+let bucket_count t = t.nbuckets
+
+let check_invariants t =
+  with_lock t (fun () ->
+      let rec bhead b = match b.bprev with Some p -> bhead p | None -> b in
+      let rec check_bucket b prev_lbl total nb =
+        if Atomic.get b.bstamp land 1 = 1 then
+          failwith "Om_concurrent2.check_invariants: dirty bucket at rest";
+        (match prev_lbl with
+        | Some pl when pl >= Atomic.get b.blabel ->
+            failwith "Om_concurrent2.check_invariants: bucket labels not increasing"
+        | _ -> ());
+        let n = ref 0 in
+        let prev = ref None in
+        iter_items b (fun it ->
+            incr n;
+            if Atomic.get it.stamp land 1 = 1 then
+              failwith "Om_concurrent2.check_invariants: dirty item at rest";
+            if not (Atomic.get it.bkt == b) then
+              failwith "Om_concurrent2.check_invariants: stale bucket pointer";
+            (match !prev with
+            | Some pl when pl >= Atomic.get it.label ->
+                failwith "Om_concurrent2.check_invariants: item labels not increasing"
+            | _ -> ());
+            prev := Some (Atomic.get it.label));
+        if !n <> b.bsize then failwith "Om_concurrent2.check_invariants: size mismatch";
+        if !n = 0 then failwith "Om_concurrent2.check_invariants: empty bucket linked";
+        match b.bnext with
+        | Some nxt -> check_bucket nxt (Some (Atomic.get b.blabel)) (total + !n) (nb + 1)
+        | None -> (total + !n, nb + 1)
+      in
+      let total, nb = check_bucket (bhead (Atomic.get t.base_item.bkt)) None 0 0 in
+      if total <> t.size then failwith "Om_concurrent2.check_invariants: total size mismatch";
+      if nb <> t.nbuckets then failwith "Om_concurrent2.check_invariants: bucket count mismatch")

@@ -1,0 +1,31 @@
+(** Two-level concurrent order maintenance — the structure the paper's
+    footnote 3 says the global tier "actually" maintains.
+
+    Same contract as {!Om_concurrent} (locked inserts, lock-free
+    double-read queries), but elements live inside {e buckets} whose
+    order is maintained by a concurrent labeled list of its own: an
+    element's position is the lexicographic pair (bucket label, item
+    label), so the heavy tag arithmetic spreads over two small levels —
+    O(1) amortized insertion like {!Om}, rather than the one-level
+    O(lg n).
+
+    Concurrency protocol.  Every label-carrying cell (bucket or item)
+    pairs its label with a {e version stamp}; a writer brackets a
+    mutation batch with one stamp increment on each affected cell
+    before and one after, so an odd stamp marks a cell mid-update and
+    cells outside the batch never change.  A query reads (bucket,
+    bucket label, bucket stamp, item label, item stamp) of both
+    operands twice and succeeds only if both views are identical and
+    every stamp is even; otherwise it retries — the same failure
+    accounting as bucket B5 of Theorem 10.  (This is the coarser
+    variant of Section 4's two-pass protocol: queries overlapping a
+    rebalance simply retry until it completes, rather than being able
+    to succeed between passes.) *)
+
+include Om_intf.CONCURRENT
+
+val stats : t -> Om_intf.stats
+(** Counters for item relabels/respaces (top-level bucket relabels are
+    included in [relabels]). *)
+
+val bucket_count : t -> int

@@ -1,0 +1,155 @@
+type elt = {
+  mutable tag : int;
+  mutable prev : elt option;
+  mutable next : elt option;
+  mutable alive : bool;
+}
+
+type t = {
+  base_elt : elt;
+  mutable bits : int;  (* universe = 2^bits; kept within [4n, 16n] *)
+  mutable size : int;
+  mutable rebuilds : int;
+  st : Om_intf.stats;
+}
+
+let name = "list-labeling(u=O(n))"
+
+let create () =
+  let base_elt = { tag = 0; prev = None; next = None; alive = true } in
+  { base_elt; bits = 4; size = 1; rebuilds = 0; st = Om_intf.fresh_stats () }
+
+let base t = t.base_elt
+
+let universe t = 1 lsl t.bits
+
+let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
+
+let rec head e = match e.prev with Some p -> head p | None -> e
+
+(* Spread all elements evenly over the (possibly freshly doubled)
+   universe. *)
+let rebuild t =
+  t.rebuilds <- t.rebuilds + 1;
+  (* Root density stays below 1/4: u >= 4(n+1). *)
+  while 1 lsl t.bits < 4 * (t.size + 1) do
+    t.bits <- t.bits + 1
+  done;
+  (* Spread over size+1 cells so both the head and the tail keep a
+     usable gap even at the minimum density (cell = 2). *)
+  let cell = universe t / (t.size + 1) in
+  let rec assign e j =
+    e.tag <- (j + 1) * cell;
+    t.st.relabels <- t.st.relabels + 1;
+    match e.next with Some nxt -> assign nxt (j + 1) | None -> ()
+  in
+  assign (head t.base_elt) 0
+
+(* Density-based local rebalance: find the smallest aligned range of
+   width 2^i around [x] that is sparse enough and respread it evenly. *)
+let rebalance t x =
+  let range_members x lo hi =
+    let rec leftmost e =
+      match e.prev with Some p when p.tag >= lo -> leftmost p | _ -> e
+    in
+    let first = leftmost x in
+    let rec count e acc =
+      match e.next with Some nxt when nxt.tag < hi -> count nxt (acc + 1) | _ -> acc
+    in
+    (first, count first 1)
+  in
+  let rec search i =
+    if i > t.bits then None
+    else begin
+      let width = 1 lsl i in
+      let lo = x.tag land lnot (width - 1) in
+      let first, count = range_members x lo (lo + width) in
+      (* Density thresholds loosen toward the leaves and tighten toward
+         the root (the classical calibration): tau = 1/2 for leaf
+         ranges down to 1/4 at the root.  A freshly respread level-i
+         range leaves every smaller enclosing range with slack
+         proportional to the level difference, which is what amortizes
+         the relabeling to O(lg^2 n) per insertion. *)
+      let frac = float_of_int (i - 1) /. float_of_int (max 1 (t.bits - 1)) in
+      let tau = 0.5 -. (0.25 *. frac) in
+      if float_of_int count <= tau *. float_of_int width && width >= 2 * (count + 1) then
+        Some (first, count, lo, width)
+      else search (i + 1)
+    end
+  in
+  match search 1 with
+  | None -> rebuild t
+  | Some (first, count, lo, width) ->
+      t.st.rebalances <- t.st.rebalances + 1;
+      t.st.relabels <- t.st.relabels + count;
+      if count > t.st.max_range then t.st.max_range <- count;
+      let cell = width / (count + 1) in
+      let rec assign e j =
+        e.tag <- lo + ((j + 1) * cell);
+        if j + 1 < count then
+          match e.next with Some nxt -> assign nxt (j + 1) | None -> assert false
+      in
+      assign first 0
+
+let gap_after t x =
+  let hi = match x.next with Some y -> y.tag | None -> universe t in
+  hi - x.tag - 1
+
+let insert_after t x =
+  check_alive "Om_file.insert_after" x;
+  if 1 lsl t.bits < 4 * (t.size + 1) then rebuild t;
+  if gap_after t x < 1 then rebalance t x;
+  if gap_after t x < 1 then rebuild t;
+  let gap = gap_after t x in
+  assert (gap >= 1);
+  let y = { tag = x.tag + 1 + ((gap - 1) / 2); prev = Some x; next = x.next; alive = true } in
+  (match x.next with Some n -> n.prev <- Some y | None -> ());
+  x.next <- Some y;
+  t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
+  y
+
+let insert_before t x =
+  check_alive "Om_file.insert_before" x;
+  match x.prev with
+  | Some p -> insert_after t p
+  | None ->
+      if x.tag < 1 then rebalance t x;
+      if x.tag < 1 then rebuild t;
+      assert (x.tag >= 1);
+      let y = { tag = x.tag / 2; prev = None; next = Some x; alive = true } in
+      x.prev <- Some y;
+      t.size <- t.size + 1;
+      t.st.inserts <- t.st.inserts + 1;
+      y
+
+let insert_many_after t x k =
+  let rec go anchor k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let y = insert_after t anchor in
+      go y (k - 1) (y :: acc)
+    end
+  in
+  go x k []
+
+let precedes _t x y =
+  check_alive "Om_file.precedes" x;
+  check_alive "Om_file.precedes" y;
+  x.tag < y.tag
+
+let delete t e =
+  check_alive "Om_file.delete" e;
+  if e == t.base_elt then invalid_arg "Om_file.delete: cannot delete base";
+  (match e.prev with Some p -> p.next <- e.next | None -> ());
+  (match e.next with Some n -> n.prev <- e.prev | None -> ());
+  e.alive <- false;
+  t.size <- t.size - 1
+
+let size t = t.size
+
+let tag _t e = e.tag
+
+let stats t = t.st
+
+let rebuilds t = t.rebuilds

@@ -1,0 +1,30 @@
+(** Online list labeling with linear tag space (file maintenance) —
+    the special case of order maintenance discussed in the paper's
+    Section 8.
+
+    Elements carry integer tags from a universe of size u = O(n)
+    (here u stays within [4n, 16n], doubling by global rebuild when the
+    file gets too full).  Insertions use the same
+    smallest-sparse-enclosing-range relabeling as {!Om_label}, but with
+    a density calibration appropriate for the tiny universe.
+
+    The point of carrying this structure in the repo is the paper's
+    observation: any list-labeling solution yields an order-maintenance
+    structure, but not vice versa — list labeling has an Ω(lg n)
+    amortized lower bound [Dietz–Seiferas–Zhang], so the paper's O(1)
+    bounds genuinely need the extra freedom of a polynomial universe
+    (and the two-level trick).  EXP-OM shows the measured gap:
+    relabels/insert grows with lg n here and stays flat for {!Om}. *)
+
+include Om_intf.S
+
+val tag : t -> elt -> int
+(** Current tag; tags lie in [\[0, universe())]. *)
+
+val universe : t -> int
+(** Current tag-universe size, always O(n). *)
+
+val stats : t -> Om_intf.stats
+
+val rebuilds : t -> int
+(** Number of global doubling rebuilds so far. *)

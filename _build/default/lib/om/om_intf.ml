@@ -1,0 +1,83 @@
+(** Signature shared by every order-maintenance structure in this repo.
+
+    An order-maintenance (OM) structure maintains a total order over a
+    dynamic set of opaque elements and answers, in O(1), "does X come
+    before Y?".  This is the abstract data type of Section 2 of the
+    paper:
+
+    - [OM-PRECEDES (L, X, Y)]: does X precede Y in the ordering L?
+    - [OM-INSERT (L, X, Y1 ... Yk)]: insert fresh elements right after X.
+
+    Every implementation also supports insertion {e before} an element
+    (needed by SP-hybrid's global tier, which places subtraces U{^(1)},
+    U{^(2)} before the split trace) and deletion. *)
+
+module type S = sig
+  type t
+  (** An ordering [L]: a totally ordered dynamic set. *)
+
+  type elt
+  (** An element of the ordering.  Handles are only meaningful for the
+      structure that created them. *)
+
+  val name : string
+  (** Implementation name, used in benchmark tables. *)
+
+  val create : unit -> t
+  (** A fresh ordering containing exactly one element, [base]. *)
+
+  val base : t -> elt
+  (** The element the ordering was created with; the usual anchor for
+      the first insertions. *)
+
+  val insert_after : t -> elt -> elt
+  (** [insert_after l x] inserts one fresh element immediately after
+      [x] and returns it.  Amortized cost depends on implementation. *)
+
+  val insert_before : t -> elt -> elt
+  (** [insert_before l x] inserts one fresh element immediately before
+      [x]. *)
+
+  val insert_many_after : t -> elt -> int -> elt list
+  (** [insert_many_after l x k] is [OM-INSERT(l, x, y1 ... yk)]: [k]
+      fresh elements placed after [x], returned in order — so the list
+      reads [y1; ...; yk] with y1 right after [x]. *)
+
+  val precedes : t -> elt -> elt -> bool
+  (** [precedes l x y] is true iff [x] comes strictly before [y].
+      [precedes l x x = false]. *)
+
+  val delete : t -> elt -> unit
+  (** Remove an element.  Using a deleted handle afterwards is a
+      programming error (checked in debug paths where cheap). *)
+
+  val size : t -> int
+  (** Number of live elements. *)
+end
+
+(** Operation counters exported by the label-based implementations so
+    the benches can verify the amortized O(1) claim empirically. *)
+type stats = {
+  mutable inserts : int;  (** total elements ever inserted *)
+  mutable relabels : int;  (** total element-relabel events *)
+  mutable rebalances : int;  (** rebalance (range relabel) occurrences *)
+  mutable max_range : int;  (** largest range ever relabeled *)
+}
+
+let fresh_stats () = { inserts = 0; relabels = 0; rebalances = 0; max_range = 0 }
+
+(** What SP-hybrid's global tier needs from a concurrent
+    order-maintenance structure: the base ADT plus atomic multi-insert
+    around an element, lock-free-query retry accounting, and an O(n)
+    self-check.  Satisfied by {!Om_concurrent} (the one-level structure
+    Section 4 describes) and {!Om_concurrent2} (the two-level hierarchy
+    its footnote 3 alludes to). *)
+module type CONCURRENT = sig
+  include S
+
+  val insert_around : t -> elt -> before:int -> after:int -> elt list * elt list
+
+  val query_retries : t -> int
+
+  val check_invariants : t -> unit
+end

@@ -1,0 +1,103 @@
+type elt = {
+  mutable tag : int;
+  mutable prev : elt option;
+  mutable next : elt option;
+  mutable alive : bool;
+}
+
+type t = {
+  base_elt : elt;
+  t_param : float;
+  mutable size : int;
+  st : Om_intf.stats;
+}
+
+let name = "om-label-1level"
+
+module Lab = Labeling.Make (struct
+  type nonrec elt = elt
+
+  let tag e = e.tag
+  let prev e = e.prev
+  let next e = e.next
+end)
+
+let create_tuned ~t_param =
+  if t_param <= 1.0 || t_param >= 2.0 then invalid_arg "Om_label: T must be in (1,2)";
+  let base_elt = { tag = 0; prev = None; next = None; alive = true } in
+  { base_elt; t_param; size = 1; st = Om_intf.fresh_stats () }
+
+let create () = create_tuned ~t_param:1.3
+
+let base t = t.base_elt
+
+let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
+
+let rebalance t x =
+  let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
+  t.st.rebalances <- t.st.rebalances + 1;
+  t.st.relabels <- t.st.relabels + count;
+  if count > t.st.max_range then t.st.max_range <- count;
+  let rec assign e j =
+    e.tag <- Lab.target ~lo ~width ~count j;
+    if j + 1 < count then
+      match e.next with
+      | Some nxt -> assign nxt (j + 1)
+      | None -> assert false
+  in
+  assign first 0
+
+let insert_after t x =
+  check_alive "Om_label.insert_after" x;
+  if Lab.gap_after x < 1 then rebalance t x;
+  let gap = Lab.gap_after x in
+  assert (gap >= 1);
+  let y = { tag = x.tag + 1 + ((gap - 1) / 2); prev = Some x; next = x.next; alive = true } in
+  (match x.next with Some n -> n.prev <- Some y | None -> ());
+  x.next <- Some y;
+  t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
+  y
+
+let insert_before t x =
+  check_alive "Om_label.insert_before" x;
+  match x.prev with
+  | Some p -> insert_after t p
+  | None ->
+      (* [x] is the head: make room below its tag, then prepend. *)
+      if x.tag < 1 then rebalance t x;
+      if x.tag < 1 then failwith "Om_label.insert_before: no room below head";
+      let y = { tag = x.tag / 2; prev = None; next = Some x; alive = true } in
+      x.prev <- Some y;
+      t.size <- t.size + 1;
+      t.st.inserts <- t.st.inserts + 1;
+      y
+
+let insert_many_after t x k =
+  let rec go anchor k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let y = insert_after t anchor in
+      go y (k - 1) (y :: acc)
+    end
+  in
+  go x k []
+
+let precedes _t x y =
+  check_alive "Om_label.precedes" x;
+  check_alive "Om_label.precedes" y;
+  x.tag < y.tag
+
+let delete t e =
+  check_alive "Om_label.delete" e;
+  if e == t.base_elt then invalid_arg "Om_label.delete: cannot delete base";
+  (match e.prev with Some p -> p.next <- e.next | None -> ());
+  (match e.next with Some n -> n.prev <- e.prev | None -> ());
+  e.alive <- false;
+  t.size <- t.size - 1
+
+let size t = t.size
+
+let tag _t e = e.tag
+
+let stats t = t.st

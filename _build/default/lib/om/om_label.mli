@@ -1,0 +1,28 @@
+(** One-level label-based order maintenance.
+
+    Elements live in a doubly linked list and carry integer tags from a
+    62-bit universe; tag order equals list order, so [precedes] is a
+    single integer comparison (O(1) worst case).  Insertion takes the
+    midpoint of the neighbouring tags; when no room remains it
+    rebalances the smallest sufficiently sparse enclosing aligned tag
+    range (see {!Labeling}).  This is the classic list-labeling
+    structure (Dietz 1982 as simplified by Bender et al. 2002) with
+    O(lg n) amortized relabels per insertion.
+
+    {!Om} wraps this idea in a two-level hierarchy to reach the O(1)
+    amortized bound quoted by the paper; this one-level version is kept
+    both as a baseline for EXP-OM and as the engine for {!Om}'s top
+    level. *)
+
+include Om_intf.S
+
+val create_tuned : t_param:float -> t
+(** [create_tuned ~t_param] selects the density constant T (in (1,2));
+    [create] uses 1.3. *)
+
+val tag : t -> elt -> int
+(** Current tag (introspection for tests/benches; tags change across
+    rebalances). *)
+
+val stats : t -> Om_intf.stats
+(** Live operation counters (see {!Om_intf.stats}). *)

@@ -1,0 +1,75 @@
+type elt = {
+  mutable rank : int;
+  mutable prev : elt option;
+  mutable next : elt option;
+  mutable alive : bool;
+}
+
+type t = { base_elt : elt; mutable size : int }
+
+let name = "om-naive"
+
+let create () =
+  let base_elt = { rank = 0; prev = None; next = None; alive = true } in
+  { base_elt; size = 1 }
+
+let base t = t.base_elt
+
+(* Walk to the true head (the base may have had elements inserted before
+   it) and renumber every element. *)
+let renumber t =
+  let rec head e = match e.prev with Some p -> head p | None -> e in
+  let rec go i e =
+    e.rank <- i;
+    match e.next with Some n -> go (i + 1) n | None -> ()
+  in
+  go 0 (head t.base_elt)
+
+let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
+
+let insert_after t x =
+  check_alive "Om_naive.insert_after" x;
+  let y = { rank = 0; prev = Some x; next = x.next; alive = true } in
+  (match x.next with Some n -> n.prev <- Some y | None -> ());
+  x.next <- Some y;
+  t.size <- t.size + 1;
+  renumber t;
+  y
+
+let insert_before t x =
+  check_alive "Om_naive.insert_before" x;
+  let y = { rank = 0; prev = x.prev; next = Some x; alive = true } in
+  (match x.prev with Some p -> p.next <- Some y | None -> ());
+  x.prev <- Some y;
+  t.size <- t.size + 1;
+  renumber t;
+  y
+
+let insert_many_after t x k =
+  check_alive "Om_naive.insert_many_after" x;
+  let rec go anchor k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let y = insert_after t anchor in
+      go y (k - 1) (y :: acc)
+    end
+  in
+  go x k []
+
+let precedes _t x y =
+  check_alive "Om_naive.precedes" x;
+  check_alive "Om_naive.precedes" y;
+  x.rank < y.rank
+
+let delete t e =
+  check_alive "Om_naive.delete" e;
+  if e == t.base_elt then invalid_arg "Om_naive.delete: cannot delete base";
+  (match e.prev with Some p -> p.next <- e.next | None -> ());
+  (match e.next with Some n -> n.prev <- e.prev | None -> ());
+  e.alive <- false;
+  t.size <- t.size - 1;
+  renumber t
+
+let size t = t.size
+
+let rank _t e = e.rank

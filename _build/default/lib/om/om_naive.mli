@@ -1,0 +1,11 @@
+(** Executable specification of order maintenance.
+
+    Keeps the order as a plain doubly linked list and recomputes integer
+    ranks after every insertion — O(n) insert, O(1) query.  Slow but
+    obviously correct: the qcheck model tests compare every other OM
+    structure against this one on random operation sequences. *)
+
+include Om_intf.S
+
+val rank : t -> elt -> int
+(** Current 0-based position of the element (test introspection). *)

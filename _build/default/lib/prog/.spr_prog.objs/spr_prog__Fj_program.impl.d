@@ -1,0 +1,1 @@
+lib/prog/fj_program.ml: Array Format List Spr_util

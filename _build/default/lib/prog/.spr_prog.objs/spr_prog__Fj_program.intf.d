@@ -1,0 +1,1 @@
+lib/prog/fj_program.mli: Format

@@ -1,0 +1,1 @@
+lib/prog/prog_tree.ml: Array Fj_program List Sp_tree Spr_sptree

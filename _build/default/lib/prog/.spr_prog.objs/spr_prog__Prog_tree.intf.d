@@ -1,0 +1,1 @@
+lib/prog/prog_tree.mli: Fj_program Spr_sptree

@@ -1,0 +1,81 @@
+open Spr_sptree
+
+type t = {
+  program : Fj_program.t;
+  tree : Sp_tree.t;
+  leaf_of_tid : Sp_tree.node array;
+  tid_of_leaf : int array;  (* node id -> tid, or -1 for synthetic/internal *)
+  (* pid -> block -> item -> P-node (spawn items only) *)
+  spawn_nodes : Sp_tree.node option array array array;
+  mutable synthetic : int;
+}
+
+let of_program program =
+  let b = Sp_tree.Builder.create () in
+  let nthreads = Fj_program.thread_count program in
+  let placeholder_fixups = ref [] in
+  let spawn_nodes =
+    Array.make (Fj_program.proc_count program) [||]
+  in
+  let synthetic = ref 0 in
+  let rec build_proc (p : Fj_program.proc) =
+    let per_block =
+      Array.map (fun blk -> Array.make (Array.length blk) None) p.Fj_program.blocks
+    in
+    spawn_nodes.(p.Fj_program.pid) <- per_block;
+    let block_trees =
+      Array.to_list (Array.mapi (fun bi blk -> build_items p bi blk 0) p.Fj_program.blocks)
+    in
+    (* S-compose the sync blocks right to left. *)
+    let rec compose = function
+      | [ last ] -> last
+      | first :: rest -> Sp_tree.Builder.series b first (compose rest)
+      | [] -> assert false
+    in
+    compose block_trees
+  and build_items p bi blk i =
+    if i >= Array.length blk then begin
+      (* Only reached when a block ends in a Spawn: synthetic leaf. *)
+      incr synthetic;
+      Sp_tree.Builder.leaf b
+    end
+    else begin
+      let rest_empty = i = Array.length blk - 1 in
+      match blk.(i) with
+      | Fj_program.Run u ->
+          let leaf = Sp_tree.Builder.leaf b in
+          placeholder_fixups := (u.Fj_program.tid, leaf) :: !placeholder_fixups;
+          if rest_empty then leaf
+          else Sp_tree.Builder.series b leaf (build_items p bi blk (i + 1))
+      | Fj_program.Spawn f ->
+          let child = build_proc f in
+          let cont = build_items p bi blk (i + 1) in
+          let pn = Sp_tree.Builder.parallel b child cont in
+          spawn_nodes.(p.Fj_program.pid).(bi).(i) <- Some pn;
+          pn
+    end
+  in
+  let root = build_proc (Fj_program.main program) in
+  let tree = Sp_tree.Builder.finish b root in
+  let leaf_of_tid = Array.make nthreads (Sp_tree.root tree) in
+  List.iter (fun (tid, leaf) -> leaf_of_tid.(tid) <- leaf) !placeholder_fixups;
+  let tid_of_leaf = Array.make (Sp_tree.node_count tree) (-1) in
+  Array.iteri (fun tid (leaf : Sp_tree.node) -> tid_of_leaf.(leaf.id) <- tid) leaf_of_tid;
+  { program; tree; leaf_of_tid; tid_of_leaf; spawn_nodes; synthetic = !synthetic }
+
+let tree t = t.tree
+
+let program t = t.program
+
+let leaf_of_thread t tid = t.leaf_of_tid.(tid)
+
+let thread_of_leaf t (n : Sp_tree.node) =
+  let tid = t.tid_of_leaf.(n.id) in
+  if tid < 0 then None else Some (Fj_program.threads t.program).(tid)
+
+let p_node_of_spawn t ~pid ~block ~item =
+  match t.spawn_nodes.(pid).(block).(item) with
+  | Some n -> n
+  | None -> invalid_arg "Prog_tree.p_node_of_spawn: not a spawn item"
+
+let synthetic_count t = t.synthetic

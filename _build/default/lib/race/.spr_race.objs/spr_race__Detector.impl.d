@@ -1,0 +1,1 @@
+lib/race/detector.ml: Array Fj_program Hashtbl List Option Spr_prog Spr_util

@@ -1,0 +1,1 @@
+lib/race/detector.mli: Spr_prog

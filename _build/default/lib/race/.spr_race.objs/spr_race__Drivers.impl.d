@@ -1,0 +1,1 @@
+lib/race/drivers.ml: Detector Fj_program Lockset Mutex Prog_tree Spr_core Spr_hybrid Spr_prog Spr_sched Spr_sptree

@@ -1,0 +1,1 @@
+lib/race/drivers.mli: Detector Lockset Spr_core Spr_hybrid Spr_prog Spr_sched Spr_sptree

@@ -1,0 +1,1 @@
+lib/race/lockset.ml: Array Fj_program Hashtbl List Spr_prog Spr_util

@@ -1,0 +1,1 @@
+lib/race/lockset.mli: Spr_prog

@@ -1,0 +1,1 @@
+lib/race/naive_checker.ml: Array Fj_program Hashtbl List Prog_tree Spr_prog Spr_sptree

@@ -1,0 +1,1 @@
+lib/race/naive_checker.mli: Spr_prog

@@ -1,0 +1,99 @@
+open Spr_prog
+
+type race = {
+  loc : int;
+  earlier : int;
+  later : int;
+  earlier_write : bool;
+  later_write : bool;
+}
+
+type t = {
+  writer : int option array;
+  reader : int option array;
+  races : race Spr_util.Vec.t;
+  precedes : executed:int -> current:int -> bool;
+  mutable queries : int;
+  (* Shadow reference counts, for the release protocol. *)
+  refs : (int, int) Hashtbl.t;
+  on_unreferenced : (int -> unit) option;
+}
+
+let create ?on_unreferenced ~locs ~precedes () =
+  {
+    writer = Array.make (max 1 locs) None;
+    reader = Array.make (max 1 locs) None;
+    races = Spr_util.Vec.create ();
+    precedes;
+    queries = 0;
+    refs = Hashtbl.create 64;
+    on_unreferenced;
+  }
+
+(* Replace the occupant of a shadow slot, maintaining reference counts
+   and notifying when a thread drops out of shadow memory entirely. *)
+let assign t slot loc tid =
+  match t.on_unreferenced with
+  | None -> slot.(loc) <- Some tid
+  | Some notify ->
+      let old = slot.(loc) in
+      if old <> Some tid then begin
+        Hashtbl.replace t.refs tid (1 + Option.value ~default:0 (Hashtbl.find_opt t.refs tid));
+        slot.(loc) <- Some tid;
+        match old with
+        | None -> ()
+        | Some o ->
+            let c = Hashtbl.find t.refs o - 1 in
+            if c = 0 then begin
+              Hashtbl.remove t.refs o;
+              notify o
+            end
+            else Hashtbl.replace t.refs o c
+      end
+
+let report t loc earlier later earlier_write later_write =
+  Spr_util.Vec.push t.races { loc; earlier; later; earlier_write; later_write }
+
+(* "recorded thread e is concurrent with u": e was seen before, so if
+   it does not precede u it runs logically in parallel with u. *)
+let concurrent t e ~current =
+  t.queries <- t.queries + 1;
+  e <> current && not (t.precedes ~executed:e ~current)
+
+let access t ~current (a : Fj_program.access) =
+  let loc = a.loc in
+  if a.write then begin
+    (match t.writer.(loc) with
+    | Some w when concurrent t w ~current -> report t loc w current true true
+    | _ -> ());
+    (match t.reader.(loc) with
+    | Some r when concurrent t r ~current -> report t loc r current false true
+    | _ -> ());
+    assign t t.writer loc current
+  end
+  else begin
+    (match t.writer.(loc) with
+    | Some w when concurrent t w ~current -> report t loc w current true false
+    | _ -> ());
+    match t.reader.(loc) with
+    | None -> assign t t.reader loc current
+    | Some r ->
+        t.queries <- t.queries + 1;
+        if r = current || t.precedes ~executed:r ~current then assign t t.reader loc current
+  end
+
+let run_thread t (u : Fj_program.thread) =
+  Array.iter (fun a -> access t ~current:u.Fj_program.tid a) u.Fj_program.accesses
+
+let races t = Spr_util.Vec.to_list t.races
+
+let racy_locs t =
+  List.sort_uniq compare (List.map (fun r -> r.loc) (races t))
+
+let query_count t = t.queries
+
+let max_loc program =
+  let m = ref (-1) in
+  Fj_program.iter_threads program (fun u ->
+      Array.iter (fun (a : Fj_program.access) -> if a.loc > !m then m := a.loc) u.Fj_program.accesses);
+  !m

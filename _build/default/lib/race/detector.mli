@@ -1,0 +1,63 @@
+(** Determinacy-race detector — the Nondeterminator protocol
+    (Feng–Leiserson 1997), parameterised by an SP-maintenance oracle.
+
+    Shadow memory keeps, per location, the last writer and one reader.
+    When the currently executing thread [u] performs an access, the
+    detector issues O(1) SP queries against the recorded threads:
+
+    - {e read}: a recorded writer not preceding [u] races with [u];
+      afterwards [u] replaces the recorded reader if that reader
+      precedes [u];
+    - {e write}: a recorded writer or reader not preceding [u] races
+      with [u]; [u] becomes the recorded writer.
+
+    Over a serial (left-to-right) execution this reports a race on a
+    location iff the program has one there.  The [precedes] oracle is
+    whatever SP-maintenance algorithm is plugged in — with SP-order,
+    the whole detection pass costs O(T{_1}) (Corollary 6). *)
+
+type race = {
+  loc : int;
+  earlier : int;  (** tid recorded in shadow memory *)
+  later : int;  (** tid of the access that exposed the race *)
+  earlier_write : bool;
+  later_write : bool;
+}
+
+type t
+
+val create :
+  ?on_unreferenced:(int -> unit) ->
+  locs:int ->
+  precedes:(executed:int -> current:int -> bool) ->
+  unit ->
+  t
+(** [locs] bounds the shadow-memory address space; [precedes] answers
+    "did [executed] logically precede [current]?" for threads already
+    seen.
+
+    [on_unreferenced tid] fires when a thread that had entered shadow
+    memory loses its last reference (every slot it occupied has been
+    overwritten): the detector will never query it again, so an
+    SP-maintenance structure that supports deletion (SP-order) can
+    release it and track the live frontier instead of the full
+    history — see {!Drivers.detect_serial_releasing}. *)
+
+val access : t -> current:int -> Spr_prog.Fj_program.access -> unit
+(** Record one access by the currently executing thread. *)
+
+val run_thread : t -> Spr_prog.Fj_program.thread -> unit
+(** All accesses of a thread, in order. *)
+
+val races : t -> race list
+(** Every reported race, in detection order. *)
+
+val racy_locs : t -> int list
+(** Sorted, deduplicated locations involved in reported races. *)
+
+val query_count : t -> int
+(** SP queries issued (for Corollary 6 accounting). *)
+
+val max_loc : Spr_prog.Fj_program.t -> int
+(** Largest location mentioned by the program (-1 if none); convenience
+    for sizing [locs]. *)

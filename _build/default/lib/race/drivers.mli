@@ -1,0 +1,67 @@
+(** Ready-made detection pipelines.
+
+    [detect_serial] replays the program's serial (left-to-right)
+    execution, driving any serial SP-maintenance algorithm and the
+    Nondeterminator protocol — the configuration of Corollary 6.
+
+    [detect_hybrid] runs the program on the work-stealing simulator
+    with SP-hybrid as the oracle, issuing the detector's queries from
+    each thread's execution hook — the parallel, on-the-fly
+    configuration of Sections 3–7.
+
+    [detect_serial_locked] is the All-Sets-style pipeline. *)
+
+type serial_result = {
+  races : Detector.race list;
+  racy_locs : int list;
+  sp_queries : int;  (** queries issued to the SP oracle *)
+}
+
+val detect_serial :
+  Spr_prog.Prog_tree.t ->
+  (Spr_sptree.Sp_tree.t -> Spr_core.Sp_maintainer.instance) ->
+  serial_result
+(** Detect with the given serial algorithm (e.g.
+    {!Spr_core.Algorithms.sp_order}). *)
+
+type releasing_result = {
+  result : serial_result;
+  peak_om_nodes : int;  (** high-water mark of the SP-order structures *)
+  final_om_nodes : int;
+  released : int;  (** threads deleted after leaving shadow memory *)
+}
+
+val detect_serial_releasing : Spr_prog.Prog_tree.t -> releasing_result
+(** Like [detect_serial] with SP-order, but threads that drop out of
+    shadow memory are {e deleted} from the order-maintenance
+    structures ({!Spr_core.Sp_order.release}): the structure tracks the
+    live frontier, not the whole execution history.  Race reports are
+    identical to the non-releasing run. *)
+
+type locked_result = { lock_races : Lockset.race list; racy_locs : int list }
+
+val detect_serial_locked :
+  Spr_prog.Prog_tree.t ->
+  (Spr_sptree.Sp_tree.t -> Spr_core.Sp_maintainer.instance) ->
+  locked_result
+
+type hybrid_result = {
+  races : Detector.race list;
+  racy_locs : int list;
+  sim : Spr_sched.Sim.result;
+  hybrid_stats : Spr_hybrid.Sp_hybrid.stats;
+}
+
+val detect_hybrid : ?seed:int -> ?procs:int -> Spr_prog.Fj_program.t -> hybrid_result
+
+type hybrid_locked_result = {
+  lock_races : Lockset.race list;
+  racy_locs : int list;
+  sim : Spr_sched.Sim.result;
+}
+
+val detect_hybrid_locked :
+  ?seed:int -> ?procs:int -> Spr_prog.Fj_program.t -> hybrid_locked_result
+(** The All-Sets-style detector with SP-hybrid as the oracle: parallel,
+    on-the-fly, lock-aware — the full configuration the paper's
+    abstract promises improved bounds for. *)

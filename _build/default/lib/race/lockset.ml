@@ -1,0 +1,66 @@
+open Spr_prog
+
+type race = {
+  loc : int;
+  earlier : int;
+  later : int;
+  earlier_write : bool;
+  later_write : bool;
+}
+
+type entry = { tid : int; write : bool; lockset : int list (* sorted *) }
+
+type t = {
+  history : (int, entry list ref) Hashtbl.t;
+  races : race Spr_util.Vec.t;
+  precedes : executed:int -> current:int -> bool;
+  mutable max_history : int;
+}
+
+let create ~precedes =
+  { history = Hashtbl.create 64; races = Spr_util.Vec.create (); precedes; max_history = 0 }
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let access t ~current (a : Fj_program.access) =
+  let lockset = List.sort_uniq compare a.locks in
+  let slot =
+    match Hashtbl.find_opt t.history a.loc with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.history a.loc l;
+        l
+  in
+  let concurrent e = e.tid <> current && not (t.precedes ~executed:e.tid ~current) in
+  List.iter
+    (fun e ->
+      if (e.write || a.write) && disjoint e.lockset lockset && concurrent e then
+        Spr_util.Vec.push t.races
+          {
+            loc = a.loc;
+            earlier = e.tid;
+            later = current;
+            earlier_write = e.write;
+            later_write = a.write;
+          })
+    !slot;
+  (* Prune records subsumed by the new one (see interface comment). *)
+  let keep e =
+    let serial_before = e.tid = current || t.precedes ~executed:e.tid ~current in
+    not (serial_before && subset lockset e.lockset && ((not e.write) || a.write))
+  in
+  slot := { tid = current; write = a.write; lockset } :: List.filter keep !slot;
+  let len = List.length !slot in
+  if len > t.max_history then t.max_history <- len
+
+let run_thread t (u : Fj_program.thread) =
+  Array.iter (fun a -> access t ~current:u.Fj_program.tid a) u.Fj_program.accesses
+
+let races t = Spr_util.Vec.to_list t.races
+
+let racy_locs t = List.sort_uniq compare (List.map (fun r -> r.loc) (races t))
+
+let max_history t = t.max_history

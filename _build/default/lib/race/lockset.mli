@@ -1,0 +1,40 @@
+(** Lock-aware (All-Sets-style) race detection.
+
+    The paper's abstract notes that the improved SP-maintenance bounds
+    carry over to "more sophisticated data-race detectors, for example,
+    those that use locks" — the Nondeterminator's ALL-SETS algorithm
+    (Cheng, Feng, Leiserson, Randall, Stark 1998).  This module
+    implements that detector on top of any SP oracle: per location it
+    keeps a history of (thread, lockset, kind) access records; an
+    access races with a recorded one iff they conflict, their locksets
+    are disjoint, and the threads are logically parallel.
+
+    Redundant records are pruned with the standard argument: once
+    thread [e] precedes the current thread [u], any {e future} thread
+    is parallel to [e] iff it is parallel to [u]; so a record by [e]
+    whose lockset is a superset of [u]'s (and which is not a write
+    where [u]'s is a read) can never catch a race that [u]'s new record
+    would miss. *)
+
+type race = {
+  loc : int;
+  earlier : int;
+  later : int;
+  earlier_write : bool;
+  later_write : bool;
+}
+
+type t
+
+val create : precedes:(executed:int -> current:int -> bool) -> t
+
+val access : t -> current:int -> Spr_prog.Fj_program.access -> unit
+
+val run_thread : t -> Spr_prog.Fj_program.thread -> unit
+
+val races : t -> race list
+
+val racy_locs : t -> int list
+
+val max_history : t -> int
+(** Largest per-location record list observed (pruning effectiveness). *)

@@ -1,0 +1,56 @@
+open Spr_prog
+
+(* Gather, per location, the list of (tid, write, locks) accesses. *)
+let by_location pt =
+  let program = Prog_tree.program pt in
+  let table : (int, (int * bool * int list) list ref) Hashtbl.t = Hashtbl.create 64 in
+  Fj_program.iter_threads program (fun u ->
+      Array.iter
+        (fun (a : Fj_program.access) ->
+          let slot =
+            match Hashtbl.find_opt table a.loc with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add table a.loc l;
+                l
+          in
+          slot := (u.Fj_program.tid, a.write, List.sort_uniq compare a.locks) :: !slot)
+        u.Fj_program.accesses);
+  table
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+let racy_with pt ~use_locks =
+  let table = by_location pt in
+  let leaf tid = Prog_tree.leaf_of_thread pt tid in
+  let locs = ref [] in
+  Hashtbl.iter
+    (fun loc accesses ->
+      let arr = Array.of_list !accesses in
+      let racy = ref false in
+      let n = Array.length arr in
+      (try
+         for i = 0 to n - 1 do
+           for j = i + 1 to n - 1 do
+             let ti, wi, li = arr.(i) and tj, wj, lj = arr.(j) in
+             if
+               ti <> tj && (wi || wj)
+               && ((not use_locks) || disjoint li lj)
+               && Spr_sptree.Sp_reference.parallel (leaf ti) (leaf tj)
+             then begin
+               racy := true;
+               raise Exit
+             end
+           done
+         done
+       with Exit -> ());
+      if !racy then locs := loc :: !locs)
+    table;
+  List.sort compare !locs
+
+let racy_locs pt = racy_with pt ~use_locks:false
+
+let racy_locs_locked pt = racy_with pt ~use_locks:true
+
+let race_free pt = racy_locs pt = []

@@ -1,0 +1,20 @@
+(** Executable specification of determinacy-race existence.
+
+    Checks all pairs of accesses to each location against the LCA
+    reference relation on the program's parse tree: a determinacy race
+    exists on location [l] iff two logically parallel threads access
+    [l] and at least one writes.  The lock-aware variant additionally
+    requires the two accesses' locksets to be disjoint (the All-Sets
+    condition of Cheng et al., the extension the paper's abstract
+    mentions).
+
+    O(accesses²) per location — for tests and small examples only. *)
+
+val racy_locs : Spr_prog.Prog_tree.t -> int list
+(** Sorted locations with at least one determinacy race. *)
+
+val racy_locs_locked : Spr_prog.Prog_tree.t -> int list
+(** Sorted locations with at least one {e apparent data race} under the
+    lockset discipline (parallel, conflicting, disjoint locksets). *)
+
+val race_free : Spr_prog.Prog_tree.t -> bool

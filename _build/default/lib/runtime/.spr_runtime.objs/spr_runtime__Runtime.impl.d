@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Atomic Domain Fj_program Fun Mutex Sim Spr_prog Spr_sched Spr_util Unix

@@ -1,0 +1,205 @@
+open Spr_prog
+open Spr_sched
+
+type result = {
+  steals : int;
+  steal_attempts : int;
+  threads_run : int;
+  frames : int;
+  elapsed_s : float;
+}
+
+type worker = {
+  wid : int;
+  deque : Sim.frame Spr_util.Deque.t;
+  dlock : Mutex.t;
+  rng : Spr_util.Rng.t;
+  mutable current : Sim.frame option;
+}
+
+type state = {
+  hooks : Sim.hooks;
+  workers : worker array;
+  (* Serializes frame-protocol transitions: join-counter updates and
+     park/resume at syncs.  Deques have their own per-worker locks; the
+     protocol lock is never taken while holding a deque lock (and vice
+     versa), so there is no lock-order hazard. *)
+  proto : Mutex.t;
+  done_flag : bool Atomic.t;
+  next_fid : int Atomic.t;
+  steals : int Atomic.t;
+  steal_attempts : int Atomic.t;
+  threads_run : int Atomic.t;
+  spin : int;
+}
+
+let new_frame st proc parent =
+  {
+    Sim.fid = Atomic.fetch_and_add st.next_fid 1;
+    proc;
+    parent;
+    block = 0;
+    item = 0;
+    outstanding = 0;
+    stalled = false;
+  }
+
+(* Busy work standing in for a thread's [cost] instructions. *)
+let burn st cost =
+  let sink = ref 0 in
+  for _ = 1 to cost * st.spin do
+    incr sink
+  done;
+  ignore !sink
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* A procedure finished. *)
+let do_return st w (f : Sim.frame) =
+  match f.Sim.parent with
+  | None ->
+      ignore (st.hooks.Sim.on_return ~wid:w.wid ~now:0 ~child:f ~parent:None ~inline:false);
+      Atomic.set st.done_flag true;
+      w.current <- None
+  | Some p ->
+      let popped = with_lock w.dlock (fun () -> Spr_util.Deque.pop_bottom w.deque) in
+      (* Steals remove older continuations first, so a non-empty bottom
+         is necessarily our direct parent. *)
+      (match popped with Some cont -> assert (cont == p) | None -> ());
+      let inline = popped <> None in
+      (* The instrumentation must see the return *before* the join
+         counter drops: otherwise the parent could pass its sync (and
+         the maintainer fold its P-bag into its S-bag) while this
+         child's threads are still waiting to be filed as parallel. *)
+      ignore (st.hooks.Sim.on_return ~wid:w.wid ~now:0 ~child:f ~parent:(Some p) ~inline);
+      let resume =
+        with_lock st.proto (fun () ->
+            p.Sim.outstanding <- p.Sim.outstanding - 1;
+            if (not inline) && p.Sim.stalled && p.Sim.outstanding = 0 then begin
+              p.Sim.stalled <- false;
+              Some p
+            end
+            else popped)
+      in
+      w.current <- resume
+
+(* One step of the frame the worker owns. *)
+let step st w (f : Sim.frame) =
+  let blocks = f.Sim.proc.Fj_program.blocks in
+  if f.Sim.item >= Array.length blocks.(f.Sim.block) then begin
+    (* At the sync closing the block. *)
+    let parked =
+      with_lock st.proto (fun () ->
+          if f.Sim.outstanding > 0 then begin
+            f.Sim.stalled <- true;
+            true
+          end
+          else false)
+    in
+    if parked then w.current <- None
+    else begin
+      ignore (st.hooks.Sim.on_block_end ~wid:w.wid ~now:0 f);
+      f.Sim.block <- f.Sim.block + 1;
+      f.Sim.item <- 0;
+      if f.Sim.block >= Array.length blocks then do_return st w f
+    end
+  end
+  else begin
+    match blocks.(f.Sim.block).(f.Sim.item) with
+    | Fj_program.Run u ->
+        f.Sim.item <- f.Sim.item + 1;
+        ignore (st.hooks.Sim.on_thread ~wid:w.wid ~now:0 f u);
+        Atomic.incr st.threads_run;
+        burn st u.Fj_program.cost
+    | Fj_program.Spawn g ->
+        f.Sim.item <- f.Sim.item + 1;
+        with_lock st.proto (fun () -> f.Sim.outstanding <- f.Sim.outstanding + 1);
+        let child = new_frame st g (Some f) in
+        (* Register the child with the instrumentation *before* the
+           continuation becomes stealable: a steal that splits the
+           parent's trace must not affect which trace the child (the
+           left subtree, U3) inherits. *)
+        ignore (st.hooks.Sim.on_spawn ~wid:w.wid ~now:0 ~parent:f ~child);
+        with_lock w.dlock (fun () -> Spr_util.Deque.push_bottom w.deque f);
+        w.current <- Some child
+  end
+
+let try_steal st w =
+  let p = Array.length st.workers in
+  if p > 1 then begin
+    Atomic.incr st.steal_attempts;
+    let victim_id =
+      let v = Spr_util.Rng.int w.rng (p - 1) in
+      if v >= w.wid then v + 1 else v
+    in
+    let victim = st.workers.(victim_id) in
+    (* The steal hook runs while the victim's deque is still locked:
+       successive steals from one victim walk down its spine, and their
+       trace splits must happen in that same (outer-to-inner) order —
+       two thieves racing to split around nested P-nodes of one trace
+       would otherwise interleave the global-tier insertions and corrupt
+       the orderings.  (Lock order is always deque -> instrumentation;
+       hooks never touch deques.) *)
+    let got =
+      with_lock victim.dlock (fun () ->
+          match Spr_util.Deque.pop_top victim.deque with
+          | Some f ->
+              Atomic.incr st.steals;
+              ignore (st.hooks.Sim.on_steal ~thief:w.wid ~victim:victim_id ~now:0 f);
+              Some f
+          | None -> None)
+    in
+    match got with
+    | Some f -> w.current <- Some f
+    | None -> Domain.cpu_relax ()
+  end
+  else Domain.cpu_relax ()
+
+let worker_loop st w =
+  while not (Atomic.get st.done_flag) do
+    match w.current with Some f -> step st w f | None -> try_steal st w
+  done
+
+let run ?(hooks = Sim.no_hooks) ?(seed = 1) ?(spin = 200) ~workers program =
+  if workers < 1 then invalid_arg "Runtime.run: need at least one worker";
+  let rng = Spr_util.Rng.create seed in
+  let st =
+    {
+      hooks;
+      workers =
+        Array.init workers (fun wid ->
+            {
+              wid;
+              deque = Spr_util.Deque.create ();
+              dlock = Mutex.create ();
+              rng = Spr_util.Rng.split rng;
+              current = None;
+            });
+      proto = Mutex.create ();
+      done_flag = Atomic.make false;
+      next_fid = Atomic.make 0;
+      steals = Atomic.make 0;
+      steal_attempts = Atomic.make 0;
+      threads_run = Atomic.make 0;
+      spin;
+    }
+  in
+  let root = new_frame st (Fj_program.main program) None in
+  st.workers.(0).current <- Some root;
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init (workers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop st st.workers.(i + 1)))
+  in
+  worker_loop st st.workers.(0);
+  Array.iter Domain.join domains;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  {
+    steals = Atomic.get st.steals;
+    steal_attempts = Atomic.get st.steal_attempts;
+    threads_run = Atomic.get st.threads_run;
+    frames = Atomic.get st.next_fid;
+    elapsed_s;
+  }

@@ -1,0 +1,47 @@
+(** Real parallel execution of fork-join programs on OCaml domains.
+
+    Where {!Spr_sched.Sim} {e simulates} a Cilk-style work-stealing
+    scheduler in virtual time, this module actually runs the program:
+    each worker is a [Domain], deques hold stealable continuations
+    (defunctionalized as resumption positions inside
+    {!Spr_sched.Sim.frame} records, which this runtime shares with the
+    simulator so the same instrumentation — notably
+    {!Spr_hybrid.Sp_hybrid.hooks} — plugs into both), and a thread of
+    cost [c] spins for [c] calibrated work units.
+
+    Scheduling semantics are the same as the simulator's and the
+    paper's: work-first (descend into the spawned child, leave the
+    continuation), steal-from-top (the oldest continuation — the P-node
+    highest in the victim's walk), and provably-good resume at failed
+    syncs by the last returning child.
+
+    Concurrency discipline: each worker owns its deque under a mutex;
+    frame counters and park/resume transitions go through a runtime
+    mutex; hook callbacks are invoked outside runtime locks (the hybrid
+    maintainer serializes its own bookkeeping and keeps queries
+    lock-free, as Section 4 prescribes).
+
+    Unlike the simulator, runs are {e not} deterministic — tests
+    validate schedule-independent facts (SP relations against the
+    a-posteriori reference, the 4s+1 trace law, work conservation). *)
+
+type result = {
+  steals : int;
+  steal_attempts : int;
+  threads_run : int;
+  frames : int;
+  elapsed_s : float;
+}
+
+val run :
+  ?hooks:Spr_sched.Sim.hooks ->
+  ?seed:int ->
+  ?spin:int ->
+  workers:int ->
+  Spr_prog.Fj_program.t ->
+  result
+(** Execute the program on [workers] domains.  [spin] (default 200) is
+    the number of busy-loop iterations per instruction of thread cost.
+    Hook return values (virtual-time charges) are ignored; [~now] is
+    passed as 0.
+    @raise Invalid_argument if [workers < 1]. *)

@@ -1,0 +1,1 @@
+lib/sched/sim.ml: Array Fj_program Spr_prog Spr_util

@@ -1,0 +1,80 @@
+(** Deterministic work-stealing scheduler simulator.
+
+    Replaces the paper's Cilk runtime (see DESIGN.md, substitutions):
+    [P] virtual workers execute a {!Spr_prog.Fj_program.t} under exact
+    Cilk semantics —
+
+    - {e work-first / continuation stealing}: at a [Spawn] the worker
+      pushes the parent's continuation on the {e bottom} of its deque
+      and descends into the child;
+    - {e steal-from-top}: an idle worker picks a uniformly random victim
+      and takes the {e oldest} continuation, which corresponds to the
+      right subtree of the P-node highest in the victim's parse-tree
+      walk — the property Sections 3–5 of the paper rely on;
+    - a procedure whose continuation was stolen is resumed at a failed
+      sync by the {e last returning child} (provably-good steals).
+
+    Time is discrete: executing a thread costs its instruction count,
+    spawn/sync/return bookkeeping and each steal attempt cost one tick.
+    Instrumentation (SP-hybrid, race detection) attaches through
+    {!hooks}; every hook returns extra virtual ticks to charge the
+    current worker, which is how global-tier lock waiting enters the
+    model.  Runs are reproducible from the seed. *)
+
+type frame = {
+  fid : int;
+  proc : Spr_prog.Fj_program.proc;
+  parent : frame option;
+  mutable block : int;  (** current sync block *)
+  mutable item : int;  (** next item within the block *)
+  mutable outstanding : int;  (** children spawned in this block, not yet returned *)
+  mutable stalled : bool;  (** parked at a failed sync *)
+}
+
+type hooks = {
+  on_spawn : wid:int -> now:int -> parent:frame -> child:frame -> int;
+      (** Fired when a spawn executes (continuation already pushed). *)
+  on_thread : wid:int -> now:int -> frame -> Spr_prog.Fj_program.thread -> int;
+      (** Fired as a thread starts executing — SP queries of a race
+          detector happen here, with this thread as "currently
+          executing". *)
+  on_steal : thief:int -> victim:int -> now:int -> frame -> int;
+      (** Fired when [thief] has taken [frame]'s continuation; the item
+          before [frame.item] is the [Spawn] whose P-node the paper
+          splits around.  SP-hybrid performs SPLIT + the global-tier
+          multi-inserts here; the returned ticks model lock wait +
+          insertion work. *)
+  on_block_end : wid:int -> now:int -> frame -> int;
+      (** Fired when a sync is passed (including the final one before
+          the procedure returns). *)
+  on_return : wid:int -> now:int -> child:frame -> parent:frame option -> inline:bool -> int;
+      (** Fired when a procedure returns.  [inline] is true when this
+          worker immediately continues the parent (its continuation was
+          not stolen) — SP-hybrid then lets the parent adopt the
+          child's trace, mirroring the U' threading of Figure 8. *)
+  lock_busy : now:int -> bool;
+      (** Used only for accounting: classifies steal attempts into the
+          paper's buckets B6 (lock free) and B7 (lock held). *)
+}
+
+val no_hooks : hooks
+(** All hooks return 0; [lock_busy] is always false. *)
+
+type result = {
+  time : int;  (** T{_P}: virtual makespan *)
+  steals : int;  (** successful steals [s] *)
+  steal_attempts : int;
+  steal_attempts_lock_held : int;  (** bucket B7 *)
+  work_ticks : int;  (** bucket B1: thread instruction ticks *)
+  overhead_ticks : int;  (** spawn/sync/return bookkeeping ticks *)
+  steal_ticks : int;  (** ticks spent on steal attempts (B6+B7) *)
+  hook_ticks : int;  (** extra ticks charged by hooks (B2-B5) *)
+  frames : int;  (** procedure activations *)
+}
+
+val run :
+  ?hooks:hooks -> ?seed:int -> ?max_ticks:int -> procs:int -> Spr_prog.Fj_program.t -> result
+(** Simulate the program on [procs] virtual workers.
+    @raise Invalid_argument if [procs < 1].
+    @raise Failure if the run exceeds [max_ticks] (a scheduler-bug
+    tripwire used by the test suite; default unlimited). *)

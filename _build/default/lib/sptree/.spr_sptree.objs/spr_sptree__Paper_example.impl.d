@@ -1,0 +1,1 @@
+lib/sptree/paper_example.ml: Array Builder Sp_tree

@@ -1,0 +1,1 @@
+lib/sptree/paper_example.mli: Sp_tree

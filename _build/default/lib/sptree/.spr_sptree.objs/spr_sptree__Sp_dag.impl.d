@@ -1,0 +1,1 @@
+lib/sptree/sp_dag.ml: Array Format List Queue Sp_tree Spr_util

@@ -1,0 +1,1 @@
+lib/sptree/sp_dag.mli: Format Sp_tree

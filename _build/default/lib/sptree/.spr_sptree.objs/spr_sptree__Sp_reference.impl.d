@@ -1,0 +1,1 @@
+lib/sptree/sp_reference.ml: Option Sp_tree

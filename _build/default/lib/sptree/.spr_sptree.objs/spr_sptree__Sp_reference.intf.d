@@ -1,0 +1,1 @@
+lib/sptree/sp_reference.mli: Sp_tree

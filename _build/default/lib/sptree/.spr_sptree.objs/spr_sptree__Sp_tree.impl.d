@@ -1,0 +1,1 @@
+lib/sptree/sp_tree.ml: Array Format Option Spr_util

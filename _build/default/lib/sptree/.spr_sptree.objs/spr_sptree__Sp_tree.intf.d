@@ -1,0 +1,1 @@
+lib/sptree/sp_tree.mli: Format

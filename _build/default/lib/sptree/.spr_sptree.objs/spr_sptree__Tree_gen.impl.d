@@ -1,0 +1,1 @@
+lib/sptree/tree_gen.ml: Builder Sp_tree Spr_util

@@ -1,0 +1,1 @@
+lib/sptree/tree_gen.mli: Sp_tree Spr_util

@@ -1,0 +1,1 @@
+lib/sptree/unfold.ml: Array List Sp_tree Spr_util

@@ -1,0 +1,1 @@
+lib/sptree/unfold.mli: Sp_tree Spr_util

@@ -1,0 +1,34 @@
+open Sp_tree
+
+let tree () =
+  let b = Builder.create () in
+  let u = Array.init 9 (fun _ -> Builder.leaf b) in
+  let p2 = Builder.parallel b u.(2) u.(3) in
+  let s1 = Builder.series b (Builder.series b u.(1) p2) u.(4) in
+  let p3 = Builder.parallel b u.(6) u.(7) in
+  let s2 = Builder.series b (Builder.series b u.(5) p3) u.(8) in
+  let p1 = Builder.parallel b s1 s2 in
+  Builder.finish b (Builder.series b u.(0) p1)
+
+let thread t i =
+  if i < 0 || i > 8 then invalid_arg "Paper_example.thread: index in 0..8";
+  (leaves t).(i)
+
+(* Structural navigation keeps this robust to builder id details. *)
+let right_child n =
+  match n.shape with
+  | Internal { right; _ } -> right
+  | Leaf -> invalid_arg "Paper_example: expected internal node"
+
+let left_child n =
+  match n.shape with
+  | Internal { left; _ } -> left
+  | Leaf -> invalid_arg "Paper_example: expected internal node"
+
+let p1 t = right_child (root t)
+
+let s1 t = left_child (p1 t)
+
+let expected_english = [| 0; 1; 2; 3; 4; 5; 6; 7; 8 |]
+
+let expected_hebrew = [| 0; 5; 7; 6; 8; 1; 3; 2; 4 |]

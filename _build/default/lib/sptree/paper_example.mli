@@ -1,0 +1,35 @@
+(** The worked example of the paper's Figures 1, 2 and 4.
+
+    The paper does not print the tree as a term, but it pins it down:
+    threads are u0…u8 in English order; Figure 4 gives
+    H[u1] = 5, H[u4] = 8, H[u6] = 3 (0-based); lca(u1, u4) is the
+    S-node S1 with u1 on its left; lca(u1, u6) is the P-node P1.  The
+    natural tree satisfying all of these — and matching Figure 1's dag
+    (u0 feeds a fork whose two symmetric branches each run a thread,
+    fork two parallel threads, join, and run a final thread) — is
+
+    {v S(u0, P1( S1( S(u1, P2(u2, u3)), u4 ),
+             S2( S(u5, P3(u6, u7)), u8 ) )) v}
+
+    This module builds exactly that tree; the test suite re-checks
+    every fact quoted above plus the Lemma 1 examples (u1 ≺ u4,
+    u1 ∥ u6). *)
+
+val tree : unit -> Sp_tree.t
+(** A fresh copy of the Figure 2 parse tree. *)
+
+val thread : Sp_tree.t -> int -> Sp_tree.node
+(** [thread t i] is u{_i} (by English index, 0..8). *)
+
+val s1 : Sp_tree.t -> Sp_tree.node
+(** The S-node the paper calls S1 (= lca(u1, u4)). *)
+
+val p1 : Sp_tree.t -> Sp_tree.node
+(** The P-node the paper calls P1 (= lca(u1, u6)). *)
+
+val expected_english : int array
+(** E[u0..u8] = [|0;1;2;3;4;5;6;7;8|]. *)
+
+val expected_hebrew : int array
+(** H[u0..u8] = [|0;5;7;6;8;1;3;2;4|] — includes the paper's quoted
+    H[u1]=5, H[u4]=8, H[u6]=3. *)

@@ -1,0 +1,79 @@
+type vertex = int
+
+type edge = { src : vertex; dst : vertex; thread : Sp_tree.node; label : int }
+
+type t = {
+  nvertices : int;
+  edges_arr : edge array;
+  succ : edge list array;  (* outgoing edges per vertex, English order *)
+  source : vertex;
+  sink : vertex;
+}
+
+let of_tree tree =
+  let eng = Sp_tree.english_order tree in
+  let next_vertex = ref 0 in
+  let fresh () =
+    let v = !next_vertex in
+    incr next_vertex;
+    v
+  in
+  let acc = Spr_util.Vec.create () in
+  let rec go (n : Sp_tree.node) entry exit_ =
+    match n.shape with
+    | Leaf -> Spr_util.Vec.push acc { src = entry; dst = exit_; thread = n; label = eng.(n.id) }
+    | Internal { kind = Series; left; right } ->
+        let mid = fresh () in
+        go left entry mid;
+        go right mid exit_
+    | Internal { kind = Parallel; left; right } ->
+        go left entry exit_;
+        go right entry exit_
+  in
+  let source = fresh () in
+  let sink = fresh () in
+  go (Sp_tree.root tree) source sink;
+  let edges_arr = Spr_util.Vec.to_array acc in
+  Array.sort (fun a b -> compare a.label b.label) edges_arr;
+  let succ = Array.make !next_vertex [] in
+  Array.iter (fun e -> succ.(e.src) <- e :: succ.(e.src)) edges_arr;
+  Array.iteri (fun v l -> succ.(v) <- List.rev l) succ;
+  { nvertices = !next_vertex; edges_arr; succ; source; sink }
+
+let source t = t.source
+
+let sink t = t.sink
+
+let vertex_count t = t.nvertices
+
+let edges t = t.edges_arr
+
+let successors t v = t.succ.(v)
+
+let topological t =
+  let indegree = Array.make t.nvertices 0 in
+  Array.iter (fun e -> indegree.(e.dst) <- indegree.(e.dst) + 1) t.edges_arr;
+  let ready = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v ready) indegree;
+  let order = ref [] in
+  while not (Queue.is_empty ready) do
+    let v = Queue.pop ready in
+    order := v :: !order;
+    List.iter
+      (fun e ->
+        indegree.(e.dst) <- indegree.(e.dst) - 1;
+        if indegree.(e.dst) = 0 then Queue.add e.dst ready)
+      t.succ.(v)
+  done;
+  List.rev !order
+
+let pp ppf t =
+  List.iter
+    (fun v ->
+      match t.succ.(v) with
+      | [] -> if v = t.sink then Format.fprintf ppf "v%d (sink)@." v
+      | out ->
+          Format.fprintf ppf "v%d" v;
+          List.iter (fun e -> Format.fprintf ppf "  --u%d--> v%d" e.label e.dst) out;
+          Format.fprintf ppf "@.")
+    (topological t)

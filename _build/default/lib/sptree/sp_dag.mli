@@ -1,0 +1,42 @@
+(** Computation-dag view of an SP parse tree (paper, Figure 1).
+
+    Threads become edges; forks and joins become vertices.  The dag is
+    built by standard series-parallel edge composition: a leaf is one
+    edge between its subtree's entry and exit; an S-node chains its
+    children through a fresh middle vertex; a P-node runs both children
+    between the same entry (fork) and exit (join).  Used by the
+    examples to print Figure 1 and by tests as a sanity-check of
+    series-parallel structure. *)
+
+type vertex = int
+
+type edge = {
+  src : vertex;
+  dst : vertex;
+  thread : Sp_tree.node;  (** the leaf this edge represents *)
+  label : int;  (** English index of the thread, for printing u{_i} *)
+}
+
+type t
+
+val of_tree : Sp_tree.t -> t
+
+val source : t -> vertex
+(** The unique vertex with no incoming edge. *)
+
+val sink : t -> vertex
+
+val vertex_count : t -> int
+
+val edges : t -> edge array
+(** All edges, in English (serial-execution) order. *)
+
+val successors : t -> vertex -> edge list
+(** Outgoing edges of a vertex, in English order. *)
+
+val topological : t -> vertex list
+(** Vertices in a topological order of the dag. *)
+
+val pp : Format.formatter -> t -> unit
+(** Adjacency listing: one line per vertex with its outgoing thread
+    edges, e.g. ["v0 --u0--> v1"]. *)

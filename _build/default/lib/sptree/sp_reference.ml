@@ -1,0 +1,51 @@
+type relation = Before | After | Par | Same
+
+let rec lift n k = if k = 0 then n else lift (Option.get n.Sp_tree.parent) (k - 1)
+
+(* Walk both nodes up to their LCA, remembering the child each path
+   came through — that child tells us which subtree each node lies in. *)
+let lca_with_sides a b =
+  let open Sp_tree in
+  if a == b then (a, None, None)
+  else begin
+    let a, b, swapped = if a.depth >= b.depth then (a, b, false) else (b, a, true) in
+    let a' = lift a (a.depth - b.depth) in
+    if a' == b then
+      (* [b] is an ancestor of [a]. *)
+      if swapped then (b, None, Some a) else (b, Some a, None)
+    else begin
+      let rec climb x y =
+        let px = Option.get x.parent and py = Option.get y.parent in
+        if px == py then (px, x, y) else climb px py
+      in
+      let anc, ca, cb = climb a' b in
+      if swapped then (anc, Some cb, Some ca) else (anc, Some ca, Some cb)
+    end
+  end
+
+let lca a b =
+  let anc, _, _ = lca_with_sides a b in
+  anc
+
+let relate a b =
+  let open Sp_tree in
+  let anc, ca, cb = lca_with_sides a b in
+  match (ca, cb) with
+  | None, None -> Same
+  | None, Some _ -> Before (* [a] is a proper ancestor of [b] *)
+  | Some _, None -> After
+  | Some ca, Some cb -> begin
+      match anc.shape with
+      | Leaf -> assert false
+      | Internal { kind = Parallel; _ } -> Par
+      | Internal { kind = Series; left; _ } ->
+          if ca == left then Before
+          else begin
+            assert (cb == left);
+            After
+          end
+    end
+
+let precedes a b = relate a b = Before
+
+let parallel a b = relate a b = Par

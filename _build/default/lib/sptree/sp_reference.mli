@@ -1,0 +1,28 @@
+(** Reference (a posteriori) SP relation via least common ancestors.
+
+    This is the executable specification every on-the-fly
+    SP-maintenance algorithm is validated against: [ui ≺ uj] iff
+    [lca(ui, uj)] is an S-node with [ui] in its left subtree; [ui ∥ uj]
+    iff the lca is a P-node (paper, Section 1).  Queries walk parent
+    links — O(height); meant for tests and examples, not hot paths.
+
+    The relation is defined between any two parse-tree nodes, not just
+    threads (leaves).  When one node is a proper ancestor of the other
+    we report the ancestor as [Before]: in both the English and Hebrew
+    orders a node precedes its descendants, so this matches what
+    SP-order answers for internal nodes.  For two distinct leaves the
+    ancestor case cannot arise and the relation is the paper's. *)
+
+type relation = Before | After | Par | Same
+
+val lca : Sp_tree.node -> Sp_tree.node -> Sp_tree.node
+(** Least common ancestor (the nodes must belong to the same tree). *)
+
+val relate : Sp_tree.node -> Sp_tree.node -> relation
+(** Relation of [a] to [b]: [Before] if [a ≺ b], [After] if [b ≺ a],
+    [Par] if [a ∥ b], [Same] if [a == b]. *)
+
+val precedes : Sp_tree.node -> Sp_tree.node -> bool
+(** [precedes a b] iff [relate a b = Before]. *)
+
+val parallel : Sp_tree.node -> Sp_tree.node -> bool

@@ -1,0 +1,209 @@
+type kind = Series | Parallel
+
+type node = {
+  id : int;
+  mutable parent : node option;
+  mutable depth : int;
+  shape : shape;
+}
+
+and shape = Leaf | Internal of { kind : kind; left : node; right : node }
+
+type t = { root : node; nodes : node array; leaves_arr : node array }
+
+module Builder = struct
+  type b = { mutable next_id : int; built : node Spr_util.Vec.t }
+
+  let create () = { next_id = 0; built = Spr_util.Vec.create () }
+
+  let alloc b shape =
+    let n = { id = b.next_id; parent = None; depth = 0; shape } in
+    b.next_id <- b.next_id + 1;
+    Spr_util.Vec.push b.built n;
+    n
+
+  let leaf b = alloc b Leaf
+
+  let series b left right = alloc b (Internal { kind = Series; left; right })
+
+  let parallel b left right = alloc b (Internal { kind = Parallel; left; right })
+
+  let finish b root =
+    let nodes = Array.make b.next_id root in
+    let leaves = Spr_util.Vec.create () in
+    let seen = Array.make b.next_id false in
+    (* Explicit stack: trees can be deep (degenerate chains in the
+       adversarial workloads), so avoid OCaml stack recursion here. *)
+    let stack = Spr_util.Vec.create () in
+    Spr_util.Vec.push stack root;
+    root.parent <- None;
+    root.depth <- 0;
+    while not (Spr_util.Vec.is_empty stack) do
+      let n = Option.get (Spr_util.Vec.pop stack) in
+      if seen.(n.id) then invalid_arg "Sp_tree.Builder.finish: node used twice";
+      seen.(n.id) <- true;
+      nodes.(n.id) <- n;
+      match n.shape with
+      | Leaf -> Spr_util.Vec.push leaves n
+      | Internal { left; right; _ } ->
+          left.parent <- Some n;
+          left.depth <- n.depth + 1;
+          right.parent <- Some n;
+          right.depth <- n.depth + 1;
+          (* Push right first so the left subtree is processed first and
+             leaves come out in English order. *)
+          Spr_util.Vec.push stack right;
+          Spr_util.Vec.push stack left
+    done;
+    if Array.exists not seen then
+      invalid_arg "Sp_tree.Builder.finish: unreachable node left in builder";
+    { root; nodes; leaves_arr = Spr_util.Vec.to_array leaves }
+end
+
+let root t = t.root
+
+let node_count t = Array.length t.nodes
+
+let leaves t = t.leaves_arr
+
+let leaf_count t = Array.length t.leaves_arr
+
+let node_of_id t i = t.nodes.(i)
+
+let is_leaf n = match n.shape with Leaf -> true | Internal _ -> false
+
+let kind n =
+  match n.shape with
+  | Internal { kind = k; _ } -> k
+  | Leaf -> invalid_arg "Sp_tree.kind: leaf"
+
+type event = Enter of node | Mid of node | Thread of node | Exit of node
+
+let iter_events t f =
+  (* Iterative walk mirroring SP-ORDER's recursion, robust to deep
+     trees.  [`Down n] = first visit, [`Between n] = after the left
+     subtree, [`Up n] = after both subtrees. *)
+  let stack = Spr_util.Vec.create () in
+  Spr_util.Vec.push stack (`Down t.root);
+  while not (Spr_util.Vec.is_empty stack) do
+    match Option.get (Spr_util.Vec.pop stack) with
+    | `Down n -> begin
+        match n.shape with
+        | Leaf -> f (Thread n)
+        | Internal { left; right; _ } ->
+            f (Enter n);
+            Spr_util.Vec.push stack (`Up n);
+            Spr_util.Vec.push stack (`Down right);
+            Spr_util.Vec.push stack (`Between n);
+            Spr_util.Vec.push stack (`Down left)
+      end
+    | `Between n -> f (Mid n)
+    | `Up n -> f (Exit n)
+  done
+
+(* Generic fold over subtrees without stack recursion: compute a value
+   for every node bottom-up. *)
+let fold t ~leaf ~node =
+  let values = Array.make (node_count t) None in
+  iter_events t (function
+    | Thread n -> values.(n.id) <- Some (leaf n)
+    | Exit n -> begin
+        (* Post-order: both children are done by now. *)
+        match n.shape with
+        | Leaf -> assert false
+        | Internal { kind = k; left; right } ->
+            values.(n.id) <-
+              Some (node k (Option.get values.(left.id)) (Option.get values.(right.id)))
+      end
+    | Enter _ | Mid _ -> ());
+  Option.get values.(t.root.id)
+
+let fold_nodes t ~leaf_v ~node_v = fold t ~leaf:(fun _ -> leaf_v) ~node:node_v
+
+let fork_count t =
+  fold_nodes t ~leaf_v:0 ~node_v:(fun k l r ->
+      l + r + match k with Parallel -> 1 | Series -> 0)
+
+let nesting_depth t =
+  fold_nodes t ~leaf_v:0 ~node_v:(fun k l r ->
+      max l r + match k with Parallel -> 1 | Series -> 0)
+
+let height t = fold_nodes t ~leaf_v:0 ~node_v:(fun _ l r -> 1 + max l r)
+
+let work t = leaf_count t
+
+let span t =
+  fold_nodes t ~leaf_v:1 ~node_v:(fun k l r ->
+      match k with Series -> l + r | Parallel -> max l r)
+
+let english_order t =
+  let order = Array.make (node_count t) (-1) in
+  let next = ref 0 in
+  iter_events t (function
+    | Thread n ->
+        order.(n.id) <- !next;
+        incr next
+    | Enter _ | Mid _ | Exit _ -> ());
+  order
+
+let hebrew_order t =
+  let order = Array.make (node_count t) (-1) in
+  let next = ref 0 in
+  (* Hebrew walk: iterative, right child first at P-nodes. *)
+  let stack = Spr_util.Vec.create () in
+  Spr_util.Vec.push stack t.root;
+  while not (Spr_util.Vec.is_empty stack) do
+    let n = Option.get (Spr_util.Vec.pop stack) in
+    match n.shape with
+    | Leaf ->
+        order.(n.id) <- !next;
+        incr next
+    | Internal { kind = Series; left; right } ->
+        Spr_util.Vec.push stack right;
+        Spr_util.Vec.push stack left
+    | Internal { kind = Parallel; left; right } ->
+        Spr_util.Vec.push stack left;
+        Spr_util.Vec.push stack right
+  done;
+  order
+
+(* Pre-order numbering of every node, flipping subtree order at P-nodes
+   when [flip_p].  This is exactly where SP-ORDER's insertions converge:
+   children are placed right after their parent, so a fully unfolded
+   order reads parent-then-left-subtree-then-right-subtree (or swapped
+   at P-nodes for the Hebrew structure). *)
+let node_preorder ~flip_p t =
+  let order = Array.make (node_count t) (-1) in
+  let next = ref 0 in
+  let stack = Spr_util.Vec.create () in
+  Spr_util.Vec.push stack t.root;
+  while not (Spr_util.Vec.is_empty stack) do
+    let n = Option.get (Spr_util.Vec.pop stack) in
+    order.(n.id) <- !next;
+    incr next;
+    match n.shape with
+    | Leaf -> ()
+    | Internal { kind; left; right } ->
+        let first, second =
+          if flip_p && kind = Parallel then (right, left) else (left, right)
+        in
+        (* Stack: push the later one first. *)
+        Spr_util.Vec.push stack second;
+        Spr_util.Vec.push stack first
+  done;
+  order
+
+let english_node_order t = node_preorder ~flip_p:false t
+
+let hebrew_node_order t = node_preorder ~flip_p:true t
+
+let pp ppf t =
+  let eng = english_order t in
+  let rec go ppf n =
+    match n.shape with
+    | Leaf -> Format.fprintf ppf "u%d" eng.(n.id)
+    | Internal { kind = k; left; right } ->
+        let label = match k with Series -> "S" | Parallel -> "P" in
+        Format.fprintf ppf "@[<hv 2>%s(@,%a,@ %a)@]" label go left go right
+  in
+  go ppf t.root

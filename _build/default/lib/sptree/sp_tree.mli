@@ -1,0 +1,121 @@
+(** Series-parallel (SP) parse trees.
+
+    The execution of a fork-join program is a series-parallel dag whose
+    structure is captured by a {e parse tree} (paper, Section 1 and
+    Figure 2): leaves are threads; an internal S-node composes its left
+    subtree {e before} its right subtree; an internal P-node composes
+    them {e in parallel}.  Following the paper we only deal with full
+    binary parse trees (footnote 1).
+
+    Nodes carry dense integer ids in creation order, plus parent/depth
+    links so the reference LCA relation ({!Sp_reference}) is cheap.
+
+    On-the-fly algorithms consume the tree through {!iter_events}, the
+    event stream of a left-to-right walk — exactly the unfolding order
+    assumed by the serial algorithms of Section 2. *)
+
+type kind = Series | Parallel
+
+type node = private {
+  id : int;  (** dense id, creation order *)
+  mutable parent : node option;
+  mutable depth : int;  (** root has depth 0 *)
+  shape : shape;
+}
+
+and shape = Leaf | Internal of { kind : kind; left : node; right : node }
+
+type t
+(** A finished parse tree (root + indexes). *)
+
+(** Trees are constructed bottom-up through a builder so that ids stay
+    dense per tree. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  val leaf : b -> node
+  (** A fresh thread. *)
+
+  val series : b -> node -> node -> node
+  (** S-node over two previously built, not-yet-attached nodes. *)
+
+  val parallel : b -> node -> node -> node
+
+  val finish : b -> node -> t
+  (** Close the builder with the given root.  Sets parent/depth links,
+      collects leaves.
+      @raise Invalid_argument if some built node is unreachable from
+      the root (the tree must use every node exactly once). *)
+end
+
+val root : t -> node
+
+val node_count : t -> int
+
+val leaves : t -> node array
+(** All threads, in English (left-to-right) order. *)
+
+val leaf_count : t -> int
+
+val node_of_id : t -> int -> node
+
+val is_leaf : node -> bool
+
+val kind : node -> kind
+(** @raise Invalid_argument on a leaf. *)
+
+val fork_count : t -> int
+(** Number of P-nodes — the paper's [f]. *)
+
+val nesting_depth : t -> int
+(** Maximum number of P-nodes on a root-to-leaf path — the paper's
+    maximum depth of nested parallelism [d]. *)
+
+val height : t -> int
+(** Tree height in edges. *)
+
+val work : t -> int
+(** Work T{_1} with unit-cost threads: the number of leaves. *)
+
+val span : t -> int
+(** Critical path T{_∞} with unit-cost threads: S adds, P maxes. *)
+
+val fold : t -> leaf:(node -> 'a) -> node:(kind -> 'a -> 'a -> 'a) -> 'a
+(** Bottom-up fold over the tree (iterative — safe on degenerate
+    chains).  [work]/[span] with non-unit thread costs are one-liners
+    over this. *)
+
+(** Events of the left-to-right on-the-fly walk.  For an internal node,
+    [Enter] fires before either child is walked, [Mid] between the two
+    subtrees, and [Exit] after both; [Thread] fires when a leaf
+    executes.  [Mid] is where serial algorithms fold a completed left
+    subtree into their state (e.g. SP-bags unions the left subtree's
+    set into the S- or P-bag). *)
+type event = Enter of node | Mid of node | Thread of node | Exit of node
+
+val iter_events : t -> (event -> unit) -> unit
+
+val english_order : t -> int array
+(** [english_order t] maps leaf id to its 0-based index in the English
+    order (left-to-right at every node).  Indexed by [node.id]; entries
+    for internal nodes are [-1]. *)
+
+val hebrew_order : t -> int array
+(** Hebrew order: right-before-left at P-nodes, left-before-right at
+    S-nodes (paper, Section 2). *)
+
+val english_node_order : t -> int array
+(** English order extended to {e all} nodes — the total order SP-order's
+    [Eng] structure converges to after a full unfolding: a node
+    immediately precedes its left subtree, which precedes its right
+    subtree (pre-order).  Indexed by node id. *)
+
+val hebrew_node_order : t -> int array
+(** All-nodes Hebrew order: pre-order with the subtrees swapped at
+    P-nodes — SP-order's [Heb] structure after a full unfolding. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering of the parse tree, S/P internal nodes and
+    [u<i>] leaves numbered in English order. *)

@@ -1,0 +1,69 @@
+open Sp_tree
+
+let balanced ~leaves =
+  if leaves < 1 then invalid_arg "Tree_gen.balanced: need at least one leaf";
+  let b = Builder.create () in
+  (* Round up to a power of two; alternate S (even levels) / P (odd). *)
+  let rec pow2 p = if p >= leaves then p else pow2 (2 * p) in
+  let n = pow2 1 in
+  let rec build size level =
+    if size = 1 then Builder.leaf b
+    else begin
+      let l = build (size / 2) (level + 1) in
+      let r = build (size / 2) (level + 1) in
+      if level mod 2 = 0 then Builder.series b l r else Builder.parallel b l r
+    end
+  in
+  Builder.finish b (build n 0)
+
+let deep_nest ~depth =
+  if depth < 0 then invalid_arg "Tree_gen.deep_nest: negative depth";
+  let b = Builder.create () in
+  let rec build d acc =
+    if d = 0 then acc else build (d - 1) (Builder.parallel b acc (Builder.leaf b))
+  in
+  Builder.finish b (build depth (Builder.leaf b))
+
+let fork_chain ~forks =
+  if forks < 1 then invalid_arg "Tree_gen.fork_chain: need at least one fork";
+  let b = Builder.create () in
+  let fork () = Builder.parallel b (Builder.leaf b) (Builder.leaf b) in
+  (* Built right-to-left iteratively: chains can be very long. *)
+  let rec build k acc = if k = 0 then acc else build (k - 1) (Builder.series b (fork ()) acc) in
+  Builder.finish b (build (forks - 1) (fork ()))
+
+let serial_chain ~leaves =
+  if leaves < 1 then invalid_arg "Tree_gen.serial_chain: need at least one leaf";
+  let b = Builder.create () in
+  let rec build k acc =
+    if k = 0 then acc else build (k - 1) (Builder.series b (Builder.leaf b) acc)
+  in
+  Builder.finish b (build (leaves - 1) (Builder.leaf b))
+
+let wide_flat ~leaves =
+  if leaves < 1 then invalid_arg "Tree_gen.wide_flat: need at least one leaf";
+  let b = Builder.create () in
+  let rec build k =
+    if k = 1 then Builder.leaf b
+    else begin
+      let l = build ((k + 1) / 2) in
+      let r = build (k / 2) in
+      Builder.parallel b l r
+    end
+  in
+  Builder.finish b (build leaves)
+
+let random_tree ~rng ~leaves ~p_prob =
+  if leaves < 1 then invalid_arg "Tree_gen.random_tree: need at least one leaf";
+  let b = Builder.create () in
+  let rec build k =
+    if k = 1 then Builder.leaf b
+    else begin
+      let split = 1 + Spr_util.Rng.int rng (k - 1) in
+      let l = build split in
+      let r = build (k - split) in
+      if Spr_util.Rng.bernoulli rng p_prob then Builder.parallel b l r
+      else Builder.series b l r
+    end
+  in
+  Builder.finish b (build leaves)

@@ -1,0 +1,34 @@
+(** Parse-tree generators for tests and benchmarks.
+
+    Each generator targets one row/column of the paper's Figure 3
+    comparison: [deep_nest] maximizes the nesting depth [d] (hurting
+    offset-span labels), [fork_chain] maximizes the fork count [f] at
+    small depth (hurting static English-Hebrew labels), [balanced] is
+    the well-behaved divide-and-conquer shape, [serial_chain] has no
+    parallelism at all, and [random_tree] draws uniform-ish random SP
+    structure for property-based testing. *)
+
+val balanced : leaves:int -> Sp_tree.t
+(** Perfect divide-and-conquer: alternating S over P levels, [leaves]
+    rounded up to the next power of two.  d ≈ f ≈ lg n. *)
+
+val deep_nest : depth:int -> Sp_tree.t
+(** P-nodes nested [depth] deep along the left spine:
+    P(P(P(...,u),u),u).  n = depth+1 leaves, d = depth. *)
+
+val fork_chain : forks:int -> Sp_tree.t
+(** A serial chain of [forks] independent two-thread forks:
+    S(P(u,u), S(P(u,u), ...)).  f = forks, d = 1. *)
+
+val serial_chain : leaves:int -> Sp_tree.t
+(** Right-leaning chain of S-nodes; no P-node at all. *)
+
+val wide_flat : leaves:int -> Sp_tree.t
+(** A balanced tree of P-nodes only: everything parallel with
+    everything.  d = lg n. *)
+
+val random_tree : rng:Spr_util.Rng.t -> leaves:int -> p_prob:float -> Sp_tree.t
+(** Random full binary tree over [leaves] threads; each internal node is
+    a P-node with probability [p_prob], S-node otherwise.  Leaf-count
+    splits are uniform, giving a good mix of skewed and balanced
+    shapes. *)

@@ -1,0 +1,64 @@
+open Sp_tree
+
+(* Frontier simulation: [ready] holds nodes whose expansion is legal
+   right now.  Completion propagates upward; completing the left child
+   of an S-node unlocks the right child, completing it under a P-node
+   does not gate anything (the right child was unlocked at Enter). *)
+let random_events ~rng tree =
+  let n = node_count tree in
+  let complete = Array.make n false in
+  let events = ref [] in
+  let ready = Spr_util.Vec.create () in
+  let emit e = events := e :: !events in
+  (* Mark [x] complete and propagate: fire Mid/Exit events and unlock
+     S-node right children. *)
+  let rec completed (x : node) =
+    complete.(x.id) <- true;
+    match x.parent with
+    | None -> ()
+    | Some p -> begin
+        match p.shape with
+        | Leaf -> assert false
+        | Internal { kind; left; right } ->
+            if x == left then begin
+              emit (Mid p);
+              (* The right child of an S-node becomes ready only now;
+                 under a P-node it has been ready since Enter. *)
+              if kind = Series then Spr_util.Vec.push ready right
+            end;
+            if complete.(left.id) && complete.(right.id) then begin
+              emit (Exit p);
+              completed p
+            end
+      end
+  in
+  Spr_util.Vec.push ready (root tree);
+  while not (Spr_util.Vec.is_empty ready) do
+    (* Swap a uniformly random ready node to the end and pop it. *)
+    let len = Spr_util.Vec.length ready in
+    let i = Spr_util.Rng.int rng len in
+    let x = Spr_util.Vec.get ready i in
+    Spr_util.Vec.set ready i (Spr_util.Vec.get ready (len - 1));
+    Spr_util.Vec.set ready (len - 1) x;
+    ignore (Spr_util.Vec.pop ready);
+    match x.shape with
+    | Leaf ->
+        emit (Thread x);
+        completed x
+    | Internal { kind; left; right } ->
+        emit (Enter x);
+        Spr_util.Vec.push ready left;
+        if kind = Parallel then Spr_util.Vec.push ready right
+  done;
+  List.rev !events
+
+let is_left_to_right tree events =
+  let reference = ref [] in
+  iter_events tree (fun e -> reference := e :: !reference);
+  let same a b =
+    match (a, b) with
+    | Enter x, Enter y | Mid x, Mid y | Exit x, Exit y | Thread x, Thread y -> x == y
+    | _ -> false
+  in
+  List.length events = List.length !reference
+  && List.for_all2 same events (List.rev !reference)

@@ -1,0 +1,29 @@
+(** Arbitrary legal unfoldings of an SP parse tree.
+
+    The end of Section 2 observes that SP-ORDER does not need the
+    left-to-right walk: the recursion "could be executed on nodes in
+    any order that respects the parent-child and SP relationships" —
+    e.g. breadth-first at P-nodes — because the insertion invariant of
+    Lemma 3 is local to a node and its children.  A {e legal unfolding}
+    is any interleaving in which
+
+    - a node is expanded/executed only after its parent was expanded;
+    - the right child of an S-node is touched only after the left
+      subtree has fully completed (a partial execution must be a
+      series-parallel-consistent prefix);
+    - both children of a P-node may progress in any interleaving.
+
+    [random_events] draws such an unfolding at random (uniformly among
+    ready nodes at each step), emitting the same event alphabet as
+    {!Sp_tree.iter_events} — [Mid x] fires when x's left subtree
+    completes, [Exit x] when both do — so maintainers that tolerate
+    out-of-order unfolding (SP-order) can be driven and checked against
+    the reference on every prefix. *)
+
+val random_events : rng:Spr_util.Rng.t -> Sp_tree.t -> Sp_tree.event list
+(** A random legal unfolding of the whole tree. *)
+
+val is_left_to_right : Sp_tree.t -> Sp_tree.event list -> bool
+(** Whether the given unfolding is exactly the serial left-to-right
+    walk (used by tests to make sure the generator really produces
+    different schedules). *)

@@ -1,0 +1,1 @@
+lib/unionfind/union_find.mli:

@@ -1,0 +1,81 @@
+type 'a node = {
+  mutable parent : 'a node option;  (* None iff root *)
+  mutable rank : int;
+  mutable data : 'a;  (* meaningful at roots only *)
+}
+
+type config = { path_compression : bool }
+
+type 'a t = {
+  config : config;
+  mutable nodes : int;
+  mutable sets : int;
+  mutable finds : int;
+  mutable steps : int;
+}
+
+let create config = { config; nodes = 0; sets = 0; finds = 0; steps = 0 }
+
+let make_set t data =
+  t.nodes <- t.nodes + 1;
+  t.sets <- t.sets + 1;
+  { parent = None; rank = 0; data }
+
+let rec find_root t n =
+  match n.parent with
+  | None -> n
+  | Some p ->
+      t.steps <- t.steps + 1;
+      find_root t p
+
+let find_readonly t n =
+  t.finds <- t.finds + 1;
+  find_root t n
+
+let find t n =
+  t.finds <- t.finds + 1;
+  let root = find_root t n in
+  if t.config.path_compression then begin
+    (* Second pass: point every node on the path directly at the root. *)
+    let rec compress n =
+      match n.parent with
+      | Some p when not (p == root) ->
+          n.parent <- Some root;
+          compress p
+      | _ -> ()
+    in
+    compress n
+  end;
+  root
+
+let union t ~into other =
+  let ra = find t into in
+  let rb = find t other in
+  if ra == rb then ()
+  else begin
+    let keep = ra.data in
+    let winner, loser = if ra.rank >= rb.rank then (ra, rb) else (rb, ra) in
+    (* Publish the surviving payload *before* linking: a concurrent
+       read-only find then observes either the pre-union state (two
+       roots, old payloads) or the post-union state (one root with the
+       kept payload) — never a root with a stale payload.  This is the
+       write ordering SP-hybrid's lock-free FIND-TRACE relies on. *)
+    winner.data <- keep;
+    if winner.rank = loser.rank then winner.rank <- winner.rank + 1;
+    loser.parent <- Some winner;
+    t.sets <- t.sets - 1
+  end
+
+let same_set t a b = find t a == find t b
+
+let payload t n = (find t n).data
+
+let set_payload t n v = (find t n).data <- v
+
+let count_sets t = t.sets
+
+let count_nodes t = t.nodes
+
+let find_count t = t.finds
+
+let find_steps t = t.steps

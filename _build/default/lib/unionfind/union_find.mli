@@ -1,0 +1,66 @@
+(** Disjoint-set forests.
+
+    Two variants, matching the paper's Section 5 discussion:
+
+    - {!Make} with [path_compression = true] is the classical structure
+      (union by rank + path compression, Θ(α(m,n)) amortized) used by
+      the serial SP-bags algorithm [Feng–Leiserson 1997].
+    - [path_compression = false] is union-by-rank only, O(lg n)
+      worst-case per operation but with {e read-only finds}, which is
+      what SP-hybrid's local tier needs so that concurrent FIND-TRACE
+      operations never write to the structure.
+
+    Sets carry a mutable payload at their representative; [union] lets
+    the caller decide which payload survives.  Payloads are how SP-bags
+    tags sets as S-bags or P-bags and how the local tier maps a set to
+    its trace. *)
+
+type 'a node
+(** An element; its set is identified by the representative node. *)
+
+type config = { path_compression : bool }
+
+type 'a t
+(** A forest (a universe of elements). *)
+
+val create : config -> 'a t
+
+val make_set : 'a t -> 'a -> 'a node
+(** New singleton set with the given payload. *)
+
+val find : 'a t -> 'a node -> 'a node
+(** Representative of the node's set.  Performs path compression only
+    when the forest was configured with it. *)
+
+val find_readonly : 'a t -> 'a node -> 'a node
+(** Representative computed {e without any mutation}, regardless of
+    configuration — safe under concurrent readers. *)
+
+val union : 'a t -> into:'a node -> 'a node -> unit
+(** [union t ~into other] merges the two sets.  The surviving
+    representative (chosen by rank) receives [into]'s payload, so
+    "union [other]'s set into [into]'s set" keeps [into]'s identity in
+    the payload sense even if rank dictates the other root wins. *)
+
+val same_set : 'a t -> 'a node -> 'a node -> bool
+
+val payload : 'a t -> 'a node -> 'a
+(** Payload of the node's {e set} (i.e. of its representative). *)
+
+val set_payload : 'a t -> 'a node -> 'a -> unit
+(** Replace the payload of the node's set. *)
+
+val count_sets : 'a t -> int
+(** Number of disjoint sets currently in the forest. *)
+
+val count_nodes : 'a t -> int
+
+val find_count : 'a t -> int
+(** Total find operations performed (including those inside [union],
+    [payload], ...). *)
+
+val find_steps : 'a t -> int
+(** Total parent-pointer hops across all finds — the quantity path
+    compression shrinks.  [find_steps / find_count] is the mean find
+    depth, the metric of the paper's Section 7 conjecture about using
+    path compression in SP-hybrid's local tier. *)

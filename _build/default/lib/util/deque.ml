@@ -1,0 +1,58 @@
+type 'a t = { mutable buf : 'a option array; mutable top : int; mutable len : int }
+(* [top] indexes the oldest element; elements occupy
+   buf[(top + k) mod cap] for k in [0, len). *)
+
+let create () = { buf = Array.make 8 None; top = 0; len = 0 }
+
+let length d = d.len
+
+let is_empty d = d.len = 0
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf' = Array.make (2 * cap) None in
+  for k = 0 to d.len - 1 do
+    buf'.(k) <- d.buf.((d.top + k) mod cap)
+  done;
+  d.buf <- buf';
+  d.top <- 0
+
+let push_bottom d x =
+  if d.len = Array.length d.buf then grow d;
+  let cap = Array.length d.buf in
+  d.buf.((d.top + d.len) mod cap) <- Some x;
+  d.len <- d.len + 1
+
+let pop_bottom d =
+  if d.len = 0 then None
+  else begin
+    let cap = Array.length d.buf in
+    let idx = (d.top + d.len - 1) mod cap in
+    let x = d.buf.(idx) in
+    d.buf.(idx) <- None;
+    d.len <- d.len - 1;
+    x
+  end
+
+let pop_top d =
+  if d.len = 0 then None
+  else begin
+    let x = d.buf.(d.top) in
+    d.buf.(d.top) <- None;
+    d.top <- (d.top + 1) mod Array.length d.buf;
+    d.len <- d.len - 1;
+    x
+  end
+
+let peek_top d = if d.len = 0 then None else d.buf.(d.top)
+
+let clear d =
+  Array.fill d.buf 0 (Array.length d.buf) None;
+  d.top <- 0;
+  d.len <- 0
+
+let iter_top_to_bottom f d =
+  let cap = Array.length d.buf in
+  for k = 0 to d.len - 1 do
+    match d.buf.((d.top + k) mod cap) with Some x -> f x | None -> assert false
+  done

@@ -1,0 +1,28 @@
+(** Double-ended queue (ring buffer).
+
+    The work-stealing simulator uses one per virtual worker: the owner
+    pushes and pops continuations at the {e bottom}; thieves take from
+    the {e top} — the oldest continuation, which in Cilk corresponds to
+    the P-node highest in the victim's parse-tree walk. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_bottom : 'a t -> 'a -> unit
+
+val pop_bottom : 'a t -> 'a option
+(** Most recently pushed element (LIFO end). *)
+
+val pop_top : 'a t -> 'a option
+(** Oldest element (FIFO end) — the steal operation. *)
+
+val peek_top : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val iter_top_to_bottom : ('a -> unit) -> 'a t -> unit

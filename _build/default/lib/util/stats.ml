@@ -1,0 +1,78 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty input";
+  Array.fold_left
+    (fun (mn, mx) x -> (Float.min mn x, Float.max mx x))
+    (xs.(0), xs.(0)) xs
+
+let linear_fit points =
+  let n = float_of_int (Array.length points) in
+  if n < 2.0 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let denom = (n *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((n *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. n in
+  (slope, intercept)
+
+let fit_power points =
+  let logs =
+    Array.of_list
+      (Array.fold_left
+         (fun acc (x, y) -> if x > 0.0 && y > 0.0 then (log x, log y) :: acc else acc)
+         [] points
+      |> List.rev)
+  in
+  let k, logc = linear_fit logs in
+  (k, exp logc)
+
+let r_squared points (slope, intercept) =
+  let ys = Array.map snd points in
+  let m = mean ys in
+  let ss_tot = Array.fold_left (fun acc y -> acc +. ((y -. m) ** 2.0)) 0.0 ys in
+  let ss_res =
+    Array.fold_left
+      (fun acc (x, y) ->
+        let fy = (slope *. x) +. intercept in
+        acc +. ((y -. fy) ** 2.0))
+      0.0 points
+  in
+  if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot)

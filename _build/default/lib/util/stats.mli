@@ -1,0 +1,33 @@
+(** Small statistics toolkit for the benchmark harness.
+
+    Besides the usual summary statistics, [fit_power] estimates the
+    exponent of a power-law relationship, which the benches use to check
+    asymptotic claims ("construction is O(n)" shows up as an exponent
+    close to 1 of total time against n, i.e. flat per-node cost). *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median (input is not modified). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation. *)
+
+val min_max : float array -> float * float
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] is the least-squares [(slope, intercept)]. *)
+
+val fit_power : (float * float) array -> float * float
+(** [fit_power points] fits [y = c * x^k] by regression in log-log
+    space and returns [(k, c)].  Points with non-positive coordinates
+    are ignored. *)
+
+val r_squared : (float * float) array -> float * float -> float
+(** [r_squared points (slope, intercept)] is the coefficient of
+    determination of the linear fit. *)

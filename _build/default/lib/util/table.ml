@@ -1,0 +1,90 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  rows : row Vec.t;
+}
+
+let create ?title cols =
+  { title; headers = List.map fst cols; aligns = List.map snd cols; rows = Vec.create () }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  Vec.push t.rows (Cells cells)
+
+let add_sep t = Vec.push t.rows Sep
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  Vec.iter (function Cells cells -> measure cells | Sep -> ()) t.rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row cells aligns =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let pad = widths.(i) - String.length c in
+        let l, r = match List.nth aligns i with Left -> (0, pad) | Right -> (pad, 0) in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (String.make l ' ');
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make r ' ');
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  emit_row t.headers (List.map (fun _ -> Left) t.headers);
+  rule ();
+  Vec.iter (function Cells cells -> emit_row cells t.aligns | Sep -> rule ()) t.rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_ns ns =
+  let abs = Float.abs ns in
+  if abs < 1e3 then Printf.sprintf "%.1fns" ns
+  else if abs < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else if abs < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.3fs" (ns /. 1e9)
+
+let fmt_float x =
+  let abs = Float.abs x in
+  if abs <> 0.0 && (abs < 0.01 || abs >= 1e6) then Printf.sprintf "%.3e" x
+  else Printf.sprintf "%.3f" x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** ASCII table rendering for the benchmark harness and examples.
+
+    Produces aligned, boxed tables in the spirit of the paper's
+    Figure 3 so that bench output can be compared to the paper at a
+    glance. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row; the cell count must match the
+    header count. *)
+
+val add_sep : t -> unit
+(** [add_sep t] inserts a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Render the table to a string (trailing newline included). *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)
+
+val fmt_ns : float -> string
+(** Human format for a duration in nanoseconds: "12.3ns", "4.5us", ... *)
+
+val fmt_float : float -> string
+(** Compact float: 3 significant-ish decimals. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer: 1_234_567 -> "1,234,567". *)

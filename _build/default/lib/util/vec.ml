@@ -1,0 +1,87 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let make n x = { data = Array.make n x; len = n }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds [0,%d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+(* Doubling growth keeps pushes amortized O(1).  The first push allocates
+   a small fixed capacity. *)
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else cap * 2 in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    let x = v.data.(v.len) in
+    (* Release the slot so the GC can reclaim [x] early. *)
+    if v.len > 0 then v.data.(v.len) <- v.data.(0);
+    Some x
+  end
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let clear v =
+  (* Overwrite live slots so cleared elements do not leak. *)
+  if v.len > 0 then begin
+    let filler = v.data.(0) in
+    for i = 1 to v.len - 1 do
+      v.data.(i) <- filler
+    done
+  end;
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v

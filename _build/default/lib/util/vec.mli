@@ -1,0 +1,48 @@
+(** Growable arrays (the stdlib gains [Dynarray] only in OCaml 5.2).
+
+    A [Vec.t] is a resizable array with amortized O(1) [push] and O(1)
+    random access.  Used throughout the repo wherever nodes, threads or
+    measurements accumulate on the fly. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]th element.  @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x]; amortized O(1). *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, if any. *)
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** [clear v] logically empties [v] (capacity retained, slots released). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : 'a list -> 'a t

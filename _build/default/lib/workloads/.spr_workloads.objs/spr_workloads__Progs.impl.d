@@ -1,0 +1,1 @@
+lib/workloads/progs.ml: Array Fj_program List Spr_prog Spr_sptree Spr_util

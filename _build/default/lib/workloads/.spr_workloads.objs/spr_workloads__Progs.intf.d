@@ -1,0 +1,1 @@
+lib/workloads/progs.mli: Spr_prog Spr_sptree Spr_util

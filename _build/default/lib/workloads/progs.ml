@@ -1,0 +1,278 @@
+open Spr_prog
+module B = Fj_program.Builder
+
+let fib ?(cost = 4) ~n () =
+  let b = B.create () in
+  let rec go n =
+    if n < 2 then B.proc b [ [ Fj_program.Run (B.thread b ~cost ()) ] ]
+    else begin
+      let left = go (n - 1) in
+      let right = go (n - 2) in
+      B.proc b
+        [
+          [ Fj_program.Spawn left; Fj_program.Spawn right ];
+          [ Fj_program.Run (B.thread b ~cost ()) ];
+        ]
+    end
+  in
+  B.finish b (go n)
+
+let deep_spawn ?(cost = 2) ~depth () =
+  let b = B.create () in
+  let leaf_proc () = B.proc b [ [ Fj_program.Run (B.thread b ~cost ()) ] ] in
+  let rec go d acc =
+    if d = 0 then acc
+    else begin
+      let p =
+        B.proc b [ [ Fj_program.Spawn acc; Fj_program.Run (B.thread b ~cost ()) ] ]
+      in
+      go (d - 1) p
+    end
+  in
+  B.finish b (go depth (leaf_proc ()))
+
+let wide ?(cost = 3) ~n () =
+  let b = B.create () in
+  let children =
+    List.init n (fun _ ->
+        Fj_program.Spawn (B.proc b [ [ Fj_program.Run (B.thread b ~cost ()) ] ]))
+  in
+  B.finish b (B.proc b [ children @ [ Fj_program.Run (B.thread b ~cost ()) ] ])
+
+let serial ?(cost = 3) ~n () =
+  let b = B.create () in
+  let blocks = List.init n (fun _ -> [ Fj_program.Run (B.thread b ~cost ()) ]) in
+  B.finish b (B.proc b blocks)
+
+let dc_sum ?(buggy = false) ?(grain = 4) ~leaves () =
+  if leaves < 1 then invalid_arg "Progs.dc_sum: need at least one leaf";
+  let b = B.create () in
+  (* Location space: input cells first, then one accumulator per node
+     of the reduction tree (allocated on the fly). *)
+  let next_acc = ref (leaves * grain) in
+  let fresh_acc () =
+    let l = !next_acc in
+    incr next_acc;
+    l
+  in
+  let read loc = { Fj_program.loc; write = false; locks = [] } in
+  let write loc = { Fj_program.loc; write = true; locks = [] } in
+  (* Returns (proc, accumulator written by that proc). *)
+  let rec go lo count ~parent_acc =
+    if count = 1 then begin
+      let acc = fresh_acc () in
+      let target = match parent_acc with Some a when buggy -> a | _ -> acc in
+      let reads = List.init grain (fun k -> read ((lo * grain) + k)) in
+      let accesses = reads @ [ write target ] in
+      (B.proc b [ [ Fj_program.Run (B.thread b ~accesses ~cost:(grain + 1) ()) ] ], acc)
+    end
+    else begin
+      let acc = fresh_acc () in
+      let half = count / 2 in
+      let lproc, lacc = go lo half ~parent_acc:(Some acc) in
+      let rproc, racc = go (lo + half) (count - half) ~parent_acc:(Some acc) in
+      let combine_reads =
+        if buggy then [ read acc ] else [ read lacc; read racc ]
+      in
+      let combine = B.thread b ~accesses:(combine_reads @ [ write acc ]) ~cost:2 () in
+      ( B.proc b
+          [
+            [ Fj_program.Spawn lproc; Fj_program.Spawn rproc ];
+            [ Fj_program.Run combine ];
+          ],
+        acc )
+    end
+  in
+  let main, _ = go 0 leaves ~parent_acc:None in
+  B.finish b main
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let mergesort ?(buggy = false) ?(grain = 4) ~n () =
+  let n = round_pow2 (max grain n) in
+  let b = B.create () in
+  let read loc = { Fj_program.loc; write = false; locks = [] } in
+  let write loc = { Fj_program.loc; write = true; locks = [] } in
+  let scratch lo len =
+    (* Correct code uses private scratch [n+lo, n+lo+len); the bug aims
+       every merge at the same scratch window. *)
+    if buggy then List.init len (fun k -> n + k) else List.init len (fun k -> n + lo + k)
+  in
+  let rec sort lo len =
+    if len <= grain then begin
+      (* Leaf: in-place insertion sort of its run. *)
+      let accesses =
+        List.concat (List.init len (fun k -> [ read (lo + k); write (lo + k) ]))
+      in
+      B.proc b [ [ Fj_program.Run (B.thread b ~accesses ~cost:(len * 2) ()) ] ]
+    end
+    else begin
+      let half = len / 2 in
+      let left = sort lo half in
+      let right = sort (lo + half) half in
+      (* Merge: read both sorted halves, stream through scratch, write
+         back. *)
+      let reads = List.init len (fun k -> read (lo + k)) in
+      let scratch_ws = List.map write (scratch lo len) in
+      let write_back = List.init len (fun k -> write (lo + k)) in
+      let merge =
+        B.thread b ~accesses:(reads @ scratch_ws @ write_back) ~cost:(len * 3) ()
+      in
+      B.proc b
+        [
+          [ Fj_program.Spawn left; Fj_program.Spawn right ];
+          [ Fj_program.Run merge ];
+        ]
+    end
+  in
+  B.finish b (sort 0 n)
+
+let matmul ?(buggy = false) ?(grain = 2) ~n () =
+  let n = round_pow2 (max grain n) in
+  let b = B.create () in
+  let idx base i j = base + (i * n) + j in
+  let a_cell = idx 0
+  and b_cell = idx (n * n)
+  and c_cell = idx (2 * n * n) in
+  let read loc = { Fj_program.loc; write = false; locks = [] } in
+  let write loc = { Fj_program.loc; write = true; locks = [] } in
+  (* C[ci.., cj..] += A[ai.., aj..] * B[bi.., bj..], blocks of [size]. *)
+  let rec mult ci cj ai aj bi bj size =
+    if size <= grain then begin
+      let cells f di dj = f (di + size - 1) (dj + size - 1) :: [ f di dj ] in
+      let accesses =
+        List.map read (cells a_cell ai aj)
+        @ List.map read (cells b_cell bi bj)
+        @ List.concat
+            (List.init size (fun i ->
+                 List.concat
+                   (List.init size (fun j ->
+                        [ read (c_cell (ci + i) (cj + j)); write (c_cell (ci + i) (cj + j)) ]))))
+      in
+      B.proc b [ [ Fj_program.Run (B.thread b ~accesses ~cost:(size * size * 2) ()) ] ]
+    end
+    else begin
+      let h = size / 2 in
+      let spawn ci cj ai aj bi bj = Fj_program.Spawn (mult ci cj ai aj bi bj h) in
+      (* First wave: C quadrants get A*1 x B1*; second wave adds
+         A*2 x B2*.  The sync between the waves is what the buggy
+         variant drops. *)
+      let wave1 =
+        [
+          spawn ci cj ai aj bi bj;
+          spawn ci (cj + h) ai aj bi (bj + h);
+          spawn (ci + h) cj (ai + h) aj bi bj;
+          spawn (ci + h) (cj + h) (ai + h) aj bi (bj + h);
+        ]
+      in
+      let wave2 =
+        [
+          spawn ci cj ai (aj + h) (bi + h) bj;
+          spawn ci (cj + h) ai (aj + h) (bi + h) (bj + h);
+          spawn (ci + h) cj (ai + h) (aj + h) (bi + h) bj;
+          spawn (ci + h) (cj + h) (ai + h) (aj + h) (bi + h) (bj + h);
+        ]
+      in
+      if buggy then B.proc b [ wave1 @ wave2 ] else B.proc b [ wave1; wave2 ]
+    end
+  in
+  B.finish b (mult 0 0 0 0 0 0 n)
+
+let locked_counter ~mode ~leaves () =
+  let b = B.create () in
+  let children =
+    List.init leaves (fun i ->
+        let locks =
+          match mode with
+          | `Common_lock -> [ 0 ]
+          | `Distinct_locks -> [ i ]
+          | `No_locks -> []
+        in
+        let accesses =
+          [
+            { Fj_program.loc = 0; write = false; locks };
+            { Fj_program.loc = 0; write = true; locks };
+          ]
+        in
+        Fj_program.Spawn (B.proc b [ [ Fj_program.Run (B.thread b ~accesses ~cost:2 ()) ] ]))
+  in
+  B.finish b (B.proc b [ children @ [ Fj_program.Run (B.thread b ~cost:1 ()) ] ])
+
+let of_tree ?(cost = 1) tree =
+  let b = B.create () in
+  let tid_of_leaf = Array.make (Spr_sptree.Sp_tree.node_count tree) (-1) in
+  let rec blocks_of (n : Spr_sptree.Sp_tree.node) =
+    match n.Spr_sptree.Sp_tree.shape with
+    | Spr_sptree.Sp_tree.Leaf ->
+        let th = B.thread b ~cost () in
+        tid_of_leaf.(n.Spr_sptree.Sp_tree.id) <- th.Fj_program.tid;
+        [ [ Fj_program.Run th ] ]
+    | Spr_sptree.Sp_tree.Internal { kind = Spr_sptree.Sp_tree.Series; left; right } ->
+        (* Sequencing: concatenate the sync blocks (the extra joins at
+           block boundaries are no-ops for the SP relation). *)
+        blocks_of left @ blocks_of right
+    | Spr_sptree.Sp_tree.Internal { kind = Spr_sptree.Sp_tree.Parallel; left; right } ->
+        (* P(l, r) = spawn both in one sync block: l || r, joined
+           together, serial against everything outside — the same SP
+           semantics as the original node. *)
+        [ [ Fj_program.Spawn (proc_of left); Fj_program.Spawn (proc_of right) ] ]
+  and proc_of n = B.proc b (blocks_of n) in
+  let main = proc_of (Spr_sptree.Sp_tree.root tree) in
+  (B.finish b main, tid_of_leaf)
+
+let random_prog ~rng ~threads ?(spawn_prob = 0.4) ?(max_cost = 5) ?(locs = 0)
+    ?(accesses_per_thread = 3) ?(lock_count = 0) () =
+  let b = B.create () in
+  let mk_thread () =
+    let accesses =
+      if locs = 0 then []
+      else begin
+        let k = Spr_util.Rng.int rng (accesses_per_thread + 1) in
+        List.init k (fun _ ->
+            let locks =
+              if lock_count = 0 then []
+              else begin
+                (* Hold 0-2 random locks. *)
+                let n = Spr_util.Rng.int rng 3 in
+                List.sort_uniq compare
+                  (List.init (min n lock_count) (fun _ -> Spr_util.Rng.int rng lock_count))
+              end
+            in
+            {
+              Fj_program.loc = Spr_util.Rng.int rng locs;
+              write = Spr_util.Rng.bernoulli rng 0.4;
+              locks;
+            })
+      end
+    in
+    Fj_program.Run (B.thread b ~accesses ~cost:(1 + Spr_util.Rng.int rng max_cost) ())
+  in
+  (* Build a procedure with a thread budget; spawns split the budget. *)
+  let rec gen_proc budget =
+    let nblocks = 1 + Spr_util.Rng.int rng 2 in
+    let budgets = Array.make nblocks (budget / nblocks) in
+    budgets.(0) <- budgets.(0) + (budget mod nblocks);
+    let blocks = Array.to_list (Array.map gen_block budgets) in
+    B.proc b blocks
+  and gen_block budget =
+    if budget <= 1 then [ mk_thread () ]
+    else begin
+      (* Consume the budget item by item: a thread costs one unit, a
+         spawn hands a random chunk of the budget to the child
+         procedure — so the program really ends up with ~[threads]
+         threads. *)
+      let rec items budget acc =
+        if budget <= 0 then List.rev acc
+        else begin
+          let chunk = 1 + Spr_util.Rng.int rng (min 16 budget) in
+          if chunk > 1 && Spr_util.Rng.bernoulli rng spawn_prob then
+            items (budget - chunk) (Fj_program.Spawn (gen_proc (chunk - 1)) :: acc)
+          else items (budget - 1) (mk_thread () :: acc)
+        end
+      in
+      items budget []
+    end
+  in
+  B.finish b (gen_proc threads)

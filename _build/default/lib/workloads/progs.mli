@@ -1,0 +1,90 @@
+(** Fork-join program generators.
+
+    These are the workloads the tests, examples and benchmark harness
+    run: classic Cilk shapes (fib, divide-and-conquer reductions), the
+    adversarial shapes behind Figure 3's columns (deep spawn chains,
+    wide flat parallelism, long serial runs), and seeded random
+    programs for property-based testing of the scheduler and
+    SP-hybrid. *)
+
+val fib : ?cost:int -> n:int -> unit -> Spr_prog.Fj_program.t
+(** The canonical Cilk benchmark: [fib n] spawns [fib (n-1)] and
+    [fib (n-2)] in one sync block, then adds in a second block.  Base
+    cases and adders are threads of [cost] instructions (default 4).
+    Work Θ(φ{^n}), span Θ(n) — huge parallelism. *)
+
+val deep_spawn : ?cost:int -> depth:int -> unit -> Spr_prog.Fj_program.t
+(** Linear chain of nested spawns: procedure [d] spawns procedure
+    [d-1] and runs one thread.  Maximal nesting depth, parallelism ~2:
+    the worst case for offset-span labels and a steal-heavy shape. *)
+
+val wide : ?cost:int -> n:int -> unit -> Spr_prog.Fj_program.t
+(** One procedure whose single block spawns [n] leaf procedures:
+    everything parallel, span O(cost). *)
+
+val serial : ?cost:int -> n:int -> unit -> Spr_prog.Fj_program.t
+(** [n] threads in [n] sync blocks of one procedure: no parallelism at
+    all; the scheduler must never steal. *)
+
+val dc_sum : ?buggy:bool -> ?grain:int -> leaves:int -> unit -> Spr_prog.Fj_program.t
+(** Divide-and-conquer array reduction with realistic shared-memory
+    accesses: leaf [i] reads its [grain] input cells and writes its own
+    accumulator; each combiner reads its children's accumulators and
+    writes its own — determinacy-race-free by construction.  With
+    [buggy:true] leaves write their {e parent's} accumulator directly,
+    planting a classic sibling write-write race for the detector to
+    find. *)
+
+val mergesort : ?buggy:bool -> ?grain:int -> n:int -> unit -> Spr_prog.Fj_program.t
+(** Parallel merge sort over an [n]-cell array (locations [0, n)) with
+    a scratch buffer (locations [n, 2n)): leaves sort [grain]-sized
+    runs in place; each internal procedure spawns the two half-sorts in
+    one sync block and merges through the scratch buffer in the next.
+    Race-free by construction.  With [buggy:true] every merge writes
+    its output at the {e same} scratch offset, so the two logically
+    parallel half-merges of any two sibling subtrees collide — a
+    write-write race the detector must localize to the scratch cells.
+    [n] is rounded up to a power of two. *)
+
+val matmul : ?buggy:bool -> ?grain:int -> n:int -> unit -> Spr_prog.Fj_program.t
+(** The classic Cilk divide-and-conquer matrix multiplication
+    C += A·B on [n]×[n] blocks (A at locations [0, n²), B at [n², 2n²),
+    C at [2n², 3n²)): each level spawns the four products into distinct
+    C quadrants in a first sync block and the four complementary
+    products in a second — the sync between them is what makes the
+    additive updates to C safe.  [buggy:true] removes that sync (all
+    eight spawns share one block), reproducing the textbook Cilk race:
+    parallel read-modify-writes to every C cell.  [n] is rounded up to
+    a power of two; leaves multiply [grain]×[grain] blocks. *)
+
+val locked_counter :
+  mode:[ `Common_lock | `Distinct_locks | `No_locks ] -> leaves:int -> unit -> Spr_prog.Fj_program.t
+(** [leaves] parallel threads all increment one shared counter.  With
+    [`Common_lock] every increment holds lock 0 — an {e apparent} data
+    race to a determinacy-race detector but clean under the lockset
+    (All-Sets) discipline; [`Distinct_locks] gives each thread its own
+    lock (races under both); [`No_locks] holds nothing. *)
+
+val of_tree : ?cost:int -> Spr_sptree.Sp_tree.t -> Spr_prog.Fj_program.t * int array
+(** Compile an arbitrary binary SP parse tree into an equivalent
+    fork-join program (every P-node becomes a sync block with two
+    spawns — the transformation of the paper's footnote 6, which
+    preserves all SP relationships).  Returns the program and the map
+    from parse-tree leaf node id to the thread id that runs it.
+    Recursive in the tree height; meant for test-sized trees. *)
+
+val random_prog :
+  rng:Spr_util.Rng.t ->
+  threads:int ->
+  ?spawn_prob:float ->
+  ?max_cost:int ->
+  ?locs:int ->
+  ?accesses_per_thread:int ->
+  ?lock_count:int ->
+  unit ->
+  Spr_prog.Fj_program.t
+(** Seeded random program with roughly [threads] threads: random
+    procedure nesting ([spawn_prob] controls fork density), random
+    thread costs in [1, max_cost], and, when [locs > 0], random
+    reads/writes over a shared location space (races likely — useful
+    for cross-checking detectors against the naive checker). *)

@@ -1,0 +1,2 @@
+  $ spview tree --gen paper --labels
+  $ spview detect --workload dcsum-buggy --size 4 --algo sp-order

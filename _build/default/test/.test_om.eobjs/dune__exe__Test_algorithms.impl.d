@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array List Paper_example Printf QCheck2 QCheck_alcotest Sp_reference Sp_tree Spr_core Spr_sptree Spr_util Tree_gen Unfold

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Array Fj_program List Printf Prog_tree QCheck2 QCheck_alcotest Sim Spr_hybrid Spr_om Spr_prog Spr_sched Spr_sptree Spr_util Spr_workloads

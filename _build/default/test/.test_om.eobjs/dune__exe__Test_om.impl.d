@@ -1,0 +1,1 @@
+test/test_om.ml: Alcotest Array Atomic Domain List Option Printf QCheck2 QCheck_alcotest Spr_om Spr_util

@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Array Fj_program List Printf Prog_tree QCheck2 QCheck_alcotest Spr_core Spr_prog Spr_race Spr_util Spr_workloads

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fj_program List Mutex Printf Prog_tree Spr_hybrid Spr_prog Spr_race Spr_runtime Spr_sched Spr_sptree Spr_util Spr_workloads

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Fj_program List Option Printf Prog_tree QCheck2 QCheck_alcotest Sim Spr_prog Spr_sched Spr_sptree Spr_util Spr_workloads

@@ -1,0 +1,1 @@
+test/test_sptree.ml: Alcotest Array Fun Hashtbl List Paper_example Printf QCheck2 QCheck_alcotest Sp_dag Sp_reference Sp_tree Spr_sptree Spr_util Tree_gen

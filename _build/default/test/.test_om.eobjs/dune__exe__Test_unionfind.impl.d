@@ -1,0 +1,1 @@
+test/test_unionfind.ml: Alcotest Array Fun List Printf QCheck2 QCheck_alcotest Spr_unionfind Spr_util

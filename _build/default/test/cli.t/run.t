@@ -1,0 +1,23 @@
+The paper's worked example through the CLI:
+
+  $ spview tree --gen paper --labels
+  parse tree (9 threads, 3 forks, nesting depth 2, span 4):
+    S(u0, P(S(S(u1, P(u2, u3)), u4), S(S(u5, P(u6, u7)), u8)))
+  
+  thread : (E, H)
+    u0    : (0, 0)
+    u1    : (1, 5)
+    u2    : (2, 7)
+    u3    : (3, 6)
+    u4    : (4, 8)
+    u5    : (5, 1)
+    u6    : (6, 3)
+    u7    : (7, 2)
+    u8    : (8, 4)
+
+Detecting a planted determinacy race:
+
+  $ spview detect --workload dcsum-buggy --size 4 --algo sp-order
+  detection (sp-order): 2 race report(s) on locations [17; 20], 9 SP queries
+    loc 17: t0 (W) vs t1 (W)
+    loc 20: t3 (W) vs t4 (W)

@@ -1,0 +1,446 @@
+(* Cross-validation of every serial SP-maintenance algorithm against
+   the LCA reference, on the paper's example and on random trees, plus
+   algorithm-specific facts (label growth, query semantics, partial
+   unfoldings). *)
+
+open Spr_sptree
+module Sm = Spr_core.Sp_maintainer
+module Rng = Spr_util.Rng
+
+let random_tree seed leaves =
+  Tree_gen.random_tree ~rng:(Rng.create seed) ~leaves ~p_prob:0.5
+
+(* Drive [inst] through [tree]; at every thread execution, query the
+   relation with every previously executed thread and compare with the
+   reference.  Respects the algorithm's declared query semantics. *)
+let validate_against_reference tree inst =
+  let executed = ref [] in
+  Spr_core.Driver.run_with_queries tree inst ~on_thread:(fun inst ~current ->
+      List.iter
+        (fun prev ->
+          let want_prec = Sp_reference.precedes prev current in
+          let want_par = Sp_reference.parallel prev current in
+          let got_prec = Sm.precedes inst prev current in
+          let got_par = Sm.parallel inst prev current in
+          if got_prec <> want_prec then
+            Alcotest.failf "%s: precedes(u%d, u%d) = %b, want %b" (Sm.name inst)
+              prev.Sp_tree.id current.Sp_tree.id got_prec want_prec;
+          if got_par <> want_par then
+            Alcotest.failf "%s: parallel(u%d, u%d) = %b, want %b" (Sm.name inst)
+              prev.Sp_tree.id current.Sp_tree.id got_par want_par;
+          if not (Sm.requires_current_operand inst) then begin
+            (* Symmetric direction also answerable. *)
+            let got_rev = Sm.precedes inst current prev in
+            let want_rev = Sp_reference.precedes current prev in
+            if got_rev <> want_rev then
+              Alcotest.failf "%s: reverse precedes mismatch" (Sm.name inst)
+          end)
+        !executed;
+      executed := current :: !executed)
+
+let validate_algorithm (name, make) seed leaves () =
+  let tree = random_tree seed leaves in
+  validate_against_reference tree (make tree);
+  ignore name
+
+let validate_on_shapes (name, make) () =
+  let shapes =
+    [
+      Tree_gen.balanced ~leaves:32;
+      Tree_gen.deep_nest ~depth:20;
+      Tree_gen.fork_chain ~forks:15;
+      Tree_gen.serial_chain ~leaves:25;
+      Tree_gen.wide_flat ~leaves:24;
+      Paper_example.tree ();
+    ]
+  in
+  List.iter (fun tree -> validate_against_reference tree (make tree)) shapes;
+  ignore name
+
+let qcheck_validate (name, make) =
+  QCheck2.Test.make ~count:60
+    ~name:(Printf.sprintf "%s matches reference" name)
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 50))
+    (fun (seed, leaves) ->
+      let tree = random_tree seed leaves in
+      validate_against_reference tree (make tree);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Paper's worked example through every algorithm.                     *)
+
+let paper_example_queries (name, make) () =
+  let tree = Paper_example.tree () in
+  let inst = make tree in
+  Spr_core.Driver.run tree inst;
+  let u i = Paper_example.thread tree i in
+  (* u1 ≺ u4 and u1 ∥ u6 — the exact queries the paper walks through.
+     Both have the executed operand first, so even SP-bags semantics
+     would accept them under a walk; after a full run all threads are
+     "executed", which every algorithm supports for (prev, later). *)
+  if not (Sm.requires_current_operand inst) then begin
+    Alcotest.(check bool) (name ^ ": u1 ≺ u4") true (Sm.precedes inst (u 1) (u 4));
+    Alcotest.(check bool) (name ^ ": u1 ∥ u6") true (Sm.parallel inst (u 1) (u 6));
+    Alcotest.(check bool) (name ^ ": ¬(u6 ≺ u1)") false (Sm.precedes inst (u 6) (u 1))
+  end
+
+(* SP-order answers queries between internal nodes too. *)
+let sp_order_internal_nodes () =
+  let tree = Paper_example.tree () in
+  let inst = Spr_core.Algorithms.sp_order tree in
+  Spr_core.Driver.run tree inst;
+  let s1 = Paper_example.s1 tree and p1 = Paper_example.p1 tree in
+  let u i = Paper_example.thread tree i in
+  (* S1 is inside P1's left subtree: P1 precedes S1 in both orders. *)
+  Alcotest.(check bool) "P1 before its descendant S1" true (Sm.precedes inst p1 s1);
+  (* u5 is in P1's right subtree, S1 is P1's left: parallel. *)
+  Alcotest.(check bool) "S1 ∥ u5" true (Sm.parallel inst s1 (u 5));
+  (* u0 precedes the whole P1 subtree. *)
+  Alcotest.(check bool) "u0 ≺ P1" true (Sm.precedes inst (u 0) p1)
+
+(* SP-order on a partial unfolding: only discovered nodes are
+   queryable, and answers are already correct. *)
+let sp_order_partial_unfold () =
+  let tree = Tree_gen.balanced ~leaves:16 in
+  let total_events = 4 * 15 + 1 in
+  ignore total_events;
+  (* Feed successively longer prefixes; at each point, validate all
+     pairs of discovered leaves. *)
+  let all_events = ref 0 in
+  Sp_tree.iter_events tree (fun _ -> incr all_events);
+  let prefix = ref 1 in
+  while !prefix <= !all_events do
+    let inst = Spr_core.Algorithms.sp_order tree in
+    let discovered = ref [] in
+    let fed = ref 0 in
+    Sp_tree.iter_events tree (fun ev ->
+        if !fed < !prefix then begin
+          Sm.on_event inst ev;
+          incr fed;
+          match ev with Sp_tree.Thread u -> discovered := u :: !discovered | _ -> ()
+        end);
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if not (a == b) then begin
+              let want = Sp_reference.precedes a b in
+              let got = Sm.precedes inst a b in
+              if got <> want then Alcotest.failf "partial unfold mismatch at prefix %d" !prefix
+            end)
+          !discovered)
+      !discovered;
+    prefix := !prefix + 7
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Label-size behaviour (the "Space per node" column of Figure 3).     *)
+
+let label_growth () =
+  (* English-Hebrew: label length grows along the fork chain. *)
+  let chain = Tree_gen.fork_chain ~forks:64 in
+  let eh = Spr_core.English_hebrew.create chain in
+  Sp_tree.iter_events chain (Spr_core.English_hebrew.on_event eh);
+  let ls = Sp_tree.leaves chain in
+  let first_len = Spr_core.English_hebrew.label_length eh ls.(0) in
+  let last_len = Spr_core.English_hebrew.label_length eh ls.(Array.length ls - 1) in
+  Alcotest.(check bool) "EH labels grow with forks" true (last_len > first_len + 32);
+  (* Offset-span: label length bounded by nesting depth, not forks. *)
+  let os = Spr_core.Offset_span.create chain in
+  Sp_tree.iter_events chain (Spr_core.Offset_span.on_event os);
+  Array.iter
+    (fun u ->
+      let len = Spr_core.Offset_span.label_length os u in
+      if len > 3 then Alcotest.failf "offset-span label %d on depth-1 chain" len)
+    ls;
+  (* ... and grows on the deeply nested tree. *)
+  let deep = Tree_gen.deep_nest ~depth:50 in
+  let os = Spr_core.Offset_span.create deep in
+  Sp_tree.iter_events deep (Spr_core.Offset_span.on_event os);
+  let deep_leaves = Sp_tree.leaves deep in
+  let max_len =
+    Array.fold_left
+      (fun acc u -> max acc (Spr_core.Offset_span.label_length os u))
+      0 deep_leaves
+  in
+  Alcotest.(check bool) "offset-span labels grow with nesting" true (max_len >= 50)
+
+let avg_label_words_sane () =
+  let tree = random_tree 77 200 in
+  List.iter
+    (fun (name, make) ->
+      let inst = make tree in
+      Spr_core.Driver.run tree inst;
+      let w = Sm.avg_label_words inst in
+      if w < 0.0 || w > 10_000.0 then Alcotest.failf "%s: absurd label words %f" name w)
+    Spr_core.Algorithms.all
+
+(* ------------------------------------------------------------------ *)
+(* End of Section 2: SP-order works under *any* legal unfolding of the
+   parse tree, not just left-to-right. *)
+
+let unfolding_is_legal tree events =
+  (* Replay and check the legality constraints the generator claims. *)
+  let n = Sp_tree.node_count tree in
+  let entered = Array.make n false in
+  let complete = Array.make n false in
+  let check c msg = if not c then Alcotest.fail msg in
+  List.iter
+    (fun ev ->
+      let parent_ok (x : Sp_tree.node) =
+        match x.Sp_tree.parent with
+        | None -> true
+        | Some p ->
+            entered.(p.Sp_tree.id)
+            && begin
+                 match p.Sp_tree.shape with
+                 | Sp_tree.Internal { kind = Sp_tree.Series; left; right }
+                   when x == right ->
+                     complete.(left.Sp_tree.id)
+                 | _ -> true
+               end
+      in
+      match ev with
+      | Sp_tree.Enter x ->
+          check (parent_ok x) "Enter before parent / S-left incomplete";
+          entered.(x.Sp_tree.id) <- true
+      | Sp_tree.Thread x ->
+          check (parent_ok x) "Thread before parent / S-left incomplete";
+          entered.(x.Sp_tree.id) <- true;
+          complete.(x.Sp_tree.id) <- true
+      | Sp_tree.Mid x -> check entered.(x.Sp_tree.id) "Mid before Enter"
+      | Sp_tree.Exit x -> begin
+          match x.Sp_tree.shape with
+          | Sp_tree.Internal { left; right; _ } ->
+              check (complete.(left.Sp_tree.id) && complete.(right.Sp_tree.id))
+                "Exit before children complete";
+              complete.(x.Sp_tree.id) <- true
+          | Sp_tree.Leaf -> Alcotest.fail "Exit on leaf"
+        end)
+    events
+
+let random_unfoldings_are_legal =
+  QCheck2.Test.make ~count:80 ~name:"random unfoldings are legal"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 60))
+    (fun (seed, leaves) ->
+      let tree = random_tree seed leaves in
+      let events = Unfold.random_events ~rng:(Rng.create seed) tree in
+      unfolding_is_legal tree events;
+      (* Every node appears: 1 Thread per leaf, Enter/Mid/Exit per
+         internal node. *)
+      List.length events = Sp_tree.leaf_count tree + (3 * (Sp_tree.leaf_count tree - 1)))
+
+let unfoldings_differ_from_serial () =
+  let tree = Tree_gen.balanced ~leaves:32 in
+  let rng = Rng.create 9 in
+  let different = ref 0 in
+  for _ = 1 to 10 do
+    if not (Unfold.is_left_to_right tree (Unfold.random_events ~rng tree)) then incr different
+  done;
+  Alcotest.(check bool) "generator explores other schedules" true (!different >= 8);
+  (* ... while on a purely serial tree there is only one legal order. *)
+  let chain = Tree_gen.serial_chain ~leaves:20 in
+  Alcotest.(check bool) "serial chain has a unique unfolding" true
+    (Unfold.is_left_to_right chain (Unfold.random_events ~rng chain))
+
+(* Drive SP-order with random legal unfoldings; check every pair of
+   discovered nodes (threads and internal nodes) against the reference
+   at several prefixes — the Lemma 3 invariant is prefix-wise. *)
+let sp_order_any_unfolding =
+  QCheck2.Test.make ~count:60 ~name:"SP-order under arbitrary unfoldings"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 40))
+    (fun (seed, leaves) ->
+      let tree = random_tree seed leaves in
+      let events = Unfold.random_events ~rng:(Rng.create (seed + 1)) tree in
+      let inst = Spr_core.Algorithms.sp_order tree in
+      let discovered = ref [ Sp_tree.root tree ] in
+      let audit () =
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if not (a == b) then begin
+                  let want = Sp_reference.relate a b in
+                  let got_prec = Sm.precedes inst a b in
+                  let got_par = Sm.parallel inst a b in
+                  let ok =
+                    match want with
+                    | Sp_reference.Before -> got_prec && not got_par
+                    | Sp_reference.After -> (not got_prec) && not got_par
+                    | Sp_reference.Par -> got_par && not got_prec
+                    | Sp_reference.Same -> false
+                  in
+                  if not ok then Alcotest.fail "unfolded SP-order disagrees with reference"
+                end)
+              !discovered)
+          !discovered
+      in
+      let step = ref 0 in
+      List.iter
+        (fun ev ->
+          Sm.on_event inst ev;
+          (match ev with
+          | Sp_tree.Enter (x : Sp_tree.node) -> begin
+              match x.Sp_tree.shape with
+              | Sp_tree.Internal { left; right; _ } ->
+                  discovered := left :: right :: !discovered
+              | Sp_tree.Leaf -> ()
+            end
+          | _ -> ());
+          incr step;
+          if !step mod 7 = 0 then audit ())
+        events;
+      audit ();
+      true)
+
+(* Lemma 3, directly: after a full unfolding the Eng/Heb structures
+   realize exactly the pre-order English/Hebrew node orders. *)
+let lemma3_orders_realized =
+  QCheck2.Test.make ~count:60 ~name:"Lemma 3: OM structures = node pre-orders"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (2 -- 50) bool)
+    (fun (seed, leaves, left_to_right) ->
+      let tree = random_tree seed leaves in
+      let inst = Spr_core.Algorithms.sp_order tree in
+      if left_to_right then Spr_core.Driver.run tree inst
+      else
+        List.iter (Sm.on_event inst) (Unfold.random_events ~rng:(Rng.create seed) tree);
+      let e = Sp_tree.english_node_order tree in
+      let h = Sp_tree.hebrew_node_order tree in
+      let nodes = List.init (Sp_tree.node_count tree) (Sp_tree.node_of_id tree) in
+      List.for_all
+        (fun (a : Sp_tree.node) ->
+          List.for_all
+            (fun (b : Sp_tree.node) ->
+              a == b
+              || Sm.precedes inst a b
+                 = (e.(a.Sp_tree.id) < e.(b.Sp_tree.id) && h.(a.Sp_tree.id) < h.(b.Sp_tree.id)))
+            nodes)
+        nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: the cross-validation harness must actually be
+   able to fail.  A classically buggy maintainer — comparing only the
+   English order, forgetting the Hebrew one — passes on serial chains
+   but must be rejected on any tree with parallelism. *)
+
+module Broken_english_only : Sm.S = struct
+  type t = { eng : int array; mutable next : int }
+
+  let name = "broken-english-only"
+
+  let create tree = { eng = Array.make (Sp_tree.node_count tree) (-1); next = 0 }
+
+  let on_event t = function
+    | Sp_tree.Thread u ->
+        t.eng.(u.Sp_tree.id) <- t.next;
+        t.next <- t.next + 1
+    | _ -> ()
+
+  let precedes t x y = t.eng.(x.Sp_tree.id) < t.eng.(y.Sp_tree.id)
+
+  let parallel _ _ _ = false
+
+  let requires_current_operand = false
+
+  let leaves_only = true
+
+  let avg_label_words _ = 1.0
+end
+
+let harness_catches_broken_algorithm () =
+  let tree = Tree_gen.balanced ~leaves:16 in
+  let inst = Sm.Instance ((module Broken_english_only), Broken_english_only.create tree) in
+  let caught =
+    try
+      validate_against_reference tree inst;
+      false
+    with _ -> true
+  in
+  Alcotest.(check bool) "broken algorithm rejected" true caught;
+  (* ... while on a purely serial chain the bug is invisible, which is
+     exactly why Lemma 1 needs *two* orders. *)
+  let chain = Tree_gen.serial_chain ~leaves:16 in
+  validate_against_reference chain
+    (Sm.Instance ((module Broken_english_only), Broken_english_only.create chain))
+
+(* Querying nodes the unfolding has not discovered is a programming
+   error, reported as such. *)
+let undiscovered_queries_rejected () =
+  let tree = Tree_gen.balanced ~leaves:8 in
+  let inst = Spr_core.Algorithms.sp_order tree in
+  (* Feed only the first few events: the rightmost leaf is unknown. *)
+  ignore (Spr_core.Driver.feed_prefix tree inst ~events:3);
+  let ls = Sp_tree.leaves tree in
+  Alcotest.check_raises "undiscovered operand rejected"
+    (Invalid_argument "Sp_order: node not discovered (or released)") (fun () ->
+      ignore (Sm.precedes inst ls.(0) ls.(7)))
+
+(* SP-order deletion support: release what the client no longer needs
+   and keep answering about the rest. *)
+let sp_order_release () =
+  let tree = Tree_gen.balanced ~leaves:32 in
+  let inst = Spr_core.Sp_order.create tree in
+  Sp_tree.iter_events tree (Spr_core.Sp_order.on_event inst);
+  let before = Spr_core.Sp_order.om_size inst in
+  let ls = Sp_tree.leaves tree in
+  (* Release the first half of the threads. *)
+  for i = 0 to 15 do
+    Spr_core.Sp_order.release inst ls.(i)
+  done;
+  Alcotest.(check int) "size dropped" (before - 16) (Spr_core.Sp_order.om_size inst);
+  (* Remaining pairs still answer correctly. *)
+  for i = 16 to 31 do
+    for j = 16 to 31 do
+      if i <> j then begin
+        let want = Sp_reference.precedes ls.(i) ls.(j) in
+        let got = Spr_core.Sp_order.precedes inst ls.(i) ls.(j) in
+        if got <> want then Alcotest.failf "post-release mismatch (%d, %d)" i j
+      end
+    done
+  done;
+  (* Released nodes are rejected. *)
+  Alcotest.check_raises "released node rejected"
+    (Invalid_argument "Sp_order: node not discovered (or released)") (fun () ->
+      ignore (Spr_core.Sp_order.precedes inst ls.(0) ls.(20)));
+  (* Double release is rejected too. *)
+  Alcotest.check_raises "double release rejected"
+    (Invalid_argument "Sp_order.release: node not discovered (or already released)") (fun () ->
+      Spr_core.Sp_order.release inst ls.(0))
+
+let () =
+  let per_algo =
+    List.concat_map
+      (fun ((name, _) as algo) ->
+        [
+          Alcotest.test_case (name ^ " random tree") `Quick (validate_algorithm algo 13 80);
+          Alcotest.test_case (name ^ " shapes") `Quick (validate_on_shapes algo);
+          Alcotest.test_case (name ^ " paper example") `Quick (paper_example_queries algo);
+          QCheck_alcotest.to_alcotest (qcheck_validate algo);
+        ])
+      Spr_core.Algorithms.all
+  in
+  Alcotest.run "spr_core"
+    [
+      ("cross-validation", per_algo);
+      ( "sp-order",
+        [
+          Alcotest.test_case "internal nodes" `Quick sp_order_internal_nodes;
+          Alcotest.test_case "partial unfolding" `Quick sp_order_partial_unfold;
+          Alcotest.test_case "release (deletion)" `Quick sp_order_release;
+          Alcotest.test_case "undiscovered rejected" `Quick undiscovered_queries_rejected;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "failure injection" `Quick harness_catches_broken_algorithm ] );
+      ( "unfoldings",
+        [
+          QCheck_alcotest.to_alcotest random_unfoldings_are_legal;
+          Alcotest.test_case "schedules differ" `Quick unfoldings_differ_from_serial;
+          QCheck_alcotest.to_alcotest sp_order_any_unfolding;
+          QCheck_alcotest.to_alcotest lemma3_orders_realized;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "growth shapes" `Quick label_growth;
+          Alcotest.test_case "avg words sane" `Quick avg_label_words_sane;
+        ] );
+    ]

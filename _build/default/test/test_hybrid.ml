@@ -1,0 +1,230 @@
+(* SP-hybrid validation: Theorem 9 (SP-PRECEDES correct between any
+   executed thread and the currently executing thread) checked against
+   the LCA reference on the derived parse tree, across programs, worker
+   counts and scheduler seeds; plus the structural facts — |C| = 4s+1
+   traces, buckets populated, determinism. *)
+
+open Spr_prog
+open Spr_sched
+module Rng = Spr_util.Rng
+module W = Spr_workloads.Progs
+module H = Spr_hybrid.Sp_hybrid
+
+(* Run [p] under SP-hybrid on [procs] workers; at every thread start,
+   check precedes/parallel against the reference for every
+   already-started thread.  Returns (sim result, hybrid stats, #queries). *)
+let validate ?(seed = 1) ?(compress = false) ~procs p =
+  let pt = Prog_tree.of_program p in
+  let h = H.create ~local_path_compression:compress p in
+  let started : int list ref = ref [] in
+  let queries = ref 0 in
+  let leaf tid = Prog_tree.leaf_of_thread pt tid in
+  let on_thread_user h ~wid:_ ~now:_ (u : Fj_program.thread) =
+    let current = u.Fj_program.tid in
+    List.iter
+      (fun e ->
+        incr queries;
+        let want_prec = Spr_sptree.Sp_reference.precedes (leaf e) (leaf current) in
+        let want_par = Spr_sptree.Sp_reference.parallel (leaf e) (leaf current) in
+        let got_prec = H.precedes h ~executed:e ~current in
+        let got_par = H.parallel h ~executed:e ~current in
+        if got_prec <> want_prec then
+          Alcotest.failf "precedes(t%d, t%d): got %b want %b (traces %d/%d)" e current got_prec
+            want_prec (H.find_trace_id h ~tid:e) (H.find_trace_id h ~tid:current);
+        if got_par <> want_par then
+          Alcotest.failf "parallel(t%d, t%d): got %b want %b" e current got_par want_par)
+      !started;
+    started := current :: !started;
+    0
+  in
+  let res =
+    Sim.run ~hooks:(H.hooks ~on_thread_user h) ~seed ~max_ticks:50_000_000 ~procs p
+  in
+  (res, H.stats h, !queries)
+
+let check_trace_count (res : Sim.result) (st : H.stats) =
+  Alcotest.(check int) "splits = steals" res.Sim.steals st.H.splits;
+  Alcotest.(check int) "|C| = 4s + 1" ((4 * st.H.splits) + 1) st.H.traces
+
+let hybrid_serial () =
+  let res, st, q = validate ~procs:1 (W.fib ~n:8 ()) in
+  check_trace_count res st;
+  Alcotest.(check int) "one trace on one worker" 1 st.H.traces;
+  Alcotest.(check bool) "queries happened" true (q > 1000)
+
+let hybrid_parallel_fib () =
+  List.iter
+    (fun procs ->
+      let res, st, _ = validate ~seed:42 ~procs (W.fib ~n:9 ()) in
+      check_trace_count res st;
+      if procs > 1 then
+        Alcotest.(check bool) (Printf.sprintf "steals happen at P=%d" procs) true (res.Sim.steals > 0))
+    [ 2; 4; 8 ]
+
+let hybrid_shapes () =
+  List.iter
+    (fun (p, name) ->
+      List.iter
+        (fun procs ->
+          let res, st, _ = validate ~seed:7 ~procs p in
+          ignore name;
+          check_trace_count res st)
+        [ 2; 5 ])
+    [
+      (W.deep_spawn ~depth:30 (), "deep30");
+      (W.wide ~n:40 (), "wide40");
+      (W.serial ~n:30 (), "serial30");
+      (W.dc_sum ~leaves:16 (), "dcsum16");
+    ]
+
+let hybrid_random =
+  QCheck2.Test.make ~count:120 ~name:"Theorem 9 on random programs/schedules"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (2 -- 80) (1 -- 10))
+    (fun (seed, threads, procs) ->
+      let p = W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 () in
+      let res, st, _ = validate ~seed ~procs p in
+      res.Sim.steals = st.H.splits && st.H.traces = (4 * st.H.splits) + 1)
+
+(* The Section 7 conjecture configuration (path compression in the
+   local tier) must preserve correctness. *)
+let hybrid_random_compressed =
+  QCheck2.Test.make ~count:60 ~name:"Theorem 9 with local path compression"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (2 -- 60) (1 -- 8))
+    (fun (seed, threads, procs) ->
+      let p = W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 () in
+      let res, st, _ = validate ~seed ~compress:true ~procs p in
+      res.Sim.steals = st.H.splits && st.H.traces = (4 * st.H.splits) + 1)
+
+(* Arbitrary parse trees through the hybrid: compile any random SP tree
+   to a program (footnote 6 transformation) and re-validate.  Also
+   checks that the compilation preserved the SP relation exactly. *)
+let hybrid_on_random_trees =
+  QCheck2.Test.make ~count:80 ~name:"tree -> program compilation + Theorem 9"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (2 -- 40) (1 -- 8))
+    (fun (seed, leaves, procs) ->
+      let tree =
+        Spr_sptree.Tree_gen.random_tree ~rng:(Rng.create seed) ~leaves ~p_prob:0.5
+      in
+      let p, tid_of_leaf = W.of_tree tree in
+      (* 1. compilation preserves the SP relation *)
+      let pt = Prog_tree.of_program p in
+      let ls = Spr_sptree.Sp_tree.leaves tree in
+      Array.iter
+        (fun (a : Spr_sptree.Sp_tree.node) ->
+          Array.iter
+            (fun (b : Spr_sptree.Sp_tree.node) ->
+              let la = Prog_tree.leaf_of_thread pt tid_of_leaf.(a.Spr_sptree.Sp_tree.id) in
+              let lb = Prog_tree.leaf_of_thread pt tid_of_leaf.(b.Spr_sptree.Sp_tree.id) in
+              let want = Spr_sptree.Sp_reference.relate a b in
+              let got = Spr_sptree.Sp_reference.relate la lb in
+              if want <> got then Alcotest.fail "of_tree changed an SP relation")
+            ls)
+        ls;
+      (* 2. the hybrid answers correctly on the compiled program *)
+      let res, st, _ = validate ~seed ~procs p in
+      res.Sim.steals = st.H.splits && st.H.traces = (4 * st.H.splits) + 1)
+
+(* Steal-heavy stress: deep_spawn with tiny costs forces a steal at
+   nearly every level; great at shaking out split bookkeeping. *)
+let hybrid_steal_storm () =
+  List.iter
+    (fun seed ->
+      let p = W.deep_spawn ~cost:1 ~depth:120 () in
+      let res, st, _ = validate ~seed ~procs:8 p in
+      check_trace_count res st;
+      Alcotest.(check bool) "many steals" true (res.Sim.steals > 10))
+    [ 1; 2; 3; 4; 5 ]
+
+(* The global tier over both concurrent OM backends (one-level per the
+   paper's prose, two-level per its footnote 3): identical split
+   semantics under random split sequences. *)
+module G1 = Spr_hybrid.Global_tier
+module G2 = Spr_hybrid.Global_tier.Make (Spr_om.Om_concurrent2)
+
+let global_tier_backends_agree =
+  QCheck2.Test.make ~count:60 ~name:"global tier: 1-level = 2-level backend"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (1 -- 60))
+    (fun (seed, splits) ->
+      let rng = Rng.create seed in
+      let g1 = G1.create () and g2 = G2.create () in
+      let traces = ref [ (G1.initial g1, G2.initial g2) ] in
+      for _ = 1 to splits do
+        let idx = Rng.int rng (List.length !traces) in
+        let t1, t2 = List.nth !traces idx in
+        let s1 = G1.split g1 t1 and s2 = G2.split g2 t2 in
+        traces :=
+          (s1.G1.u1, s2.G2.u1) :: (s1.G1.u2, s2.G2.u2) :: (s1.G1.u4, s2.G2.u4)
+          :: (s1.G1.u5, s2.G2.u5) :: !traces
+      done;
+      List.for_all
+        (fun (a1, a2) ->
+          List.for_all
+            (fun (b1, b2) ->
+              G1.precedes g1 a1 b1 = G2.precedes g2 a2 b2
+              && G1.parallel g1 a1 b1 = G2.parallel g2 a2 b2)
+            !traces)
+        !traces)
+
+let buckets_populated () =
+  let p = W.fib ~n:11 () in
+  let h = H.create p in
+  let res = Sim.run ~hooks:(H.hooks h) ~seed:9 ~procs:8 ~max_ticks:50_000_000 p in
+  let st = H.stats h in
+  Alcotest.(check bool) "local ops counted (B3)" true (st.H.local_ops > 0);
+  if res.Sim.steals > 0 then
+    Alcotest.(check bool) "global insert ticks (B2)" true (st.H.global_insert_ticks > 0);
+  Alcotest.(check bool) "hook ticks flowed into sim" true (res.Sim.hook_ticks > 0)
+
+let hybrid_determinism () =
+  let run () =
+    let p = W.fib ~n:10 () in
+    let h = H.create p in
+    let res = Sim.run ~hooks:(H.hooks h) ~seed:5 ~procs:4 p in
+    let st = H.stats h in
+    (res.Sim.time, res.Sim.steals, st.H.traces, st.H.local_ops)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical instrumented runs" true (a = b)
+
+(* The performance shape of Theorem 10: instrumented virtual time is
+   within a moderate constant of (T1/P + P*Tinf) * lg n. *)
+let theorem10_shape () =
+  let p = W.fib ~n:14 ~cost:6 () in
+  let t1 = Fj_program.work p and tinf = Fj_program.span p in
+  let n = float_of_int (Fj_program.thread_count p) in
+  let lg_n = log n /. log 2.0 in
+  List.iter
+    (fun procs ->
+      let h = H.create p in
+      let res = Sim.run ~hooks:(H.hooks h) ~seed:3 ~procs ~max_ticks:100_000_000 p in
+      let bound =
+        30.0 *. ((float_of_int t1 /. float_of_int procs) +. float_of_int (procs * tinf)) *. lg_n
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "T_P within Theorem 10 shape at P=%d (T=%d bound=%.0f)" procs res.Sim.time
+           bound)
+        true
+        (float_of_int res.Sim.time <= bound))
+    [ 1; 2; 4; 8; 16 ]
+
+let () =
+  Alcotest.run "spr_hybrid"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "serial run" `Quick hybrid_serial;
+          Alcotest.test_case "parallel fib" `Quick hybrid_parallel_fib;
+          Alcotest.test_case "shapes" `Quick hybrid_shapes;
+          Alcotest.test_case "steal storm" `Quick hybrid_steal_storm;
+          QCheck_alcotest.to_alcotest hybrid_random;
+          QCheck_alcotest.to_alcotest hybrid_random_compressed;
+          QCheck_alcotest.to_alcotest hybrid_on_random_trees;
+        ] );
+      ("global-tier", [ QCheck_alcotest.to_alcotest global_tier_backends_agree ]);
+      ( "accounting",
+        [
+          Alcotest.test_case "buckets populated" `Quick buckets_populated;
+          Alcotest.test_case "determinism" `Quick hybrid_determinism;
+          Alcotest.test_case "theorem 10 shape" `Quick theorem10_shape;
+        ] );
+    ]

@@ -1,0 +1,343 @@
+(* Tests for the order-maintenance structures: model-based comparison
+   against the naive specification, structural invariants, amortized
+   cost bounds, and concurrency stress for Om_concurrent. *)
+
+module Rng = Spr_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Model-based testing: run the same random operation script against a
+   candidate structure and Om_naive, comparing every query result.     *)
+
+type script_op = Insert_after of int | Insert_before of int | Delete of int | Query of int * int
+
+let gen_script ~ops ~seed =
+  let rng = Rng.create seed in
+  let live = ref 1 in
+  (* Element indices refer to the creation-order array of live handles;
+     we never reference deleted ones. *)
+  let script = ref [] in
+  for _ = 1 to ops do
+    let pick () = Rng.int rng !live in
+    let op =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+          incr live;
+          Insert_after (pick ())
+      | 4 | 5 ->
+          incr live;
+          Insert_before (pick ())
+      | 6 when !live > 2 ->
+          decr live;
+          Delete (Rng.int rng 1_000_000)
+      | _ -> Query (pick (), pick ())
+    in
+    script := op :: !script
+  done;
+  List.rev !script
+
+module Run_script (M : Spr_om.Om_intf.S) = struct
+  (* Replays a script on [M] and the naive model simultaneously;
+     asserts every query agrees.  Deleted slots are remembered so the
+     script's indices can skip them. *)
+  let run script =
+    let t = M.create () in
+    let model = Spr_om.Om_naive.create () in
+    let elts = Spr_util.Vec.create () in
+    Spr_util.Vec.push elts (Some (M.base t, Spr_om.Om_naive.base model));
+    let nth_live i =
+      (* i-th live element in creation order *)
+      let seen = ref (-1) in
+      let found = ref None in
+      Spr_util.Vec.iter
+        (fun slot ->
+          match slot with
+          | Some pair when !found = None ->
+              incr seen;
+              if !seen = i then found := Some pair
+          | _ -> ())
+        elts;
+      Option.get !found
+    in
+    let live = ref 1 in
+    List.iter
+      (fun op ->
+        match op with
+        | Insert_after i ->
+            let e, m = nth_live (i mod !live) in
+            Spr_util.Vec.push elts (Some (M.insert_after t e, Spr_om.Om_naive.insert_after model m));
+            incr live
+        | Insert_before i ->
+            let e, m = nth_live (i mod !live) in
+            Spr_util.Vec.push elts
+              (Some (M.insert_before t e, Spr_om.Om_naive.insert_before model m));
+            incr live
+        | Delete _ when !live < 2 -> ()
+        | Delete i ->
+            let i = 1 + (i mod (!live - 1)) in
+            let e, m = nth_live i in
+            M.delete t e;
+            Spr_om.Om_naive.delete model m;
+            (* blank the slot *)
+            let seen = ref (-1) in
+            Spr_util.Vec.iteri
+              (fun slot_i slot ->
+                match slot with
+                | Some _ ->
+                    incr seen;
+                    if !seen = i then Spr_util.Vec.set elts slot_i None
+                | None -> ())
+              elts;
+            decr live
+        | Query (i, j) ->
+            let ei, mi = nth_live (i mod !live) in
+            let ej, mj = nth_live (j mod !live) in
+            let got = M.precedes t ei ej in
+            let want = Spr_om.Om_naive.precedes model mi mj in
+            if got <> want then
+              Alcotest.failf "%s: precedes mismatch (got %b, want %b)" M.name got want)
+      script;
+    Alcotest.(check int) (M.name ^ ": size agrees") (Spr_om.Om_naive.size model) (M.size t)
+end
+
+let model_test (module M : Spr_om.Om_intf.S) seed () =
+  let module R = Run_script (M) in
+  R.run (gen_script ~ops:400 ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic stress patterns.                                      *)
+
+let insertion_pattern (module M : Spr_om.Om_intf.S) ~n pick_anchor () =
+  let t = M.create () in
+  let elts = Spr_util.Vec.create () in
+  Spr_util.Vec.push elts (M.base t);
+  for i = 1 to n do
+    let anchor = Spr_util.Vec.get elts (pick_anchor i (Spr_util.Vec.length elts)) in
+    Spr_util.Vec.push elts (M.insert_after t anchor)
+  done;
+  Alcotest.(check int) (M.name ^ ": size") (n + 1) (M.size t)
+
+(* Always insert after the same element: each insert lands in the same
+   gap, the worst case for label-based schemes. *)
+let hammer_front m ~n = insertion_pattern m ~n (fun _ _ -> 0)
+
+(* Always append at the end. *)
+let append_only m ~n = insertion_pattern m ~n (fun _ len -> len - 1)
+
+let om_invariants_after_hammer () =
+  let t = Spr_om.Om.create () in
+  let anchor = Spr_om.Om.base t in
+  for _ = 1 to 5_000 do
+    ignore (Spr_om.Om.insert_after t anchor)
+  done;
+  Spr_om.Om.check_invariants t;
+  (* The first-inserted element is now last: base < it, it > later ones *)
+  Alcotest.(check int) "size" 5_001 (Spr_om.Om.size t)
+
+let om_order_after_mixed () =
+  let t = Spr_om.Om.create () in
+  let rng = Rng.create 42 in
+  let elts = Spr_util.Vec.create () in
+  Spr_util.Vec.push elts (Spr_om.Om.base t);
+  (* Random interleavings of after/before inserts; record the expected
+     total order in a plain list alongside. *)
+  let order = ref [ 0 ] in
+  for i = 1 to 2_000 do
+    let pos = Rng.int rng (Spr_util.Vec.length elts) in
+    let anchor = Spr_util.Vec.get elts pos in
+    let before = Rng.bool rng in
+    let e =
+      if before then Spr_om.Om.insert_before t anchor else Spr_om.Om.insert_after t anchor
+    in
+    Spr_util.Vec.push elts e;
+    let rec insert_pos acc = function
+      | [] -> List.rev (i :: acc)
+      | x :: rest when x = pos -> begin
+          if before then List.rev_append acc (i :: x :: rest)
+          else List.rev_append acc (x :: i :: rest)
+        end
+      | x :: rest -> insert_pos (x :: acc) rest
+    in
+    order := insert_pos [] !order
+  done;
+  Spr_om.Om.check_invariants t;
+  (* Spot-check 2000 random pairs against the recorded order. *)
+  let arr = Array.of_list !order in
+  let index = Array.make (Array.length arr) 0 in
+  Array.iteri (fun i v -> index.(v) <- i) arr;
+  for _ = 1 to 2_000 do
+    let a = Rng.int rng (Spr_util.Vec.length elts) in
+    let b = Rng.int rng (Spr_util.Vec.length elts) in
+    let want = index.(a) < index.(b) in
+    let got = Spr_om.Om.precedes t (Spr_util.Vec.get elts a) (Spr_util.Vec.get elts b) in
+    if got <> want then Alcotest.failf "order mismatch for (%d, %d)" a b
+  done
+
+(* Amortization: relabels per insert stays bounded even under the
+   hammer pattern. *)
+let amortized_bound () =
+  let t = Spr_om.Om.create () in
+  let anchor = Spr_om.Om.base t in
+  let n = 50_000 in
+  for _ = 1 to n do
+    ignore (Spr_om.Om.insert_after t anchor)
+  done;
+  let st = Spr_om.Om.stats t in
+  let per_insert = float_of_int st.relabels /. float_of_int n in
+  if per_insert > 2.0 then
+    Alcotest.failf "two-level OM: %.3f top-level relabels per insert (expected O(1))" per_insert
+
+let one_level_amortized_bound () =
+  let t = Spr_om.Om_label.create () in
+  let anchor = Spr_om.Om_label.base t in
+  let n = 20_000 in
+  for _ = 1 to n do
+    ignore (Spr_om.Om_label.insert_after t anchor)
+  done;
+  let st = Spr_om.Om_label.stats t in
+  let per_insert = float_of_int st.relabels /. float_of_int n in
+  (* One-level bound is O(lg n) amortized; lg 20000 ~ 14.3. *)
+  if per_insert > 64.0 then
+    Alcotest.failf "one-level OM: %.3f relabels per insert (expected O(lg n))" per_insert
+
+let multi_insert_order (module M : Spr_om.Om_intf.S) () =
+  let t = M.create () in
+  let ys = M.insert_many_after t (M.base t) 5 in
+  Alcotest.(check int) "five inserted" 5 (List.length ys);
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) (M.name ^ ": multi-insert ordered") true (M.precedes t a b);
+        check rest
+    | _ -> ()
+  in
+  check (M.base t :: ys)
+
+(* ------------------------------------------------------------------ *)
+(* Om_concurrent specifics.                                            *)
+
+let concurrent_insert_around (module C : Spr_om.Om_intf.CONCURRENT) () =
+  let t = C.create () in
+  let x = C.base t in
+  let befores, afters = C.insert_around t x ~before:2 ~after:2 in
+  let all = befores @ [ x ] @ afters in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) (C.name ^ ": insert_around ordered") true (C.precedes t a b);
+        check rest
+    | _ -> ()
+  in
+  check all;
+  C.check_invariants t
+
+(* One writer domain hammering inserts (forcing rebalances), several
+   reader domains querying pairs whose order is known a priori; any
+   torn read the validation protocol misses would flip an answer. *)
+let concurrent_stress (module C : Spr_om.Om_intf.CONCURRENT) () =
+  let t = C.create () in
+  let n = 3_000 in
+  (* Pre-build a chain whose order we know: chain.(i) precedes
+     chain.(j) iff i < j. *)
+  let chain = Array.make (n + 1) (C.base t) in
+  for i = 1 to n do
+    chain.(i) <- C.insert_after t chain.(i - 1)
+  done;
+  let stop = Atomic.make false in
+  let errors = Atomic.make 0 in
+  let reader seed () =
+    let rng = Rng.create seed in
+    while not (Atomic.get stop) do
+      let i = Rng.int rng (n + 1) and j = Rng.int rng (n + 1) in
+      let got = C.precedes t chain.(i) chain.(j) in
+      if got <> (i < j) then Atomic.incr errors
+    done
+  in
+  let readers = [ Domain.spawn (reader 1); Domain.spawn (reader 2) ] in
+  (* Writer: hammer one gap to force repeated rebalances (and, for the
+     two-level structure, bucket splits) overlapping the chain. *)
+  let anchor = chain.(n / 2) in
+  for _ = 1 to 3_000 do
+    ignore (C.insert_after t anchor)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  C.check_invariants t;
+  Alcotest.(check int) (C.name ^ ": no ordering errors") 0 (Atomic.get errors)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_model (module M : Spr_om.Om_intf.S) =
+  QCheck2.Test.make ~count:60 ~name:("model:" ^ M.name) QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let module R = Run_script (M) in
+      R.run (gen_script ~ops:200 ~seed);
+      true)
+
+let structures : (module Spr_om.Om_intf.S) list =
+  [
+    (module Spr_om.Om_label);
+    (module Spr_om.Om);
+    (module Spr_om.Om_concurrent);
+    (module Spr_om.Om_concurrent2);
+    (module Spr_om.Om_file);
+  ]
+
+let concurrent_structures : (module Spr_om.Om_intf.CONCURRENT) list =
+  [ (module Spr_om.Om_concurrent); (module Spr_om.Om_concurrent2) ]
+
+(* Section 8 separation: with a linear tag universe, amortized relabels
+   per insert must grow (Ω(lg n) lower bound), in contrast to the flat
+   O(1) of the two-level structure. *)
+let file_maintenance_growth () =
+  let relabels_per_insert n =
+    let t = Spr_om.Om_file.create () in
+    let anchor = Spr_om.Om_file.base t in
+    for _ = 1 to n do
+      ignore (Spr_om.Om_file.insert_after t anchor)
+    done;
+    Alcotest.(check bool) "universe stays O(n)" true (Spr_om.Om_file.universe t <= 16 * n);
+    let st = Spr_om.Om_file.stats t in
+    float_of_int st.relabels /. float_of_int n
+  in
+  let small = relabels_per_insert 2_000 in
+  let large = relabels_per_insert 64_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "relabels/insert grows (%.2f -> %.2f)" small large)
+    true (large > small +. 1.0)
+
+let () =
+  let per_structure =
+    List.concat_map
+      (fun (module M : Spr_om.Om_intf.S) ->
+        [
+          Alcotest.test_case (M.name ^ " model seed=7") `Quick (model_test (module M) 7);
+          Alcotest.test_case (M.name ^ " model seed=99") `Quick (model_test (module M) 99);
+          Alcotest.test_case (M.name ^ " hammer front") `Quick (hammer_front (module M) ~n:3_000);
+          Alcotest.test_case (M.name ^ " append only") `Quick (append_only (module M) ~n:3_000);
+          Alcotest.test_case (M.name ^ " multi-insert") `Quick (multi_insert_order (module M));
+          QCheck_alcotest.to_alcotest (qcheck_model (module M));
+        ])
+      structures
+  in
+  Alcotest.run "spr_om"
+    [
+      ("structures", per_structure);
+      ( "two-level",
+        [
+          Alcotest.test_case "invariants after hammer" `Quick om_invariants_after_hammer;
+          Alcotest.test_case "order after mixed inserts" `Quick om_order_after_mixed;
+          Alcotest.test_case "amortized O(1) top relabels" `Quick amortized_bound;
+        ] );
+      ( "one-level",
+        [ Alcotest.test_case "amortized O(lg n) relabels" `Quick one_level_amortized_bound ] );
+      ( "file-maintenance",
+        [ Alcotest.test_case "linear universe costs grow" `Quick file_maintenance_growth ] );
+      ( "concurrent",
+        List.concat_map
+          (fun (module C : Spr_om.Om_intf.CONCURRENT) ->
+            [
+              Alcotest.test_case (C.name ^ " insert_around") `Quick
+                (concurrent_insert_around (module C));
+              Alcotest.test_case (C.name ^ " reader/writer stress") `Quick
+                (concurrent_stress (module C));
+            ])
+          concurrent_structures );
+    ]

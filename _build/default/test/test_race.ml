@@ -1,0 +1,279 @@
+(* Race-detector validation: the Nondeterminator protocol against the
+   naive all-pairs checker, with every serial SP-maintenance algorithm
+   as the oracle, plus SP-hybrid as the parallel oracle, plus the
+   lockset (All-Sets-style) extension. *)
+
+open Spr_prog
+module Rng = Spr_util.Rng
+module W = Spr_workloads.Progs
+
+let serial_racy_locs algo p =
+  let pt = Prog_tree.of_program p in
+  (Spr_race.Drivers.detect_serial pt algo).Spr_race.Drivers.racy_locs
+
+(* ------------------------------------------------------------------ *)
+(* Planted-bug workloads.                                              *)
+
+let dc_sum_clean () =
+  let p = W.dc_sum ~leaves:32 () in
+  let pt = Prog_tree.of_program p in
+  Alcotest.(check bool) "naive says race-free" true (Spr_race.Naive_checker.race_free pt);
+  List.iter
+    (fun (name, algo) ->
+      Alcotest.(check (list int)) (name ^ ": no races") [] (serial_racy_locs algo p))
+    Spr_core.Algorithms.all
+
+let dc_sum_buggy () =
+  let p = W.dc_sum ~buggy:true ~leaves:32 () in
+  let pt = Prog_tree.of_program p in
+  let want = Spr_race.Naive_checker.racy_locs pt in
+  Alcotest.(check bool) "bug planted" true (want <> []);
+  List.iter
+    (fun (name, algo) ->
+      Alcotest.(check (list int)) (name ^ ": finds planted races") want (serial_racy_locs algo p))
+    Spr_core.Algorithms.all
+
+(* Application workloads: parallel mergesort and blocked matmul, clean
+   and with their classic planted bugs (overlapping scratch; missing
+   sync between the two multiplication waves). *)
+let applications () =
+  let cases =
+    [
+      ("mergesort", fun buggy -> W.mergesort ~buggy ~n:64 ());
+      ("matmul", fun buggy -> W.matmul ~buggy ~n:8 ());
+    ]
+  in
+  List.iter
+    (fun (name, make) ->
+      let clean = Prog_tree.of_program (make false) in
+      Alcotest.(check bool) (name ^ " clean is race-free") true
+        (Spr_race.Naive_checker.race_free clean);
+      Alcotest.(check (list int))
+        (name ^ " detector agrees clean")
+        []
+        (Spr_race.Drivers.detect_serial clean Spr_core.Algorithms.sp_order)
+          .Spr_race.Drivers.racy_locs;
+      let buggy = Prog_tree.of_program (make true) in
+      let want = Spr_race.Naive_checker.racy_locs buggy in
+      Alcotest.(check bool) (name ^ " bug planted") true (want <> []);
+      List.iter
+        (fun (oracle, algo) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: %s localizes the bug" name oracle)
+            want
+            (Spr_race.Drivers.detect_serial buggy algo).Spr_race.Drivers.racy_locs)
+        [ ("sp-order", Spr_core.Algorithms.sp_order); ("sp-bags", Spr_core.Algorithms.sp_bags) ];
+      (* ... and through SP-hybrid on the simulator at P=4. *)
+      let r = Spr_race.Drivers.detect_hybrid ~seed:3 ~procs:4 (make true) in
+      Alcotest.(check bool) (name ^ " hybrid finds it") true (r.Spr_race.Drivers.racy_locs <> []);
+      List.iter
+        (fun l -> Alcotest.(check bool) (name ^ " hybrid loc real") true (List.mem l want))
+        r.Spr_race.Drivers.racy_locs)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Random cross-validation: detector (serial, any oracle) = naive.     *)
+
+let random_serial_matches_naive =
+  QCheck2.Test.make ~count:80 ~name:"serial detector = naive checker (random programs)"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 60))
+    (fun (seed, threads) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~locs:8
+          ~accesses_per_thread:4 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let want = Spr_race.Naive_checker.racy_locs pt in
+      List.for_all
+        (fun (_, algo) -> serial_racy_locs algo p = want)
+        [ ("sp-order", Spr_core.Algorithms.sp_order); ("sp-bags", Spr_core.Algorithms.sp_bags) ])
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid (parallel) detection.                                        *)
+
+let hybrid_finds_planted () =
+  let p = W.dc_sum ~buggy:true ~leaves:32 () in
+  let pt = Prog_tree.of_program p in
+  let want = Spr_race.Naive_checker.racy_locs pt in
+  List.iter
+    (fun procs ->
+      let r = Spr_race.Drivers.detect_hybrid ~seed:17 ~procs p in
+      Alcotest.(check bool)
+        (Printf.sprintf "hybrid P=%d finds races" procs)
+        true
+        (r.Spr_race.Drivers.racy_locs <> []);
+      (* Soundness: everything reported is a real race location. *)
+      List.iter
+        (fun l -> Alcotest.(check bool) "reported loc is racy" true (List.mem l want))
+        r.Spr_race.Drivers.racy_locs)
+    [ 1; 2; 4; 8 ]
+
+let hybrid_clean_stays_clean =
+  QCheck2.Test.make ~count:40 ~name:"hybrid reports nothing on race-free programs"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (1 -- 6))
+    (fun (seed, procs) ->
+      let p = W.dc_sum ~leaves:16 () in
+      let r = Spr_race.Drivers.detect_hybrid ~seed ~procs p in
+      r.Spr_race.Drivers.racy_locs = [])
+
+let hybrid_sound_on_random =
+  QCheck2.Test.make ~count:60 ~name:"hybrid is sound on random programs"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (2 -- 50) (1 -- 6))
+    (fun (seed, threads, procs) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~locs:6
+          ~accesses_per_thread:3 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let want = Spr_race.Naive_checker.racy_locs pt in
+      let r = Spr_race.Drivers.detect_hybrid ~seed ~procs p in
+      List.for_all (fun l -> List.mem l want) r.Spr_race.Drivers.racy_locs)
+
+let hybrid_serial_complete =
+  (* On one worker the hybrid run is the serial left-to-right walk, so
+     the Feng-Leiserson completeness argument applies exactly. *)
+  QCheck2.Test.make ~count:60 ~name:"hybrid on P=1 = naive checker"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 50))
+    (fun (seed, threads) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~locs:6
+          ~accesses_per_thread:3 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let r = Spr_race.Drivers.detect_hybrid ~seed ~procs:1 p in
+      r.Spr_race.Drivers.racy_locs = Spr_race.Naive_checker.racy_locs pt)
+
+(* ------------------------------------------------------------------ *)
+(* Lockset (All-Sets) extension.                                       *)
+
+let lockset_discipline () =
+  let check mode want_lockset_race =
+    let p = W.locked_counter ~mode ~leaves:16 () in
+    let pt = Prog_tree.of_program p in
+    let vanilla = Spr_race.Drivers.detect_serial pt Spr_core.Algorithms.sp_order in
+    (* Parallel writes to loc 0 are always a determinacy race. *)
+    Alcotest.(check bool) "determinacy race present" true
+      (vanilla.Spr_race.Drivers.racy_locs <> []);
+    let locked = Spr_race.Drivers.detect_serial_locked pt Spr_core.Algorithms.sp_order in
+    Alcotest.(check bool)
+      (Printf.sprintf "lockset race expectation (%b)" want_lockset_race)
+      want_lockset_race
+      (locked.Spr_race.Drivers.racy_locs <> [])
+  in
+  check `Common_lock false;
+  check `Distinct_locks true;
+  check `No_locks true
+
+let lockset_hybrid () =
+  (* The parallel, on-the-fly, lock-aware configuration. *)
+  List.iter
+    (fun procs ->
+      let clean = W.locked_counter ~mode:`Common_lock ~leaves:12 () in
+      let r = Spr_race.Drivers.detect_hybrid_locked ~seed:5 ~procs clean in
+      Alcotest.(check (list int)) "common lock clean" [] r.Spr_race.Drivers.racy_locs;
+      let buggy = W.locked_counter ~mode:`Distinct_locks ~leaves:12 () in
+      let r = Spr_race.Drivers.detect_hybrid_locked ~seed:5 ~procs buggy in
+      Alcotest.(check bool)
+        (Printf.sprintf "distinct locks race (P=%d)" procs)
+        true
+        (r.Spr_race.Drivers.racy_locs <> []))
+    [ 1; 2; 4 ]
+
+let lockset_matches_naive =
+  QCheck2.Test.make ~count:60 ~name:"lockset detector = naive lock-aware checker"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 40))
+    (fun (seed, threads) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~locs:5
+          ~accesses_per_thread:3 ~lock_count:3 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let locked = Spr_race.Drivers.detect_serial_locked pt Spr_core.Algorithms.sp_order in
+      locked.Spr_race.Drivers.racy_locs = Spr_race.Naive_checker.racy_locs_locked pt)
+
+(* Release protocol: deleting threads that left shadow memory must not
+   change any verdict, and must keep the SP-order structures close to
+   the live frontier instead of the whole history. *)
+let releasing_matches_plain () =
+  (* Verdict equivalence on the planted-bug workloads (where shadow
+     churn is low)... *)
+  List.iter
+    (fun buggy ->
+      let p = W.dc_sum ~buggy ~leaves:128 ~grain:2 () in
+      let pt = Prog_tree.of_program p in
+      let plain = Spr_race.Drivers.detect_serial pt Spr_core.Algorithms.sp_order in
+      let rel = Spr_race.Drivers.detect_serial_releasing pt in
+      Alcotest.(check (list int))
+        "same racy locations" plain.Spr_race.Drivers.racy_locs
+        rel.Spr_race.Drivers.result.Spr_race.Drivers.racy_locs)
+    [ false; true ];
+  (* ... and actual memory reclamation where shadow slots churn: many
+     threads hammering a few locations. *)
+  let p =
+    W.random_prog ~rng:(Rng.create 5) ~threads:300 ~spawn_prob:0.4 ~locs:3
+      ~accesses_per_thread:4 ()
+  in
+  let pt = Prog_tree.of_program p in
+  let rel = Spr_race.Drivers.detect_serial_releasing pt in
+  Alcotest.(check bool)
+    (Printf.sprintf "threads released (%d)" rel.Spr_race.Drivers.released)
+    true
+    (rel.Spr_race.Drivers.released > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "final size %d below peak %d" rel.Spr_race.Drivers.final_om_nodes
+       rel.Spr_race.Drivers.peak_om_nodes)
+    true
+    (rel.Spr_race.Drivers.final_om_nodes < rel.Spr_race.Drivers.peak_om_nodes)
+
+let releasing_matches_naive =
+  QCheck2.Test.make ~count:60 ~name:"releasing detector = naive checker"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 50))
+    (fun (seed, threads) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~locs:6
+          ~accesses_per_thread:4 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let rel = Spr_race.Drivers.detect_serial_releasing pt in
+      rel.Spr_race.Drivers.result.Spr_race.Drivers.racy_locs
+      = Spr_race.Naive_checker.racy_locs pt)
+
+(* Corollary 6 bookkeeping: O(1) queries per access. *)
+let query_budget () =
+  let p = W.dc_sum ~leaves:64 () in
+  let pt = Prog_tree.of_program p in
+  let accesses = ref 0 in
+  Fj_program.iter_threads p (fun u -> accesses := !accesses + Array.length u.Fj_program.accesses);
+  let r = Spr_race.Drivers.detect_serial pt Spr_core.Algorithms.sp_order in
+  Alcotest.(check bool)
+    (Printf.sprintf "<= 3 queries per access (%d for %d)" r.Spr_race.Drivers.sp_queries !accesses)
+    true
+    (r.Spr_race.Drivers.sp_queries <= 3 * !accesses)
+
+let () =
+  Alcotest.run "spr_race"
+    [
+      ( "serial",
+        [
+          Alcotest.test_case "dc_sum clean" `Quick dc_sum_clean;
+          Alcotest.test_case "dc_sum buggy" `Quick dc_sum_buggy;
+          Alcotest.test_case "applications (mergesort, matmul)" `Quick applications;
+          Alcotest.test_case "query budget" `Quick query_budget;
+          Alcotest.test_case "release protocol" `Quick releasing_matches_plain;
+          QCheck_alcotest.to_alcotest random_serial_matches_naive;
+          QCheck_alcotest.to_alcotest releasing_matches_naive;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "finds planted" `Quick hybrid_finds_planted;
+          QCheck_alcotest.to_alcotest hybrid_clean_stays_clean;
+          QCheck_alcotest.to_alcotest hybrid_sound_on_random;
+          QCheck_alcotest.to_alcotest hybrid_serial_complete;
+        ] );
+      ( "lockset",
+        [
+          Alcotest.test_case "lock discipline" `Quick lockset_discipline;
+          Alcotest.test_case "lock discipline (hybrid, parallel)" `Quick lockset_hybrid;
+          QCheck_alcotest.to_alcotest lockset_matches_naive;
+        ] );
+    ]

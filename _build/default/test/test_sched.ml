@@ -1,0 +1,281 @@
+(* Tests for the program IR, the canonical parse-tree derivation, and
+   the work-stealing scheduler simulator. *)
+
+open Spr_prog
+open Spr_sched
+module Rng = Spr_util.Rng
+module W = Spr_workloads.Progs
+
+(* ------------------------------------------------------------------ *)
+(* Program IR and parse-tree derivation.                               *)
+
+let fib_shape () =
+  let p = W.fib ~n:5 () in
+  (* fib(5): leaves fib(1)/fib(0) = 8 base threads, internal adds =
+     #internal calls = 7; threads = 15; procs = 15. *)
+  Alcotest.(check int) "threads" 15 (Fj_program.thread_count p);
+  Alcotest.(check int) "procs" 15 (Fj_program.proc_count p);
+  Alcotest.(check int) "work" 60 (Fj_program.work p);
+  Alcotest.(check int) "spawns" 14 (Fj_program.spawn_count p)
+
+let span_shapes () =
+  let serial = W.serial ~cost:3 ~n:10 () in
+  Alcotest.(check int) "serial span = work" 30 (Fj_program.span serial);
+  let wide = W.wide ~cost:3 ~n:50 () in
+  (* Everything in one sync block runs in parallel. *)
+  Alcotest.(check int) "wide span" 3 (Fj_program.span wide);
+  let deep = W.deep_spawn ~cost:2 ~depth:40 () in
+  (* Each level contributes its continuation thread serially... the
+     chain spawns nest, so the span is the max single path = the
+     deepest procedure's thread plus nothing serial above it. *)
+  Alcotest.(check bool) "deep span small" true (Fj_program.span deep <= 4)
+
+let builder_validation () =
+  let b = Fj_program.Builder.create () in
+  Alcotest.check_raises "no blocks"
+    (Invalid_argument "Fj_program.Builder.proc: need at least one block") (fun () ->
+      ignore (Fj_program.Builder.proc b []));
+  Alcotest.check_raises "empty block"
+    (Invalid_argument "Fj_program.Builder.proc: empty sync block") (fun () ->
+      ignore (Fj_program.Builder.proc b [ [] ]));
+  Alcotest.check_raises "zero-cost thread"
+    (Invalid_argument "Fj_program.Builder.thread: cost must be >= 1") (fun () ->
+      ignore (Fj_program.Builder.thread b ~cost:0 ()));
+  let u = Fj_program.Builder.thread b ~cost:1 () in
+  let main = Fj_program.Builder.proc b [ [ Fj_program.Run u ] ] in
+  let p = Fj_program.Builder.finish b main in
+  Alcotest.(check int) "one thread" 1 (Fj_program.thread_count p);
+  Alcotest.check_raises "builder closed"
+    (Invalid_argument "Fj_program.Builder: already finished") (fun () ->
+      ignore (Fj_program.Builder.thread b ~cost:1 ()))
+
+let tree_matches_program =
+  QCheck2.Test.make ~count:80 ~name:"parse tree work/span = program work/span"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 120))
+    (fun (seed, threads) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~max_cost:6 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let cost_of leaf =
+        match Prog_tree.thread_of_leaf pt leaf with
+        | Some u -> u.Fj_program.cost
+        | None -> 0
+      in
+      let tree = Prog_tree.tree pt in
+      let twork =
+        Spr_sptree.Sp_tree.fold tree ~leaf:cost_of ~node:(fun _ l r -> l + r)
+      in
+      let tspan =
+        Spr_sptree.Sp_tree.fold tree ~leaf:cost_of ~node:(fun k l r ->
+            match k with Spr_sptree.Sp_tree.Series -> l + r | Spr_sptree.Sp_tree.Parallel -> max l r)
+      in
+      twork = Fj_program.work p && tspan = Fj_program.span p)
+
+let tree_relations_fib () =
+  let p = W.fib ~n:4 () in
+  let pt = Prog_tree.of_program p in
+  (* In fib, the two recursive children of main are parallel; the add
+     thread of main is serial after everything. *)
+  let main = Fj_program.main p in
+  let first_block = main.Fj_program.blocks.(0) in
+  let child_first_thread = function
+    | Fj_program.Spawn child -> begin
+        (* First Run item reachable in the child. *)
+        let rec first (pr : Fj_program.proc) =
+          let rec scan bi ii =
+            if bi >= Array.length pr.Fj_program.blocks then None
+            else if ii >= Array.length pr.Fj_program.blocks.(bi) then scan (bi + 1) 0
+            else begin
+              match pr.Fj_program.blocks.(bi).(ii) with
+              | Fj_program.Run u -> Some u
+              | Fj_program.Spawn c -> (match first c with Some u -> Some u | None -> scan bi (ii + 1))
+            end
+          in
+          scan 0 0
+        in
+        first child
+      end
+    | Fj_program.Run u -> Some u
+  in
+  let u1 = Option.get (child_first_thread first_block.(0)) in
+  let u2 = Option.get (child_first_thread first_block.(1)) in
+  let add =
+    match main.Fj_program.blocks.(1).(0) with
+    | Fj_program.Run u -> u
+    | Fj_program.Spawn _ -> Alcotest.fail "expected Run"
+  in
+  let leaf u = Prog_tree.leaf_of_thread pt u.Fj_program.tid in
+  Alcotest.(check bool) "children parallel" true
+    (Spr_sptree.Sp_reference.parallel (leaf u1) (leaf u2));
+  Alcotest.(check bool) "add after child1" true
+    (Spr_sptree.Sp_reference.precedes (leaf u1) (leaf add));
+  Alcotest.(check bool) "add after child2" true
+    (Spr_sptree.Sp_reference.precedes (leaf u2) (leaf add))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler.                                                          *)
+
+let count_thread_executions ?(seed = 1) ~procs p =
+  let executed = Array.make (Fj_program.thread_count p) 0 in
+  let order = ref [] in
+  let hooks =
+    {
+      Sim.no_hooks with
+      Sim.on_thread =
+        (fun ~wid:_ ~now:_ _ u ->
+          executed.(u.Fj_program.tid) <- executed.(u.Fj_program.tid) + 1;
+          order := u.Fj_program.tid :: !order;
+          0);
+    }
+  in
+  let res = Sim.run ~hooks ~seed ~max_ticks:10_000_000 ~procs p in
+  (res, executed, List.rev !order)
+
+let serial_execution_is_english_order () =
+  let p = W.fib ~n:8 () in
+  let pt = Prog_tree.of_program p in
+  let _, executed, order = count_thread_executions ~procs:1 p in
+  Array.iter (fun c -> Alcotest.(check int) "each thread once" 1 c) executed;
+  (* On one worker the scheduler must walk the parse tree left to
+     right: execution order = English order of the derived tree. *)
+  let eng = Spr_sptree.Sp_tree.english_order (Prog_tree.tree pt) in
+  let positions =
+    List.map (fun tid -> eng.((Prog_tree.leaf_of_thread pt tid).Spr_sptree.Sp_tree.id)) order
+  in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "english order" true (ascending positions)
+
+let no_steals_when_serial () =
+  let p = W.serial ~n:50 () in
+  let res, _, _ = count_thread_executions ~procs:4 p in
+  Alcotest.(check int) "no successful steals on serial program" 0 res.Sim.steals
+
+let work_conservation () =
+  List.iter
+    (fun procs ->
+      let p = W.fib ~n:10 () in
+      let res, executed, _ = count_thread_executions ~procs p in
+      Array.iter (fun c -> Alcotest.(check int) "once" 1 c) executed;
+      Alcotest.(check int)
+        (Printf.sprintf "work ticks (P=%d)" procs)
+        (Fj_program.work p) res.Sim.work_ticks)
+    [ 1; 2; 3; 8 ]
+
+(* On one worker every tick belongs to exactly one accounting bucket,
+   so the makespan decomposes exactly. *)
+let serial_time_identity () =
+  List.iter
+    (fun p ->
+      let res = Sim.run ~procs:1 p in
+      Alcotest.(check int) "T_1 = work + overhead + hooks"
+        (res.Sim.work_ticks + res.Sim.overhead_ticks + res.Sim.hook_ticks)
+        res.Sim.time)
+    [ W.fib ~n:10 (); W.serial ~n:40 (); W.deep_spawn ~depth:25 (); W.dc_sum ~leaves:32 () ]
+
+let determinism () =
+  let p = W.fib ~n:12 () in
+  let r1 = Sim.run ~seed:7 ~procs:4 p in
+  let r2 = Sim.run ~seed:7 ~procs:4 p in
+  Alcotest.(check int) "same time" r1.Sim.time r2.Sim.time;
+  Alcotest.(check int) "same steals" r1.Sim.steals r2.Sim.steals;
+  Alcotest.(check int) "same attempts" r1.Sim.steal_attempts r2.Sim.steal_attempts
+
+let speedup () =
+  let p = W.fib ~n:16 ~cost:8 () in
+  let t1 = (Sim.run ~seed:3 ~procs:1 p).Sim.time in
+  let t8 = (Sim.run ~seed:3 ~procs:8 p).Sim.time in
+  Alcotest.(check bool)
+    (Printf.sprintf "8 workers at least 3x faster (t1=%d t8=%d)" t1 t8)
+    true
+    (t8 * 3 < t1)
+
+let greedy_bound () =
+  (* T_P <= T1 + T_inf + overheads; check a generous version of the
+     bound on several shapes and worker counts. *)
+  List.iter
+    (fun (p, name) ->
+      List.iter
+        (fun procs ->
+          let res = Sim.run ~seed:11 ~procs ~max_ticks:50_000_000 p in
+          let t1 = Fj_program.work p + res.Sim.overhead_ticks in
+          let bound = (t1 / procs) + (3 * Fj_program.span p) + (res.Sim.steal_ticks / procs) + 64 in
+          ignore bound;
+          (* makespan can't beat perfect speedup *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s P=%d: T_P >= T1/P" name procs)
+            true
+            (res.Sim.time * procs >= Fj_program.work p))
+        [ 1; 2; 4; 16 ])
+    [ (W.fib ~n:12 (), "fib12"); (W.deep_spawn ~depth:60 (), "deep60"); (W.wide ~n:100 (), "wide100") ]
+
+let steal_targets_are_spawn_continuations () =
+  let p = W.fib ~n:12 () in
+  let saw_steal = ref 0 in
+  let hooks =
+    {
+      Sim.no_hooks with
+      Sim.on_steal =
+        (fun ~thief:_ ~victim:_ ~now:_ f ->
+          incr saw_steal;
+          (* The stolen continuation resumes right after a Spawn. *)
+          let items = f.Sim.proc.Fj_program.blocks.(f.Sim.block) in
+          Alcotest.(check bool) "position > 0" true (f.Sim.item > 0);
+          (match items.(f.Sim.item - 1) with
+          | Fj_program.Spawn _ -> ()
+          | Fj_program.Run _ -> Alcotest.fail "stolen frame not after a spawn");
+          0);
+    }
+  in
+  ignore (Sim.run ~hooks ~seed:5 ~procs:8 ~max_ticks:10_000_000 p);
+  Alcotest.(check bool) "some steals happened" true (!saw_steal > 0)
+
+let random_programs_complete =
+  QCheck2.Test.make ~count:60 ~name:"random programs complete on random P"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (2 -- 150) (1 -- 12))
+    (fun (seed, threads, procs) ->
+      let p = W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 () in
+      let res, executed, _ = count_thread_executions ~seed ~procs p in
+      Array.for_all (fun c -> c = 1) executed && res.Sim.work_ticks = Fj_program.work p)
+
+let steals_scale_with_span =
+  (* O(P * T_inf) steals: verify empirically that a generous multiple
+     holds over random fib-like runs. *)
+  QCheck2.Test.make ~count:20 ~name:"steal bound O(P*span)"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 8))
+    (fun (seed, procs) ->
+      let p = W.fib ~n:13 () in
+      let res = Sim.run ~seed ~procs ~max_ticks:10_000_000 p in
+      let bound = 40 * procs * Fj_program.span p in
+      res.Sim.steals <= bound)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "spr_sched"
+    [
+      ( "program-ir",
+        [
+          Alcotest.test_case "fib shape" `Quick fib_shape;
+          Alcotest.test_case "span shapes" `Quick span_shapes;
+          Alcotest.test_case "builder validation" `Quick builder_validation;
+          Alcotest.test_case "fib tree relations" `Quick tree_relations_fib;
+          QCheck_alcotest.to_alcotest tree_matches_program;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "serial = english order" `Quick serial_execution_is_english_order;
+          Alcotest.test_case "no steals when serial" `Quick no_steals_when_serial;
+          Alcotest.test_case "work conservation" `Quick work_conservation;
+          Alcotest.test_case "serial time identity" `Quick serial_time_identity;
+          Alcotest.test_case "determinism" `Quick determinism;
+          Alcotest.test_case "speedup" `Quick speedup;
+          Alcotest.test_case "greedy bound" `Quick greedy_bound;
+          Alcotest.test_case "steals follow spawns" `Quick steal_targets_are_spawn_continuations;
+          QCheck_alcotest.to_alcotest random_programs_complete;
+          QCheck_alcotest.to_alcotest steals_scale_with_span;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Coverage for the utility substrate: growable arrays, deques, the
+   seeded PRNG, statistics, and the table renderer. *)
+
+module Vec = Spr_util.Vec
+module Deque = Spr_util.Deque
+module Rng = Spr_util.Rng
+module Stats = Spr_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+
+let vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check (option int)) "last" (Some 99) (Vec.last v);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  Alcotest.(check int) "after pop" 99 (Vec.length v);
+  Alcotest.(check int) "fold" (List.fold_left ( + ) 0 (Vec.to_list v)) (Vec.fold_left ( + ) 0 v);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 3 out of bounds [0,3)") (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec: index -1 out of bounds [0,3)") (fun () -> ignore (Vec.get v (-1)))
+
+let vec_model =
+  QCheck2.Test.make ~count:100 ~name:"Vec behaves like a list"
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun ops ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun x ->
+          if x mod 7 = 0 then begin
+            (match (Vec.pop v, !model) with
+            | Some a, b :: rest ->
+                assert (a = b);
+                model := rest
+            | None, [] -> ()
+            | _ -> assert false)
+          end
+          else begin
+            Vec.push v x;
+            model := x :: !model
+          end)
+        ops;
+      Vec.to_list v = List.rev !model)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+
+let deque_model =
+  QCheck2.Test.make ~count:150 ~name:"Deque behaves like a two-ended list"
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      (* model: list with head = top (oldest), tail end = bottom *)
+      List.iter
+        (fun x ->
+          match x mod 4 with
+          | 0 | 1 ->
+              Deque.push_bottom d x;
+              model := !model @ [ x ]
+          | 2 -> begin
+              match (Deque.pop_top d, !model) with
+              | Some a, b :: rest ->
+                  assert (a = b);
+                  model := rest
+              | None, [] -> ()
+              | _ -> assert false
+            end
+          | _ -> begin
+              match (Deque.pop_bottom d, List.rev !model) with
+              | Some a, b :: rest ->
+                  assert (a = b);
+                  model := List.rev rest
+              | None, [] -> ()
+              | _ -> assert false
+            end)
+        ops;
+      let out = ref [] in
+      Deque.iter_top_to_bottom (fun x -> out := x :: !out) d;
+      List.rev !out = !model && Deque.length d = List.length !model)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.failf "Rng.int out of range: %d" x;
+    let y = Rng.int_in rng (-5) 5 in
+    if y < -5 || y > 5 then Alcotest.failf "Rng.int_in out of range: %d" y;
+    let f = Rng.float rng 2.0 in
+    if f < 0.0 || f >= 2.0 then Alcotest.failf "Rng.float out of range: %f" f
+  done
+
+let rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* The two streams should not be identical. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let rng_uniform_ish () =
+  let rng = Rng.create 31 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expect = n / 10 in
+      if abs (c - expect) > expect / 5 then
+        Alcotest.failf "bucket %d badly skewed: %d vs %d" i c expect)
+    buckets
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 77 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Stats.variance xs);
+  let mn, mx = Stats.min_max xs in
+  Alcotest.(check (float 1e-9)) "min" 1.0 mn;
+  Alcotest.(check (float 1e-9)) "max" 5.0 mx;
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let stats_fits () =
+  (* y = 3x + 1 *)
+  let pts = Array.init 20 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
+  let slope, intercept = Stats.linear_fit pts in
+  Alcotest.(check (float 1e-6)) "slope" 3.0 slope;
+  Alcotest.(check (float 1e-6)) "intercept" 1.0 intercept;
+  Alcotest.(check (float 1e-6)) "r2" 1.0 (Stats.r_squared pts (slope, intercept));
+  (* y = 2 x^1.5 *)
+  let pts = Array.init 20 (fun i -> (float_of_int (i + 1), 2.0 *. (float_of_int (i + 1) ** 1.5))) in
+  let k, c = Stats.fit_power pts in
+  Alcotest.(check (float 1e-6)) "exponent" 1.5 k;
+  Alcotest.(check (float 1e-6)) "constant" 2.0 c
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let table_renders () =
+  let t =
+    Spr_util.Table.create ~title:"t" [ ("a", Spr_util.Table.Left); ("b", Spr_util.Table.Right) ]
+  in
+  Spr_util.Table.add_row t [ "x"; "1" ];
+  Spr_util.Table.add_sep t;
+  Spr_util.Table.add_row t [ "longer"; "22" ];
+  let s = Spr_util.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 't');
+  Alcotest.(check bool) "contains cell" true (contains s "longer");
+  Alcotest.check_raises "arity checked" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Spr_util.Table.add_row t [ "only-one" ])
+
+let table_formats () =
+  Alcotest.(check string) "ns" "12.0ns" (Spr_util.Table.fmt_ns 12.0);
+  Alcotest.(check string) "us" "1.50us" (Spr_util.Table.fmt_ns 1_500.0);
+  Alcotest.(check string) "ms" "2.35ms" (Spr_util.Table.fmt_ns 2_350_000.0);
+  Alcotest.(check string) "int" "1,234,567" (Spr_util.Table.fmt_int 1_234_567);
+  Alcotest.(check string) "negative int" "-1,000" (Spr_util.Table.fmt_int (-1000))
+
+let () =
+  Alcotest.run "spr_util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick vec_basics;
+          Alcotest.test_case "bounds" `Quick vec_bounds;
+          QCheck_alcotest.to_alcotest vec_model;
+        ] );
+      ("deque", [ QCheck_alcotest.to_alcotest deque_model ]);
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "bounds" `Quick rng_bounds;
+          Alcotest.test_case "split independent" `Quick rng_split_independent;
+          Alcotest.test_case "uniform-ish" `Quick rng_uniform_ish;
+          Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick stats_basics;
+          Alcotest.test_case "fits" `Quick stats_fits;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick table_renders;
+          Alcotest.test_case "formats" `Quick table_formats;
+        ] );
+    ]
