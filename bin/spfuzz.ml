@@ -1,0 +1,146 @@
+(* spfuzz — differential fuzzer for the SP-maintenance library.
+
+   Generates seeded random fork-join programs and order-maintenance
+   op-scripts, runs them through every registered SP maintainer (serial
+   walk, random legal unfoldings, SP-hybrid under simulated
+   work-stealing schedules) and every OM structure, cross-validates
+   against the reference oracles, and shrinks any divergence to a
+   minimal replayable repro.
+
+   Examples:
+     spfuzz --iters 500
+     spfuzz --mode sp --seed 7 --iters 200 --schedules 4
+     spfuzz --mode om --iters 300
+     spfuzz --algo sp-bags --iters 100
+     spfuzz --inject-fault bags-flip --iters 50     # must exit 1
+     spfuzz --smoke                                  # bounded CI run   *)
+
+open Cmdliner
+module F = Spr_check.Fuzz
+
+let say quiet fmt =
+  if quiet then Printf.ifprintf stdout fmt else Printf.printf (fmt ^^ "\n%!")
+
+let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet =
+  let algos =
+    let all = Spr_core.Algorithms.all in
+    match algo with
+    | None -> all
+    | Some name -> [ (name, List.assoc name all) ]
+  in
+  let algos, om_suts =
+    match inject with
+    | `Bags_flip -> (algos @ [ Spr_check.Faulty.sp_bags_flipped ], F.default_om_suts)
+    | `Om_before_after ->
+        ( algos,
+          F.default_om_suts
+          @ [ ("om-broken-insert-before", Spr_check.Faulty.om_broken_insert_before) ] )
+    | `None -> (algos, F.default_om_suts)
+  in
+  {
+    F.seed;
+    iters;
+    max_threads;
+    schedules;
+    algos;
+    om_suts;
+    log = (fun line -> say quiet "%s" line);
+  }
+
+let run mode seed iters max_threads schedules algo inject smoke quiet =
+  (* The smoke profile is the CI configuration: small and bounded
+     (~seconds), still covering every maintainer, every OM structure
+     and several schedules. *)
+  let iters = if smoke then min iters 60 else iters in
+  let max_threads = if smoke then min max_threads 16 else max_threads in
+  let cfg = config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet in
+  let failed = ref false in
+  let sp_checked = ref 0 and om_checked = ref 0 in
+  if mode = "sp" || mode = "all" then begin
+    sp_checked := cfg.F.iters;
+    match F.run_sp cfg with
+    | None -> ()
+    | Some f ->
+        failed := true;
+        Format.printf "%a@." F.pp_sp_failure f;
+        Format.printf "replay: spfuzz --mode sp --seed %d --iters %d@." cfg.F.seed (f.F.sp_iter + 1)
+  end;
+  if (not !failed) && (mode = "om" || mode = "all") then begin
+    om_checked := cfg.F.iters;
+    match F.run_om cfg with
+    | None -> ()
+    | Some f ->
+        failed := true;
+        Format.printf "%a@." F.pp_om_failure f;
+        Format.printf "replay: spfuzz --mode om --seed %d --iters %d@." cfg.F.seed (f.F.om_iter + 1)
+  end;
+  if !failed then 1
+  else begin
+    Printf.printf "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures), 0 divergences\n"
+      !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts);
+    0
+  end
+
+let mode_arg =
+  let doc = "What to fuzz: sp (maintainers), om (order maintenance), all." in
+  Arg.(
+    value
+    & opt (enum [ ("sp", "sp"); ("om", "om"); ("all", "all") ]) "all"
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
+
+let iters_arg =
+  Arg.(value & opt int 500 & info [ "iters" ] ~docv:"N" ~doc:"Iterations per mode.")
+
+let max_threads_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-threads" ] ~docv:"N" ~doc:"Thread-count ceiling for generated programs.")
+
+let schedules_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "schedules" ] ~docv:"N"
+        ~doc:"Simulated work-stealing schedules (worker count, steal seed) per program.")
+
+let algo_conv =
+  let parse s =
+    if List.mem_assoc s Spr_core.Algorithms.all then Ok s
+    else
+      let names = String.concat ", " (List.map fst Spr_core.Algorithms.all) in
+      Error (`Msg (Printf.sprintf "unknown algorithm %S (have: %s)" s names))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (some algo_conv) None
+    & info [ "algo" ] ~docv:"NAME" ~doc:"Fuzz only this SP maintainer (default: all).")
+
+let inject_arg =
+  let doc =
+    "Plant a known bug and expect the fuzzer to catch it: none, bags-flip (SP-bags with the \
+     bag-kind comparison flipped), om-before-after (OM insert_before aliased to insert_after)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("none", `None); ("bags-flip", `Bags_flip); ("om-before-after", `Om_before_after) ])
+        `None
+    & info [ "inject-fault" ] ~docv:"FAULT" ~doc)
+
+let smoke_arg =
+  Arg.(value & flag & info [ "smoke" ] ~doc:"Bounded CI profile (caps iterations and sizes).")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress output.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "spfuzz" ~doc:"Differential fuzzer for SP maintenance and order maintenance")
+    Term.(
+      const run $ mode_arg $ seed_arg $ iters_arg $ max_threads_arg $ schedules_arg $ algo_arg
+      $ inject_arg $ smoke_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

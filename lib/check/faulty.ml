@@ -1,0 +1,26 @@
+module Sp_bags_flipped = struct
+  include Spr_core.Sp_bags
+
+  let name = "sp-bags-flipped"
+
+  (* The planted bug: the bag-kind comparison in the query path is
+     flipped, so the two answers trade places. *)
+  let precedes t x y = Spr_core.Sp_bags.parallel t x y
+
+  let parallel t x y = Spr_core.Sp_bags.precedes t x y
+end
+
+let sp_bags_flipped : Sp_check.algo =
+  ( "sp-bags-flipped",
+    fun tree ->
+      Spr_core.Sp_maintainer.Instance ((module Sp_bags_flipped), Sp_bags_flipped.create tree) )
+
+module Om_broken_insert_before = struct
+  include Spr_om.Om
+
+  let name = "om-broken-insert-before"
+
+  let insert_before = Spr_om.Om.insert_after
+end
+
+let om_broken_insert_before : (module Om_script.SUT) = (module Om_broken_insert_before)

@@ -1,0 +1,15 @@
+(** Deliberately broken variants for harness self-tests (fault
+    injection).  A checker that cannot catch a planted bug proves
+    nothing; these are the planted bugs — see the [--inject-fault]
+    flag of [spfuzz] and the harness tests. *)
+
+val sp_bags_flipped : Sp_check.algo
+(** SP-bags with the S-bag/P-bag membership test flipped: [precedes]
+    and [parallel] answers are swapped — the effect of flipping the
+    one bag-kind comparison in the query path.  Invisible on a
+    single-thread program, caught on the first parallel pair. *)
+
+val om_broken_insert_before : (module Om_script.SUT)
+(** The two-level {!Spr_om.Om} with [insert_before] silently replaced
+    by [insert_after] — the classic wrong-neighbor bug.  Caught by any
+    script that queries around an [Insert_before]. *)

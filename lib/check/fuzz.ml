@@ -1,0 +1,153 @@
+module Rng = Spr_util.Rng
+
+type config = {
+  seed : int;
+  iters : int;
+  max_threads : int;
+  schedules : int;
+  algos : Sp_check.algo list;
+  om_suts : (string * (module Om_script.SUT)) list;
+  log : string -> unit;
+}
+
+(* Give a structure without a native self-check a vacuous one, so the
+   SUT list stays uniform. *)
+let no_invariants (module M : Spr_om.Om_intf.S) : (module Om_script.SUT) =
+  (module struct
+    include M
+
+    let check_invariants _ = ()
+  end)
+
+let default_om_suts =
+  [
+    ("om", ((module Spr_om.Om) : (module Om_script.SUT)));
+    ("om-label", no_invariants (module Spr_om.Om_label));
+    ("om-file", no_invariants (module Spr_om.Om_file));
+    ("om-concurrent", (module Spr_om.Om_concurrent));
+    ("om-concurrent2", (module Spr_om.Om_concurrent2));
+  ]
+
+let default ~seed ~iters =
+  {
+    seed;
+    iters;
+    max_threads = 32;
+    schedules = 3;
+    algos = Spr_core.Algorithms.all;
+    om_suts = default_om_suts;
+    log = ignore;
+  }
+
+(* Every iteration gets an independent generator, so a repro depends
+   only on (seed, iteration). *)
+let iter_rng cfg i = Rng.create ((cfg.seed * 1_000_003) + i)
+
+let progress cfg i what =
+  let every = max 1 (cfg.iters / 10) in
+  if i > 0 && i mod every = 0 then cfg.log (Printf.sprintf "%s: %d/%d iterations" what i cfg.iters)
+
+(* ------------------------------------------------------------------ *)
+(* SP maintainers                                                      *)
+
+type sp_failure = {
+  sp_iter : int;
+  sp_spec : Prog_spec.t;
+  sp_threads : int;
+  sp_divergence : Sp_check.divergence;
+}
+
+let pp_sp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>SP divergence at iteration %d:@,  %a@,shrunk repro (%d threads), as Prog_spec.t:@,  %a@]"
+    f.sp_iter Sp_check.pp_divergence f.sp_divergence f.sp_threads Prog_spec.pp f.sp_spec
+
+let shapes = [| `Uniform; `Deep_serial; `Wide; `Spawn_heavy |]
+
+let run_sp cfg =
+  let rec iterate i =
+    if i >= cfg.iters then None
+    else begin
+      progress cfg i "sp";
+      let rng = iter_rng cfg i in
+      let threads = 2 + Rng.int rng (max 1 (cfg.max_threads - 1)) in
+      let shape = shapes.(i mod Array.length shapes) in
+      let program = Spr_workloads.Progs.random_adversarial ~rng ~threads ~shape () in
+      (* The battery configuration is fixed per iteration so that the
+         shrinking predicate replays the exact same checks. *)
+      let unfold_seeds = [ (2 * i) + 1; (2 * i) + 2 ] in
+      let hybrid =
+        List.init cfg.schedules (fun k -> (1 + ((i + k) mod 8), (i * 31) + k))
+      in
+      let diverges spec =
+        Sp_check.check_program ~algos:cfg.algos ~unfold_seeds ~schedules:hybrid
+          (Prog_spec.to_program spec)
+      in
+      let spec = Prog_spec.of_program program in
+      match diverges spec with
+      | None -> iterate (i + 1)
+      | Some d ->
+          cfg.log (Format.asprintf "sp: divergence at iteration %d (%a), shrinking..." i
+                     Sp_check.pp_divergence d);
+          let shrunk =
+            Shrink.fixpoint ~candidates:Prog_spec.candidates
+              ~still_failing:(fun s -> diverges s <> None)
+              spec
+          in
+          let d = match diverges shrunk with Some d -> d | None -> d in
+          Some
+            {
+              sp_iter = i;
+              sp_spec = shrunk;
+              sp_threads = Prog_spec.thread_count shrunk;
+              sp_divergence = d;
+            }
+    end
+  in
+  iterate 0
+
+(* ------------------------------------------------------------------ *)
+(* Order maintenance                                                   *)
+
+type om_failure = {
+  om_iter : int;
+  om_structure : string;
+  om_script : Om_script.script;
+  om_divergence : Om_script.divergence;
+}
+
+let pp_om_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>OM divergence at iteration %d (%s):@,  %a@,shrunk script, as Om_script.script:@,  %a@]"
+    f.om_iter f.om_structure Om_script.pp_divergence f.om_divergence Om_script.pp f.om_script
+
+let mixes = [| Om_script.Uniform; Om_script.Delete_heavy; Om_script.Head_heavy |]
+
+let run_om cfg =
+  let rec iterate i =
+    if i >= cfg.iters then None
+    else begin
+      progress cfg i "om";
+      let rng = iter_rng cfg i in
+      let mix = mixes.(i mod Array.length mixes) in
+      let len = 30 + Rng.int rng 170 in
+      let script = Om_script.random_script ~rng ~mix ~len in
+      let rec first_failing = function
+        | [] -> None
+        | (sut_name, sut) :: rest -> (
+            match Om_script.replay sut script with
+            | None -> first_failing rest
+            | Some d ->
+                cfg.log
+                  (Format.asprintf "om: divergence at iteration %d (%a), shrinking..." i
+                     Om_script.pp_divergence d);
+                let still_failing ops = Om_script.replay sut ops <> None in
+                let shrunk = Shrink.list ~still_failing script in
+                let d = match Om_script.replay sut shrunk with Some d -> d | None -> d in
+                Some
+                  { om_iter = i; om_structure = sut_name; om_script = shrunk; om_divergence = d })
+      in
+      match first_failing cfg.om_suts with None -> iterate (i + 1) | f -> f
+    end
+  in
+  iterate 0

@@ -1,0 +1,62 @@
+(** The differential fuzzer: random programs and OM op-scripts through
+    every registered implementation, cross-validated against the
+    oracles, with automatic shrinking of anything that diverges.
+
+    Every iteration derives its own RNG from [(seed, iteration)], so a
+    failure found at [--seed S --iters N] replays with the same seed
+    regardless of how many earlier iterations ran — and the shrinking
+    predicate re-runs the exact same battery on each candidate. *)
+
+type config = {
+  seed : int;
+  iters : int;
+  max_threads : int;  (** thread-count ceiling for generated programs *)
+  schedules : int;  (** simulated hybrid schedules (procs, steal seed) per program *)
+  algos : Sp_check.algo list;  (** serial maintainers under test *)
+  om_suts : (string * (module Om_script.SUT)) list;
+  log : string -> unit;  (** progress lines (e.g. [print_endline], or [ignore]) *)
+}
+
+val default_om_suts : (string * (module Om_script.SUT)) list
+(** Every OM implementation in the repo: [Om], [Om_label], [Om_file],
+    [Om_concurrent], [Om_concurrent2] — structures without a native
+    [check_invariants] get a no-op one.  ([Om_naive] is the oracle, not
+    a SUT.) *)
+
+val default : seed:int -> iters:int -> config
+(** All maintainers ({!Spr_core.Algorithms.all}), all OM SUTs,
+    [max_threads = 32], [schedules = 3], silent log. *)
+
+type sp_failure = {
+  sp_iter : int;
+  sp_spec : Prog_spec.t;  (** shrunk to a local minimum *)
+  sp_threads : int;  (** thread count of the shrunk repro *)
+  sp_divergence : Sp_check.divergence;
+}
+
+type om_failure = {
+  om_iter : int;
+  om_structure : string;
+  om_script : Om_script.script;  (** shrunk to a local minimum *)
+  om_divergence : Om_script.divergence;
+}
+
+val pp_sp_failure : Format.formatter -> sp_failure -> unit
+(** Replayable report: divergence, seed arithmetic, and the shrunk
+    program as an OCaml literal. *)
+
+val pp_om_failure : Format.formatter -> om_failure -> unit
+
+val run_sp : config -> sp_failure option
+(** Fuzz the SP maintainers: per iteration, one random program (shape
+    cycling through {!Spr_workloads.Progs.random_adversarial}) through
+    {!Sp_check.check_program} — serial walk for every algo, random
+    legal unfoldings for SP-order, [schedules] simulated work-stealing
+    schedules through SP-hybrid.  The first divergence is shrunk and
+    returned. *)
+
+val run_om : config -> om_failure option
+(** Fuzz the OM structures: per iteration, one random script (mix
+    cycling uniform / delete-heavy / head-heavy) replayed against the
+    {!Spr_om.Om_naive} oracle by every SUT, invariants checked after
+    every mutation.  The first divergence is shrunk and returned. *)

@@ -1,0 +1,130 @@
+type op = Insert_after of int | Insert_before of int | Delete of int | Query of int * int
+
+type script = op list
+
+type mix = Uniform | Delete_heavy | Head_heavy
+
+let random_op ~rng ~mix =
+  let module R = Spr_util.Rng in
+  (* Indices are drawn from a wide range and resolved mod the live
+     count at replay time, so the same op stays meaningful as the
+     script shrinks around it. *)
+  let ix () = R.int rng 1_000_000 in
+  let p = R.float rng 1.0 in
+  match mix with
+  | Uniform ->
+      if p < 0.30 then Insert_after (ix ())
+      else if p < 0.50 then Insert_before (ix ())
+      else if p < 0.70 then Delete (ix ())
+      else Query (ix (), ix ())
+  | Delete_heavy ->
+      if p < 0.25 then Insert_after (ix ())
+      else if p < 0.35 then Insert_before (ix ())
+      else if p < 0.80 then Delete (ix ())
+      else Query (ix (), ix ())
+  | Head_heavy ->
+      (* [Insert_before 0] lands before the base element — always the
+         head of the first bucket — driving the bucket-head relink path
+         and, in bursts, splits at capacity. *)
+      if p < 0.50 then Insert_before 0
+      else if p < 0.70 then Insert_after (ix ())
+      else if p < 0.80 then Delete (ix ())
+      else Query (ix (), ix ())
+
+let random_script ~rng ~mix ~len = List.init len (fun _ -> random_op ~rng ~mix)
+
+let pp_op fmt = function
+  | Insert_after i -> Format.fprintf fmt "Insert_after %d" i
+  | Insert_before i -> Format.fprintf fmt "Insert_before %d" i
+  | Delete i -> Format.fprintf fmt "Delete %d" i
+  | Query (i, j) -> Format.fprintf fmt "Query (%d, %d)" i j
+
+let pp fmt script =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_op)
+    script
+
+type divergence = { structure : string; step : int; op : op option; detail : string }
+
+let pp_divergence fmt d =
+  match d.op with
+  | Some op ->
+      Format.fprintf fmt "%s: step %d (%a): %s" d.structure d.step pp_op op d.detail
+  | None -> Format.fprintf fmt "%s: final sweep after %d ops: %s" d.structure d.step d.detail
+
+module type SUT = sig
+  include Spr_om.Om_intf.S
+
+  val check_invariants : t -> unit
+end
+
+module Naive = Spr_om.Om_naive
+module Vec = Spr_util.Vec
+
+let replay (module M : SUT) script =
+  let sut = M.create () in
+  let model = Naive.create () in
+  (* Live elements, as (candidate, oracle) pairs; slot 0 is the base. *)
+  let live : (M.elt * Naive.elt) Vec.t = Vec.create () in
+  Vec.push live (M.base sut, Naive.base model);
+  let fail step op fmt = Format.kasprintf (fun detail -> Some { structure = M.name; step; op; detail }) fmt in
+  let check_query step op i j =
+    let a, na = Vec.get live i and b, nb = Vec.get live j in
+    let got = M.precedes sut a b and want = Naive.precedes model na nb in
+    if got <> want then fail step op "precedes(#%d, #%d) = %b, oracle says %b" i j got want
+    else None
+  in
+  let after_mutation step op =
+    M.check_invariants sut;
+    let got = M.size sut and want = Naive.size model in
+    if got <> want then fail step op "size = %d, oracle says %d" got want else None
+  in
+  let step_op step op =
+    let n = Vec.length live in
+    match op with
+    | Insert_after i ->
+        let a, na = Vec.get live (i mod n) in
+        Vec.push live (M.insert_after sut a, Naive.insert_after model na);
+        after_mutation step (Some op)
+    | Insert_before i ->
+        let a, na = Vec.get live (i mod n) in
+        Vec.push live (M.insert_before sut a, Naive.insert_before model na);
+        after_mutation step (Some op)
+    | Delete i ->
+        if n < 2 then None (* only the base is live: skip *)
+        else begin
+          let idx = 1 + (i mod (n - 1)) in
+          let a, na = Vec.get live idx in
+          M.delete sut a;
+          Naive.delete model na;
+          (* Swap-remove to keep the vector dense. *)
+          (match Vec.pop live with
+          | Some last -> if idx < Vec.length live then Vec.set live idx last
+          | None -> assert false);
+          after_mutation step (Some op)
+        end
+    | Query (i, j) -> (
+        match check_query step (Some op) (i mod n) (j mod n) with
+        | Some d -> Some d
+        | None -> check_query step (Some op) (j mod n) (i mod n))
+  in
+  let rec run step = function
+    | [] ->
+        (* Final full pairwise sweep (bounded: scripts are short). *)
+        let n = Vec.length live in
+        let d = ref None in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if !d = None && i <> j then d := check_query step None i j
+          done
+        done;
+        !d
+    | op :: rest -> (
+        match
+          try step_op step op
+          with e -> fail step (Some op) "exception: %s" (Printexc.to_string e)
+        with
+        | Some d -> Some d
+        | None -> run (step + 1) rest)
+  in
+  run 0 script

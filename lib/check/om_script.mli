@@ -1,0 +1,59 @@
+(** Model-based testing of order-maintenance structures.
+
+    An {e OM script} is a list of index-based operations.  Indices are
+    resolved modulo the number of live elements at replay time, so any
+    sublist of a script is itself a valid script — which is exactly
+    what {!Shrink.list} needs.  {!replay} runs a script through a
+    candidate structure and through the {!Spr_om.Om_naive} oracle in
+    lock-step, calling the candidate's [check_invariants] after every
+    mutation and cross-checking every query answer (plus a full
+    pairwise [precedes] sweep at the end), and reports the first
+    divergence. *)
+
+type op =
+  | Insert_after of int  (** insert after live element [i mod n] *)
+  | Insert_before of int  (** insert before live element [i mod n] *)
+  | Delete of int
+      (** delete live element [1 + i mod (n-1)] — the base element is
+          never deleted; skipped when only the base is live *)
+  | Query of int * int  (** compare [precedes] both ways vs the oracle *)
+
+type script = op list
+
+type mix =
+  | Uniform  (** balanced op mix *)
+  | Delete_heavy  (** ~45% deletes: exercises bucket emptying / merging *)
+  | Head_heavy
+      (** biased to [Insert_before 0] (before the current bucket head)
+          plus bursts that split buckets at capacity *)
+
+val random_script : rng:Spr_util.Rng.t -> mix:mix -> len:int -> script
+(** A reproducible random script of [len] operations. *)
+
+val pp : Format.formatter -> script -> unit
+(** Print as an OCaml literal — paste back as an [Om_script.script] to
+    replay a repro. *)
+
+type divergence = {
+  structure : string;  (** [name] of the structure under test *)
+  step : int;  (** 0-based index of the failing op, or [length script] for the final sweep *)
+  op : op option;  (** the failing op ([None] for the final sweep) *)
+  detail : string;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+(** A structure under test: the base ADT plus an O(n) self-check.
+    Implementations without a native [check_invariants] are wrapped
+    with a no-op (see {!Fuzz.om_suts}). *)
+module type SUT = sig
+  include Spr_om.Om_intf.S
+
+  val check_invariants : t -> unit
+end
+
+val replay : (module SUT) -> script -> divergence option
+(** Run the script; [None] means the candidate agreed with the oracle
+    throughout and every invariant check passed.  Exceptions raised by
+    the candidate (including [check_invariants] failures) are caught
+    and reported as divergences. *)

@@ -1,0 +1,130 @@
+open Spr_prog
+
+type item = T of int | S of t
+
+and t = item list list
+
+let rec normalize (spec : t) : t =
+  let norm_item = function
+    | T c -> T (max 1 c)
+    | S p -> S (normalize p)
+  in
+  let blocks =
+    List.filter_map
+      (fun blk -> match List.map norm_item blk with [] -> None | blk -> Some blk)
+      spec
+  in
+  if blocks = [] then [ [ T 1 ] ] else blocks
+
+let to_program spec =
+  let b = Fj_program.Builder.create () in
+  let rec proc_of spec =
+    Fj_program.Builder.proc b
+      (List.map
+         (List.map (function
+           | T cost -> Fj_program.Run (Fj_program.Builder.thread b ~cost ())
+           | S p -> Fj_program.Spawn (proc_of p)))
+         spec)
+  in
+  Fj_program.Builder.finish b (proc_of (normalize spec))
+
+let of_program program =
+  let rec spec_of (p : Fj_program.proc) : t =
+    Array.to_list
+      (Array.map
+         (fun blk ->
+           Array.to_list
+             (Array.map
+                (function
+                  | Fj_program.Run th -> T th.Fj_program.cost
+                  | Fj_program.Spawn child -> S (spec_of child))
+                blk))
+         p.Fj_program.blocks)
+  in
+  spec_of (Fj_program.main program)
+
+let thread_count spec =
+  let rec count spec =
+    List.fold_left
+      (List.fold_left (fun acc -> function T _ -> acc + 1 | S p -> acc + count p))
+      0 spec
+  in
+  count (normalize spec)
+
+let rec pp fmt (spec : t) =
+  let pp_item fmt = function
+    | T c -> Format.fprintf fmt "T %d" c
+    | S p -> Format.fprintf fmt "S %a" pp p
+  in
+  let pp_block fmt blk =
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_item)
+      blk
+  in
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_block)
+    spec
+
+(* Replacements for the [i]-th element of a list: [f x] proposes
+   variants of the element; [None] in the output marks deletion. *)
+let at_each xs f =
+  List.concat
+    (List.mapi
+       (fun i _ ->
+         List.filter_map
+           (fun repl ->
+             let ys =
+               List.concat
+                 (List.mapi
+                    (fun j x -> if i <> j then [ x ] else match repl with None -> [] | Some r -> [ r ])
+                    xs)
+             in
+             if ys = xs then None else Some ys)
+           (f (List.nth xs i)))
+       xs)
+
+(* Well-founded size measure: items plus total cost.  Candidates are
+   required to strictly decrease it, which is what lets
+   [Shrink.fixpoint] terminate. *)
+let rec size spec =
+  List.fold_left
+    (List.fold_left (fun acc -> function T c -> acc + 1 + c | S p -> acc + 1 + size p))
+    0 spec
+
+let rec candidates (spec : t) : t list =
+  let spec = normalize spec in
+  (* 1. Hoist: any spawned sub-procedure becomes the whole spec.  This
+     is the big stride — it discards everything around the subtree
+     that actually matters. *)
+  let rec subspecs spec =
+    List.concat_map
+      (List.concat_map (function T _ -> [] | S p -> p :: subspecs p))
+      spec
+  in
+  let hoists = subspecs spec in
+  (* 2. Drop a whole block. *)
+  let drop_blocks = if List.length spec > 1 then at_each spec (fun _ -> [ None ]) else [] in
+  (* 3. Drop one item (normalization collapses a resulting empty block). *)
+  let drop_items = at_each spec (fun blk -> at_each blk (fun _ -> [ None ]) |> List.map Option.some) in
+  (* 4. Collapse a spawn to a single thread; 5. cut a cost to 1;
+     6. shrink inside a sub-procedure. *)
+  let item_rewrites =
+    at_each spec (fun blk ->
+        at_each blk (function
+          | T c -> if c > 1 then [ Some (T 1) ] else []
+          | S p -> Some (T 1) :: List.map (fun p' -> Some (S p')) (candidates p))
+        |> List.map Option.some)
+  in
+  let sz = size spec in
+  (* Dedup preserving order: the aggressive candidates must stay first. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      size c < sz
+      &&
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    (List.map normalize (hoists @ drop_blocks @ drop_items @ item_rewrites))

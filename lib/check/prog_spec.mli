@@ -1,0 +1,44 @@
+(** A shrink-friendly mirror of {!Spr_prog.Fj_program}.
+
+    [Fj_program.t] is built through a stateful builder and carries
+    dense ids, which makes it awkward to mutate structurally during
+    shrinking.  A [Prog_spec.t] is the same canonical Cilk shape as a
+    plain immutable value — a procedure is a list of sync blocks, a
+    block a list of items, an item either a thread of some cost or a
+    spawned sub-procedure — that converts losslessly (up to thread
+    ids) to and from real programs and prints as a replayable OCaml
+    literal. *)
+
+type item = T of int  (** a thread with the given cost (>= 1) *)
+          | S of t  (** a spawned sub-procedure *)
+
+and t = item list list
+(** A procedure: sync blocks of items. *)
+
+val normalize : t -> t
+(** Drop empty blocks (and empty-block-only specs collapse to the
+    one-thread program [[[T 1]]]) so that the result always satisfies
+    the [Fj_program.Builder.proc] well-formedness rules. *)
+
+val to_program : t -> Spr_prog.Fj_program.t
+(** Build the real program ([normalize]d first).  Threads carry no
+    accesses — specs describe structure; the SP relation is what the
+    fuzzer checks. *)
+
+val of_program : Spr_prog.Fj_program.t -> t
+(** Forget ids and accesses, keep the fork-join shape. *)
+
+val thread_count : t -> int
+(** Threads in the normalized spec. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print as an OCaml literal, e.g. [[[T 1; S [[T 2]; [T 1]]]]] —
+    paste it back as a [Prog_spec.t] to replay a repro. *)
+
+val candidates : t -> t list
+(** One-step shrinks, most aggressive first: hoist a spawned
+    sub-procedure to the top level, drop a block, drop an item,
+    collapse a spawn to a single thread, cut a thread's cost to 1,
+    shrink inside a sub-procedure.  Every candidate is strictly
+    smaller (fewer items or less total cost), so
+    {!Shrink.fixpoint} terminates. *)

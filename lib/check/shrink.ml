@@ -1,0 +1,33 @@
+let list ~still_failing xs =
+  (* Classic ddmin sweep: drop windows of [chunk] elements while the
+     failure persists, halving the window until single elements. *)
+  let drop_window xs i chunk = List.filteri (fun j _ -> j < i || j >= i + chunk) xs in
+  let rec sweep chunk xs =
+    if chunk < 1 then xs
+    else begin
+      let rec try_at i xs =
+        if i >= List.length xs then xs
+        else begin
+          let cand = drop_window xs i chunk in
+          if List.length cand < List.length xs && still_failing cand then
+            (* Keep the reduction; the window now holds fresh elements,
+               so retry at the same offset. *)
+            try_at i cand
+          else try_at (i + chunk) xs
+        end
+      in
+      let xs' = try_at 0 xs in
+      sweep (min (chunk / 2) (List.length xs')) xs'
+    end
+  in
+  sweep (max 1 (List.length xs / 2)) xs
+
+let fixpoint ~candidates ~still_failing x =
+  let rec go x =
+    let rec first = function
+      | [] -> x
+      | c :: rest -> if still_failing c then go c else first rest
+    in
+    first (candidates x)
+  in
+  go x

@@ -1,0 +1,22 @@
+(** Generic greedy minimizers for failing fuzz cases.
+
+    Both entry points take a [still_failing] predicate — "does this
+    smaller candidate still exhibit the bug?" — and grind the input
+    down until no enabled reduction step keeps it failing.  The
+    predicate is expected to be deterministic (everything in the
+    fuzzing subsystem replays from seeds), so the result is a local
+    minimum: removing any single remaining piece makes the failure
+    disappear. *)
+
+val list : still_failing:('a list -> bool) -> 'a list -> 'a list
+(** Delta-debugging style minimization of a sequence: repeatedly try
+    to drop chunks (halving the chunk size down to single elements)
+    and keep any reduction that still fails.  [still_failing] is never
+    called on the empty list unless the input itself shrinks to it. *)
+
+val fixpoint : candidates:('a -> 'a list) -> still_failing:('a -> bool) -> 'a -> 'a
+(** Structural minimization: [candidates x] enumerates one-step
+    reductions of [x] (most aggressive first); the first candidate
+    that still fails is recursed into, until no candidate fails.
+    Terminates as long as every candidate is strictly "smaller" in
+    some well-founded sense — callers guarantee this. *)

@@ -1,0 +1,128 @@
+open Spr_sptree
+module Sm = Spr_core.Sp_maintainer
+
+type divergence = { algo : string; schedule : string; detail : string }
+
+let pp_divergence fmt d = Format.fprintf fmt "%s [%s]: %s" d.algo d.schedule d.detail
+
+type algo = string * (Sp_tree.t -> Sm.instance)
+
+(* Used to bail out of a walk at the first divergence: driving a
+   maintainer further after a wrong answer only muddies the repro. *)
+exception Diverged of divergence
+
+let guard ~algo ~schedule f =
+  try
+    f ();
+    None
+  with
+  | Diverged d -> Some d
+  | e -> Some { algo; schedule; detail = "exception: " ^ Printexc.to_string e }
+
+let compare_pair ~algo ~schedule inst prev current =
+  let want_prec = Sp_reference.precedes prev current in
+  let want_par = Sp_reference.parallel prev current in
+  let got_prec = Sm.precedes inst prev current in
+  let got_par = Sm.parallel inst prev current in
+  let fail fmt =
+    Format.kasprintf (fun detail -> raise (Diverged { algo; schedule; detail })) fmt
+  in
+  if got_prec <> want_prec then
+    fail "precedes(u%d, u%d) = %b, reference says %b" prev.Sp_tree.id current.Sp_tree.id
+      got_prec want_prec;
+  if got_par <> want_par then
+    fail "parallel(u%d, u%d) = %b, reference says %b" prev.Sp_tree.id current.Sp_tree.id
+      got_par want_par;
+  if not (Sm.requires_current_operand inst) then begin
+    let got_rev = Sm.precedes inst current prev in
+    let want_rev = Sp_reference.precedes current prev in
+    if got_rev <> want_rev then
+      fail "precedes(u%d, u%d) = %b, reference says %b (reverse)" current.Sp_tree.id
+        prev.Sp_tree.id got_rev want_rev
+  end
+
+let check_serial tree (name, make) =
+  let schedule = "serial" in
+  guard ~algo:name ~schedule (fun () ->
+      let inst = make tree in
+      let executed = ref [] in
+      Spr_core.Driver.run_with_queries tree inst ~on_thread:(fun inst ~current ->
+          List.iter (fun prev -> compare_pair ~algo:name ~schedule inst prev current) !executed;
+          executed := current :: !executed))
+
+let check_unfolded ~seed tree (name, make) =
+  let schedule = Printf.sprintf "unfold seed=%d" seed in
+  guard ~algo:name ~schedule (fun () ->
+      let events = Unfold.random_events ~rng:(Spr_util.Rng.create seed) tree in
+      let inst = make tree in
+      let discovered = ref [] in
+      let audit () =
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b -> if not (a == b) then compare_pair ~algo:name ~schedule inst a b)
+              !discovered)
+          !discovered
+      in
+      let step = ref 0 in
+      List.iter
+        (fun ev ->
+          Sm.on_event inst ev;
+          (match ev with Sp_tree.Thread u -> discovered := u :: !discovered | _ -> ());
+          incr step;
+          if !step mod 7 = 0 then audit ())
+        events;
+      audit ())
+
+let check_hybrid ~procs ~seed program =
+  let schedule = Printf.sprintf "hybrid procs=%d seed=%d" procs seed in
+  let algo = "sp-hybrid" in
+  guard ~algo ~schedule (fun () ->
+      let module H = Spr_hybrid.Sp_hybrid in
+      let pt = Spr_prog.Prog_tree.of_program program in
+      let h = H.create program in
+      let started = ref [] in
+      let leaf tid = Spr_prog.Prog_tree.leaf_of_thread pt tid in
+      let fail fmt =
+        Format.kasprintf (fun detail -> raise (Diverged { algo; schedule; detail })) fmt
+      in
+      let on_thread_user h ~wid:_ ~now:_ (u : Spr_prog.Fj_program.thread) =
+        let current = u.Spr_prog.Fj_program.tid in
+        List.iter
+          (fun e ->
+            let want_prec = Sp_reference.precedes (leaf e) (leaf current) in
+            let want_par = Sp_reference.parallel (leaf e) (leaf current) in
+            let got_prec = H.precedes h ~executed:e ~current in
+            let got_par = H.parallel h ~executed:e ~current in
+            if got_prec <> want_prec then
+              fail "precedes(t%d, t%d) = %b, reference says %b" e current got_prec want_prec;
+            if got_par <> want_par then
+              fail "parallel(t%d, t%d) = %b, reference says %b" e current got_par want_par)
+          !started;
+        started := current :: !started;
+        0
+      in
+      ignore
+        (Spr_sched.Sim.run
+           ~hooks:(H.hooks ~on_thread_user h)
+           ~seed ~max_ticks:50_000_000 ~procs program))
+
+let check_program ?algos ?(unfold_seeds = []) ?(schedules = []) program =
+  let algos = match algos with Some a -> a | None -> Spr_core.Algorithms.all in
+  let tree = Spr_prog.Prog_tree.tree (Spr_prog.Prog_tree.of_program program) in
+  let first_some f xs =
+    List.fold_left (fun acc x -> match acc with Some _ -> acc | None -> f x) None xs
+  in
+  match first_some (check_serial tree) algos with
+  | Some d -> Some d
+  | None -> (
+      (* Out-of-order unfoldings: only SP-order advertises support. *)
+      let sp_order = List.filter (fun (name, _) -> name = "sp-order") algos in
+      match
+        first_some
+          (fun seed -> first_some (check_unfolded ~seed tree) sp_order)
+          unfold_seeds
+      with
+      | Some d -> Some d
+      | None ->
+          first_some (fun (procs, seed) -> check_hybrid ~procs ~seed program) schedules)

@@ -1,0 +1,53 @@
+(** Differential checking of SP-maintenance algorithms against the LCA
+    reference ({!Spr_sptree.Sp_reference}).
+
+    Three execution regimes are covered, mirroring the paper's
+    structure: the serial left-to-right walk of Section 2 (every
+    algorithm), arbitrary legal unfoldings (SP-order, end of
+    Section 2), and SP-hybrid driven by the work-stealing simulator
+    under varying worker counts and steal seeds (Sections 3–5).  Every
+    check returns the {e first} divergence instead of raising, so the
+    fuzzer can shrink around it; exceptions escaping an algorithm are
+    reported as divergences too. *)
+
+type divergence = {
+  algo : string;  (** algorithm (or "sp-hybrid") that disagreed *)
+  schedule : string;  (** e.g. ["serial"], ["unfold seed=3"], ["hybrid procs=4 seed=7"] *)
+  detail : string;  (** the failing query and both answers *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type algo = string * (Spr_sptree.Sp_tree.t -> Spr_core.Sp_maintainer.instance)
+(** A registry entry, shaped like {!Spr_core.Algorithms.all} so faulty
+    injected algorithms can stand in for real ones. *)
+
+val check_serial : Spr_sptree.Sp_tree.t -> algo -> divergence option
+(** Left-to-right walk; at every thread execution compare
+    [precedes]/[parallel] against the reference for all executed
+    threads, honoring the algorithm's declared query semantics
+    ([requires_current_operand], reverse direction included when
+    allowed). *)
+
+val check_unfolded : seed:int -> Spr_sptree.Sp_tree.t -> algo -> divergence option
+(** Drive the algorithm with a random {e legal} unfolding
+    ({!Spr_sptree.Unfold.random_events}) and audit all pairs of
+    discovered threads periodically and at the end.  Only meaningful
+    for algorithms that tolerate out-of-order unfolding (SP-order). *)
+
+val check_hybrid : procs:int -> seed:int -> Spr_prog.Fj_program.t -> divergence option
+(** Run the program through SP-hybrid on the simulator ([procs]
+    workers, steal seed [seed]); at every thread start compare
+    [precedes]/[parallel] with the reference for every started thread
+    (Theorem 9). *)
+
+val check_program :
+  ?algos:algo list ->
+  ?unfold_seeds:int list ->
+  ?schedules:(int * int) list ->
+  Spr_prog.Fj_program.t ->
+  divergence option
+(** The full battery on one program: [algos] (default
+    {!Spr_core.Algorithms.all}) through {!check_serial}, each
+    [unfold_seeds] through {!check_unfolded} on SP-order, each
+    [(procs, seed)] in [schedules] through {!check_hybrid}. *)

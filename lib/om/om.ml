@@ -50,6 +50,10 @@ let create () =
 
 let base t = t.base_item
 
+(* Deleted items are repointed here so they retain no live structure.
+   The tombstone is never linked into any bucket list. *)
+let tombstone = { btag = min_int; bprev = None; bnext = None; first = None; bsize = 0 }
+
 let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted element")
 
 (* ------------------------------------------------------------------ *)
@@ -179,13 +183,22 @@ let delete t e =
   (match e.iprev with Some p -> p.inext <- e.inext | None -> b.first <- e.inext);
   (match e.inext with Some n -> n.iprev <- e.iprev | None -> ());
   e.alive <- false;
+  e.iprev <- None;
+  e.inext <- None;
+  e.bkt <- tombstone;
   b.bsize <- b.bsize - 1;
   t.size <- t.size - 1;
   if b.bsize = 0 then begin
     (match b.bprev with Some p -> p.bnext <- b.bnext | None -> ());
     (match b.bnext with Some n -> n.bprev <- b.bprev | None -> ());
+    b.bprev <- None;
+    b.bnext <- None;
+    b.first <- None;
     t.nbuckets <- t.nbuckets - 1
   end
+
+let is_detached e =
+  (not e.alive) && e.iprev = None && e.inext = None && e.bkt == tombstone
 
 let size t = t.size
 
@@ -207,14 +220,28 @@ let check_invariants t =
       if not (it.bkt == b) then failwith "Om.check_invariants: stale bucket pointer";
       if not it.alive then failwith "Om.check_invariants: dead item linked";
       match it.inext with
-      | Some nxt -> check_items nxt (Some it.ltag) (n + 1)
+      | Some nxt ->
+          (match nxt.iprev with
+          | Some p when p == it -> ()
+          | _ -> failwith "Om.check_invariants: broken item back-link");
+          check_items nxt (Some it.ltag) (n + 1)
       | None -> n + 1
     in
-    let n = match b.first with Some f -> check_items f None 0 | None -> 0 in
+    let n =
+      match b.first with
+      | Some f ->
+          if f.iprev <> None then failwith "Om.check_invariants: bucket head has iprev";
+          check_items f None 0
+      | None -> 0
+    in
     if n <> b.bsize then failwith "Om.check_invariants: bucket size mismatch";
     if n = 0 then failwith "Om.check_invariants: empty bucket linked";
     match b.bnext with
-    | Some nxt -> check_bucket nxt (Some b.btag) (total + n) (nbuckets + 1)
+    | Some nxt ->
+        (match nxt.bprev with
+        | Some p when p == b -> ()
+        | _ -> failwith "Om.check_invariants: broken bucket back-link");
+        check_bucket nxt (Some b.btag) (total + n) (nbuckets + 1)
     | None -> (total + n, nbuckets + 1)
   in
   let total, nbuckets = check_bucket (head t.base_item.bkt) None 0 0 in

@@ -27,5 +27,14 @@ val bucket_count : t -> int
 val check_invariants : t -> unit
 (** Walk the whole structure and verify ordering invariants: bucket
     tags strictly increase, local tags strictly increase within each
-    bucket, sizes are consistent.  Test hook; O(n).
+    bucket, sizes are consistent, prev/next links of both levels agree
+    (so no emptied bucket or deleted item can still be linked).  Test
+    hook; O(n).
     @raise Failure on violation. *)
+
+val is_detached : elt -> bool
+(** True iff the element has been deleted {e and} retains no pointer
+    into the live structure: its neighbour links are cleared and its
+    bucket pointer was moved to a private tombstone, so holding the
+    handle leaks O(1) space rather than a chain of buckets.  Test
+    hook. *)

@@ -165,6 +165,10 @@ let delete t e =
       (match e.prev with Some p -> p.next <- e.next | None -> ());
       (match e.next with Some n -> n.prev <- e.prev | None -> ());
       e.alive <- false;
+      (* Drop the neighbour links so a retained handle cannot keep the
+         rest of the list reachable. *)
+      e.prev <- None;
+      e.next <- None;
       t.size <- t.size - 1)
 
 let size t = t.size

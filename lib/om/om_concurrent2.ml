@@ -310,11 +310,20 @@ let delete t e =
       (match e.iprev with Some p -> p.inext <- e.inext | None -> b.bfirst <- e.inext);
       (match e.inext with Some n -> n.iprev <- e.iprev | None -> ());
       e.alive <- false;
+      (* Clear the links (queries never traverse them, so this is safe
+         under the lock): a retained dead handle must not keep live
+         items — or, through an emptied bucket, the bucket list —
+         reachable. *)
+      e.iprev <- None;
+      e.inext <- None;
       b.bsize <- b.bsize - 1;
       t.size <- t.size - 1;
       if b.bsize = 0 then begin
         (match b.bprev with Some p -> p.bnext <- b.bnext | None -> ());
         (match b.bnext with Some n -> n.bprev <- b.bprev | None -> ());
+        b.bprev <- None;
+        b.bnext <- None;
+        b.bfirst <- None;
         t.nbuckets <- t.nbuckets - 1
       end)
 
@@ -338,21 +347,31 @@ let check_invariants t =
         | _ -> ());
         let n = ref 0 in
         let prev = ref None in
+        let prev_it = ref None in
         iter_items b (fun it ->
             incr n;
             if Atomic.get it.stamp land 1 = 1 then
               failwith "Om_concurrent2.check_invariants: dirty item at rest";
             if not (Atomic.get it.bkt == b) then
               failwith "Om_concurrent2.check_invariants: stale bucket pointer";
+            (match (it.iprev, !prev_it) with
+            | None, None -> ()
+            | Some p, Some q when p == q -> ()
+            | _ -> failwith "Om_concurrent2.check_invariants: broken item back-link");
             (match !prev with
             | Some pl when pl >= Atomic.get it.label ->
                 failwith "Om_concurrent2.check_invariants: item labels not increasing"
             | _ -> ());
-            prev := Some (Atomic.get it.label));
+            prev := Some (Atomic.get it.label);
+            prev_it := Some it);
         if !n <> b.bsize then failwith "Om_concurrent2.check_invariants: size mismatch";
         if !n = 0 then failwith "Om_concurrent2.check_invariants: empty bucket linked";
         match b.bnext with
-        | Some nxt -> check_bucket nxt (Some (Atomic.get b.blabel)) (total + !n) (nb + 1)
+        | Some nxt ->
+            (match nxt.bprev with
+            | Some p when p == b -> ()
+            | _ -> failwith "Om_concurrent2.check_invariants: broken bucket back-link");
+            check_bucket nxt (Some (Atomic.get b.blabel)) (total + !n) (nb + 1)
         | None -> (total + !n, nb + 1)
       in
       let total, nb = check_bucket (bhead (Atomic.get t.base_item.bkt)) None 0 0 in

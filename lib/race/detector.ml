@@ -10,7 +10,8 @@ type race = {
 
 type t = {
   writer : int option array;
-  reader : int option array;
+  reader : int option array;  (* first reader slot *)
+  reader2 : int option array;  (* second reader slot *)
   races : race Spr_util.Vec.t;
   precedes : executed:int -> current:int -> bool;
   mutable queries : int;
@@ -23,6 +24,7 @@ let create ?on_unreferenced ~locs ~precedes () =
   {
     writer = Array.make (max 1 locs) None;
     reader = Array.make (max 1 locs) None;
+    reader2 = Array.make (max 1 locs) None;
     races = Spr_util.Vec.create ();
     precedes;
     queries = 0;
@@ -30,26 +32,37 @@ let create ?on_unreferenced ~locs ~precedes () =
     on_unreferenced;
   }
 
+(* Drop one reference to [o]; notify when it leaves shadow memory. *)
+let unref t o =
+  match t.on_unreferenced with
+  | None -> ()
+  | Some notify ->
+      let c = Hashtbl.find t.refs o - 1 in
+      if c = 0 then begin
+        Hashtbl.remove t.refs o;
+        notify o
+      end
+      else Hashtbl.replace t.refs o c
+
 (* Replace the occupant of a shadow slot, maintaining reference counts
    and notifying when a thread drops out of shadow memory entirely. *)
 let assign t slot loc tid =
-  match t.on_unreferenced with
-  | None -> slot.(loc) <- Some tid
-  | Some notify ->
-      let old = slot.(loc) in
-      if old <> Some tid then begin
-        Hashtbl.replace t.refs tid (1 + Option.value ~default:0 (Hashtbl.find_opt t.refs tid));
-        slot.(loc) <- Some tid;
-        match old with
-        | None -> ()
-        | Some o ->
-            let c = Hashtbl.find t.refs o - 1 in
-            if c = 0 then begin
-              Hashtbl.remove t.refs o;
-              notify o
-            end
-            else Hashtbl.replace t.refs o c
-      end
+  let old = slot.(loc) in
+  if old <> Some tid then begin
+    (match t.on_unreferenced with
+    | None -> ()
+    | Some _ ->
+        Hashtbl.replace t.refs tid (1 + Option.value ~default:0 (Hashtbl.find_opt t.refs tid)));
+    slot.(loc) <- Some tid;
+    match old with None -> () | Some o -> unref t o
+  end
+
+let clear t slot loc =
+  match slot.(loc) with
+  | None -> ()
+  | Some o ->
+      slot.(loc) <- None;
+      unref t o
 
 let report t loc earlier later earlier_write later_write =
   Spr_util.Vec.push t.races { loc; earlier; later; earlier_write; later_write }
@@ -69,17 +82,33 @@ let access t ~current (a : Fj_program.access) =
     (match t.reader.(loc) with
     | Some r when concurrent t r ~current -> report t loc r current false true
     | _ -> ());
+    (match t.reader2.(loc) with
+    | Some r when concurrent t r ~current -> report t loc r current false true
+    | _ -> ());
     assign t t.writer loc current
   end
   else begin
     (match t.writer.(loc) with
     | Some w when concurrent t w ~current -> report t loc w current true false
     | _ -> ());
-    match t.reader.(loc) with
-    | None -> assign t t.reader loc current
-    | Some r ->
-        t.queries <- t.queries + 1;
-        if r = current || t.precedes ~executed:r ~current then assign t t.reader loc current
+    (* Shadow-reader policy.  A recorded reader that precedes [current]
+       is subsumed by it: any later access parallel to that reader would
+       be parallel to [current] too (precedence is transitive and
+       [current] cannot precede a thread that has already run).  So
+       subsumed readers are replaced and up to two pairwise-concurrent
+       readers are kept.  Under a serial (left-to-right) execution one
+       slot already suffices (Feng–Leiserson); the second slot covers
+       the out-of-order observation orders a parallel schedule produces.
+       With three or more pairwise-parallel recorded readers the shadow
+       is still an approximation — see the .mli. *)
+    let subsumed r = r = current || (t.queries <- t.queries + 1; t.precedes ~executed:r ~current) in
+    let s1 = match t.reader.(loc) with None -> true | Some r -> subsumed r in
+    let s2 = match t.reader2.(loc) with None -> true | Some r -> subsumed r in
+    if s1 then begin
+      assign t t.reader loc current;
+      if s2 then clear t t.reader2 loc
+    end
+    else if s2 then assign t t.reader2 loc current
   end
 
 let run_thread t (u : Fj_program.thread) =

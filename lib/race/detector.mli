@@ -1,20 +1,33 @@
 (** Determinacy-race detector — the Nondeterminator protocol
     (Feng–Leiserson 1997), parameterised by an SP-maintenance oracle.
 
-    Shadow memory keeps, per location, the last writer and one reader.
-    When the currently executing thread [u] performs an access, the
-    detector issues O(1) SP queries against the recorded threads:
+    Shadow memory keeps, per location, the last writer and up to {e
+    two} readers.  When the currently executing thread [u] performs an
+    access, the detector issues O(1) SP queries against the recorded
+    threads:
 
     - {e read}: a recorded writer not preceding [u] races with [u];
-      afterwards [u] replaces the recorded reader if that reader
-      precedes [u];
+      afterwards every recorded reader that precedes [u] is {e
+      subsumed} by it and replaced — this is sound because a later
+      access parallel to a subsumed reader is parallel to [u] too
+      (precedence is transitive, and [u] cannot precede a thread that
+      already ran).  Readers concurrent with [u] are kept, up to two;
+      a third pairwise-parallel reader is dropped.
     - {e write}: a recorded writer or reader not preceding [u] races
       with [u]; [u] becomes the recorded writer.
 
-    Over a serial (left-to-right) execution this reports a race on a
-    location iff the program has one there.  The [precedes] oracle is
-    whatever SP-maintenance algorithm is plugged in — with SP-order,
-    the whole detection pass costs O(T{_1}) (Corollary 6). *)
+    Over a serial (left-to-right) execution one reader slot already
+    reports a race on a location iff the program has one there
+    (Feng–Leiserson); the second slot extends that per-location
+    guarantee to the out-of-order observation orders of a parallel
+    schedule whenever at most two recorded readers of the location are
+    pairwise parallel — in particular to every 3-thread program.  With
+    three or more pairwise-parallel readers recorded before a
+    conflicting write, the bounded shadow remains an approximation
+    (full generality needs unbounded read sets); reported races are
+    always real.  The [precedes] oracle is whatever SP-maintenance
+    algorithm is plugged in — with SP-order, the whole detection pass
+    costs O(T{_1}) (Corollary 6). *)
 
 type race = {
   loc : int;

@@ -276,3 +276,43 @@ let random_prog ~rng ~threads ?(spawn_prob = 0.4) ?(max_cost = 5) ?(locs = 0)
     end
   in
   B.finish b (gen_proc threads)
+
+let random_adversarial ~rng ~threads ~shape () =
+  let module R = Spr_util.Rng in
+  match shape with
+  | `Uniform -> random_prog ~rng ~threads ()
+  | `Spawn_heavy -> random_prog ~rng ~threads ~spawn_prob:0.85 ~max_cost:2 ()
+  | `Deep_serial ->
+      (* Long chains of single-item sync blocks — S-composition depth
+         close to the thread count — with occasional nested spawns so
+         the serial spine still crosses P-nodes now and then. *)
+      let b = B.create () in
+      let mk () = Fj_program.Run (B.thread b ~cost:(1 + R.int rng 3) ()) in
+      let rec go budget =
+        let rec blocks budget acc =
+          if budget <= 0 then List.rev acc
+          else if budget > 3 && R.bernoulli rng 0.15 then begin
+            let chunk = 2 + R.int rng (budget - 2) in
+            blocks (budget - chunk) ([ Fj_program.Spawn (go (chunk - 1)); mk () ] :: acc)
+          end
+          else blocks (budget - 1) ([ mk () ] :: acc)
+        in
+        B.proc b (blocks (max 1 budget) [])
+      in
+      B.finish b (go threads)
+  | `Wide ->
+      (* Sync blocks fanning out many children at once: wide P-node
+         cascades in the canonical parse tree, steal storms under the
+         simulator. *)
+      let b = B.create () in
+      let mk () = Fj_program.Run (B.thread b ~cost:(1 + R.int rng 3) ()) in
+      let rec go budget =
+        if budget <= 1 then B.proc b [ [ mk () ] ]
+        else begin
+          let width = min budget (2 + R.int rng 14) in
+          let per_child = max 0 ((budget - 1) / width) in
+          let children = List.init width (fun _ -> Fj_program.Spawn (go per_child)) in
+          B.proc b [ children @ [ mk () ] ]
+        end
+      in
+      B.finish b (go threads)

@@ -88,3 +88,18 @@ val random_prog :
     thread costs in [1, max_cost], and, when [locs > 0], random
     reads/writes over a shared location space (races likely — useful
     for cross-checking detectors against the naive checker). *)
+
+val random_adversarial :
+  rng:Spr_util.Rng.t ->
+  threads:int ->
+  shape:[ `Uniform | `Deep_serial | `Wide | `Spawn_heavy ] ->
+  unit ->
+  Spr_prog.Fj_program.t
+(** Random programs biased toward the shapes that historically expose
+    SP-maintenance bugs (the fuzzer cycles through them):
+    [`Deep_serial] — long chains of sync blocks with rare nested
+    spawns, stressing S-composition and bag flow; [`Wide] — sync
+    blocks fanning out many spawned children, stressing P-node
+    handling and steal storms; [`Spawn_heavy] — [random_prog] with
+    very high fork density and tiny costs; [`Uniform] — plain
+    [random_prog]. *)

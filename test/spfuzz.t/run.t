@@ -1,0 +1,26 @@
+The bounded smoke profile (the CI configuration) must come back clean:
+
+  $ spfuzz --smoke --quiet
+  spfuzz: OK — 60 program iterations (7 maintainers), 60 script iterations (5 OM structures), 0 divergences
+
+A planted SP-maintenance bug (SP-bags with the bag-kind comparison
+flipped) must be caught and shrunk to a minimal replayable repro:
+
+  $ spfuzz --mode sp --inject-fault bags-flip --iters 50 --quiet
+  SP divergence at iteration 0:
+    sp-bags-flipped [serial]: precedes(u0, u1) = false, reference says true
+  shrunk repro (2 threads), as Prog_spec.t:
+    [[T 1; T 1]]
+  replay: spfuzz --mode sp --seed 1 --iters 1
+  [1]
+
+A planted order-maintenance bug (insert_before aliased to
+insert_after) must be caught and shrunk too:
+
+  $ spfuzz --mode om --inject-fault om-before-after --iters 50 --quiet
+  OM divergence at iteration 0 (om-broken-insert-before):
+    om-broken-insert-before: final sweep after 1 ops: precedes(#0, #1) = true, oracle says false
+  shrunk script, as Om_script.script:
+    [Insert_before 693078]
+  replay: spfuzz --mode om --seed 1 --iters 1
+  [1]

@@ -1,0 +1,213 @@
+(* Tests for the differential fuzzing subsystem (lib/check): the
+   shrinkers, the spec/script representations, bounded smoke runs of
+   the fuzzer, and — most importantly — harness self-tests: planted
+   bugs must be caught and shrunk to minimal repros. *)
+
+module Rng = Spr_util.Rng
+module Shrink = Spr_check.Shrink
+module Prog_spec = Spr_check.Prog_spec
+module Om_script = Spr_check.Om_script
+module Fuzz = Spr_check.Fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Shrinkers.                                                          *)
+
+let shrink_list_single () =
+  let out = Shrink.list ~still_failing:(List.mem 13) (List.init 20 Fun.id) in
+  Alcotest.(check (list int)) "minimal sublist" [ 13 ] out
+
+let shrink_list_pair () =
+  let still_failing l = List.mem 3 l && List.mem 17 l in
+  let out = Shrink.list ~still_failing (List.init 30 Fun.id) in
+  Alcotest.(check (list int)) "both culprits kept, nothing else" [ 3; 17 ] out
+
+let shrink_list_preserves_failure =
+  QCheck2.Test.make ~count:100 ~name:"Shrink.list output still fails"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (1 -- 60))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let xs = List.init n (fun _ -> Rng.int rng 10) in
+      let still_failing l = List.exists (fun x -> x >= 7) l in
+      if still_failing xs then begin
+        let out = Shrink.list ~still_failing xs in
+        still_failing out && List.length out = 1
+      end
+      else true)
+
+(* Prog_spec.candidates strictly decrease, so fixpoint must terminate —
+   and with an always-true predicate it must grind any spec down to the
+   one-thread program. *)
+let spec_fixpoint_terminates =
+  QCheck2.Test.make ~count:60 ~name:"Prog_spec shrinking reaches the minimal program"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 40))
+    (fun (seed, threads) ->
+      let p = Spr_workloads.Progs.random_prog ~rng:(Rng.create seed) ~threads () in
+      let spec = Prog_spec.of_program p in
+      Shrink.fixpoint ~candidates:Prog_spec.candidates ~still_failing:(fun _ -> true) spec
+      = [ [ Prog_spec.T 1 ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Representations.                                                    *)
+
+let spec_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"Prog_spec round-trips through Fj_program"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 40))
+    (fun (seed, threads) ->
+      let p = Spr_workloads.Progs.random_prog ~rng:(Rng.create seed) ~threads () in
+      let spec = Prog_spec.of_program p in
+      let spec' = Prog_spec.of_program (Prog_spec.to_program spec) in
+      Prog_spec.normalize spec = spec'
+      && Spr_prog.Fj_program.thread_count (Prog_spec.to_program spec)
+         = Prog_spec.thread_count spec)
+
+let adversarial_shapes_build =
+  QCheck2.Test.make ~count:60 ~name:"random_adversarial produces valid programs"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 50))
+    (fun (seed, threads) ->
+      List.for_all
+        (fun shape ->
+          let p =
+            Spr_workloads.Progs.random_adversarial ~rng:(Rng.create seed) ~threads ~shape ()
+          in
+          Spr_prog.Fj_program.thread_count p >= 1
+          && Spr_sptree.Sp_tree.leaf_count
+               (Spr_prog.Prog_tree.tree (Spr_prog.Prog_tree.of_program p))
+             >= 1)
+        [ `Uniform; `Deep_serial; `Wide; `Spawn_heavy ])
+
+let om_scripts_replay_clean =
+  QCheck2.Test.make ~count:40 ~name:"every OM structure passes random scripts"
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun mix ->
+          let script = Om_script.random_script ~rng:(Rng.create seed) ~mix ~len:120 in
+          List.for_all
+            (fun (_, sut) -> Om_script.replay sut script = None)
+            Fuzz.default_om_suts)
+        [ Om_script.Uniform; Om_script.Delete_heavy; Om_script.Head_heavy ])
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer smoke: bounded clean runs.                                   *)
+
+let fuzz_smoke_sp () =
+  match Fuzz.run_sp (Fuzz.default ~seed:3 ~iters:25) with
+  | None -> ()
+  | Some f -> Alcotest.failf "%s" (Format.asprintf "%a" Fuzz.pp_sp_failure f)
+
+let fuzz_smoke_om () =
+  match Fuzz.run_om (Fuzz.default ~seed:3 ~iters:40) with
+  | None -> ()
+  | Some f -> Alcotest.failf "%s" (Format.asprintf "%a" Fuzz.pp_om_failure f)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: the harness must catch planted bugs and shrink
+   them to small repros (a checker that cannot fail proves nothing).   *)
+
+let fuzz_catches_flipped_sp_bags () =
+  let cfg =
+    {
+      (Fuzz.default ~seed:1 ~iters:50) with
+      Fuzz.algos = Spr_core.Algorithms.all @ [ Spr_check.Faulty.sp_bags_flipped ];
+    }
+  in
+  match Fuzz.run_sp cfg with
+  | None -> Alcotest.fail "planted SP-bags bug not caught"
+  | Some f ->
+      Alcotest.(check string)
+        "attributed to the planted bug" "sp-bags-flipped" f.Fuzz.sp_divergence.Spr_check.Sp_check.algo;
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk to <= 8 threads (got %d)" f.Fuzz.sp_threads)
+        true (f.Fuzz.sp_threads <= 8)
+
+let fuzz_catches_broken_insert_before () =
+  let cfg =
+    {
+      (Fuzz.default ~seed:1 ~iters:50) with
+      Fuzz.om_suts = [ ("om-broken-insert-before", Spr_check.Faulty.om_broken_insert_before) ];
+    }
+  in
+  match Fuzz.run_om cfg with
+  | None -> Alcotest.fail "planted OM bug not caught"
+  | Some f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "script shrunk to <= 4 ops (got %d)" (List.length f.Fuzz.om_script))
+        true
+        (List.length f.Fuzz.om_script <= 4)
+
+(* The SP checker also catches the classic broken-english-only
+   maintainer (only one of Lemma 1's two orders), but never on a
+   purely serial program — the reason the harness cycles adversarial
+   shapes with parallelism. *)
+module Broken_english_only : Spr_core.Sp_maintainer.S = struct
+  open Spr_sptree
+
+  type t = { eng : int array; mutable next : int }
+
+  let name = "broken-english-only"
+
+  let create tree = { eng = Array.make (Sp_tree.node_count tree) (-1); next = 0 }
+
+  let on_event t = function
+    | Sp_tree.Thread u ->
+        t.eng.(u.Sp_tree.id) <- t.next;
+        t.next <- t.next + 1
+    | _ -> ()
+
+  let precedes t x y = t.eng.(x.Sp_tree.id) < t.eng.(y.Sp_tree.id)
+
+  let parallel _ _ _ = false
+
+  let requires_current_operand = false
+
+  let leaves_only = true
+
+  let avg_label_words _ = 1.0
+end
+
+let sp_check_catches_english_only () =
+  let algo =
+    ( "broken-english-only",
+      fun tree ->
+        Spr_core.Sp_maintainer.Instance ((module Broken_english_only), Broken_english_only.create tree)
+    )
+  in
+  let parallel_prog = Spr_workloads.Progs.fib ~n:5 () in
+  let tree p = Spr_prog.Prog_tree.tree (Spr_prog.Prog_tree.of_program p) in
+  Alcotest.(check bool) "caught on parallel program" true
+    (Spr_check.Sp_check.check_serial (tree parallel_prog) algo <> None);
+  let serial_prog = Spr_workloads.Progs.serial ~n:10 () in
+  Alcotest.(check (option string)) "invisible on serial program" None
+    (Option.map
+       (fun (d : Spr_check.Sp_check.divergence) -> d.Spr_check.Sp_check.detail)
+       (Spr_check.Sp_check.check_serial (tree serial_prog) algo))
+
+let () =
+  Alcotest.run "spr_check"
+    [
+      ( "shrink",
+        [
+          Alcotest.test_case "list: single culprit" `Quick shrink_list_single;
+          Alcotest.test_case "list: pair of culprits" `Quick shrink_list_pair;
+          QCheck_alcotest.to_alcotest shrink_list_preserves_failure;
+          QCheck_alcotest.to_alcotest spec_fixpoint_terminates;
+        ] );
+      ( "representations",
+        [
+          QCheck_alcotest.to_alcotest spec_roundtrip;
+          QCheck_alcotest.to_alcotest adversarial_shapes_build;
+          QCheck_alcotest.to_alcotest om_scripts_replay_clean;
+        ] );
+      ( "smoke",
+        [
+          Alcotest.test_case "sp fuzz, 25 iterations" `Quick fuzz_smoke_sp;
+          Alcotest.test_case "om fuzz, 40 iterations" `Quick fuzz_smoke_om;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "flipped SP-bags caught + shrunk" `Quick fuzz_catches_flipped_sp_bags;
+          Alcotest.test_case "broken insert_before caught + shrunk" `Quick
+            fuzz_catches_broken_insert_before;
+          Alcotest.test_case "english-only maintainer caught" `Quick sp_check_catches_english_only;
+        ] );
+    ]

@@ -263,6 +263,72 @@ let concurrent_stress (module C : Spr_om.Om_intf.CONCURRENT) () =
   Alcotest.(check int) (C.name ^ ": no ordering errors") 0 (Atomic.get errors)
 
 (* ------------------------------------------------------------------ *)
+(* Deletion hygiene (regression).  [Om.delete] used to leave the
+   deleted element's bkt/iprev/inext — and an emptied bucket's
+   first/bprev/bnext — pointing into the live structure, so one stale
+   handle retained a chain of buckets.  Now deletion fully detaches
+   both, which [is_detached] observes and the extended
+   [check_invariants] (link-agreement checks) guards. *)
+
+let om_delete_fully_detaches () =
+  let t = Spr_om.Om.create () in
+  let anchor = Spr_om.Om.base t in
+  (* Enough elements for several buckets (capacity 62)... *)
+  let es = ref [] in
+  for _ = 1 to 300 do
+    es := Spr_om.Om.insert_after t anchor :: !es
+  done;
+  Alcotest.(check bool) "several buckets" true (Spr_om.Om.bucket_count t > 2);
+  (* ... then delete all of them, draining and unlinking buckets, with
+     the structure checked after every step. *)
+  List.iter
+    (fun e ->
+      Spr_om.Om.delete t e;
+      Spr_om.Om.check_invariants t)
+    !es;
+  Alcotest.(check int) "only base left" 1 (Spr_om.Om.size t);
+  List.iter
+    (fun e -> Alcotest.(check bool) "deleted handle detached" true (Spr_om.Om.is_detached e))
+    !es;
+  let live = Spr_om.Om.insert_after t anchor in
+  Alcotest.(check bool) "live element not detached" false (Spr_om.Om.is_detached live)
+
+(* insert_before at the head of a bucket, repeatedly: every insert
+   relinks the bucket head and, at capacity, splits the bucket. *)
+let insert_before_head_splits (module M : Spr_check.Om_script.SUT) () =
+  let t = M.create () in
+  let head = ref (M.base t) in
+  for _ = 1 to 400 do
+    head := M.insert_before t !head;
+    M.check_invariants t
+  done;
+  Alcotest.(check int) (M.name ^ ": size after head inserts") 401 (M.size t)
+
+(* Script-based property tests: adversarial op mixes replayed against
+   the naive oracle with invariants checked after every mutation. *)
+let script_mix (name, sut) (mix, mix_name) =
+  QCheck2.Test.make ~count:50
+    ~name:(Printf.sprintf "%s: %s scripts vs oracle" name mix_name)
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let script =
+        Spr_check.Om_script.random_script ~rng:(Rng.create seed) ~mix ~len:250
+      in
+      match Spr_check.Om_script.replay sut script with
+      | None -> true
+      | Some d ->
+          Alcotest.failf "%s" (Format.asprintf "%a" Spr_check.Om_script.pp_divergence d))
+
+let script_suts : (string * (module Spr_check.Om_script.SUT)) list =
+  [ ("om", (module Spr_om.Om)); ("om-concurrent2", (module Spr_om.Om_concurrent2)) ]
+
+let script_mixes =
+  [
+    (Spr_check.Om_script.Delete_heavy, "delete-heavy");
+    (Spr_check.Om_script.Head_heavy, "head-heavy");
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_model (module M : Spr_om.Om_intf.S) =
   QCheck2.Test.make ~count:60 ~name:("model:" ^ M.name) QCheck2.Gen.(0 -- 1_000_000)
@@ -325,7 +391,15 @@ let () =
           Alcotest.test_case "invariants after hammer" `Quick om_invariants_after_hammer;
           Alcotest.test_case "order after mixed inserts" `Quick om_order_after_mixed;
           Alcotest.test_case "amortized O(1) top relabels" `Quick amortized_bound;
+          Alcotest.test_case "delete fully detaches" `Quick om_delete_fully_detaches;
         ] );
+      ( "scripts",
+        List.concat_map
+          (fun ((name, sut) as s) ->
+            Alcotest.test_case (name ^ " insert_before head splits") `Quick
+              (insert_before_head_splits sut)
+            :: List.map (fun m -> QCheck_alcotest.to_alcotest (script_mix s m)) script_mixes)
+          script_suts );
       ( "one-level",
         [ Alcotest.test_case "amortized O(lg n) relabels" `Quick one_level_amortized_bound ] );
       ( "file-maintenance",

@@ -129,6 +129,48 @@ let hybrid_sound_on_random =
       let r = Spr_race.Drivers.detect_hybrid ~seed ~procs p in
       List.for_all (fun l -> List.mem l want) r.Spr_race.Drivers.racy_locs)
 
+(* Regression: the shadow-reader policy.  With a single reader slot,
+   an out-of-order (parallel) schedule could observe readers r1, r2
+   (r1 recorded first, r2 ∥ r1 arriving second and therefore dropped);
+   a later write parallel only to r2 then went unreported.  The
+   two-reader shadow keeps both, and detection on programs of <= 5
+   threads is exactly the naive checker: the smallest program that can
+   record three pairwise-parallel readers before a conflicting write —
+   the remaining, documented approximation — needs a 6-unit thread
+   budget. *)
+let hybrid_two_reader_exact_small =
+  QCheck2.Test.make ~count:300 ~name:"hybrid = naive on small racy programs (two-reader shadow)"
+    QCheck2.Gen.(triple (0 -- 1_000_000) (1 -- 4) (1 -- 3))
+    (fun (seed, procs, sim_seed) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads:(3 + (seed mod 3)) ~spawn_prob:0.7
+          ~locs:1 ~accesses_per_thread:3 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let r = Spr_race.Drivers.detect_hybrid ~seed:sim_seed ~procs p in
+      r.Spr_race.Drivers.racy_locs = Spr_race.Naive_checker.racy_locs pt)
+
+(* The deterministic sweep the bug was originally found in (single
+   reader: 41 misses in this space; two readers: none). *)
+let hybrid_two_reader_sweep () =
+  let misses = ref 0 and total = ref 0 in
+  for seed = 1 to 2_000 do
+    let p =
+      W.random_prog ~rng:(Rng.create seed) ~threads:(3 + (seed mod 4)) ~spawn_prob:0.7 ~locs:1
+        ~accesses_per_thread:3 ()
+    in
+    let pt = Prog_tree.of_program p in
+    let want = Spr_race.Naive_checker.racy_locs pt in
+    for procs = 1 to 4 do
+      for sim_seed = 1 to 3 do
+        incr total;
+        let r = Spr_race.Drivers.detect_hybrid ~seed:sim_seed ~procs p in
+        if r.Spr_race.Drivers.racy_locs <> want then incr misses
+      done
+    done
+  done;
+  Alcotest.(check int) (Printf.sprintf "0 misses in %d runs" !total) 0 !misses
+
 let hybrid_serial_complete =
   (* On one worker the hybrid run is the serial left-to-right walk, so
      the Feng-Leiserson completeness argument applies exactly. *)
@@ -266,8 +308,10 @@ let () =
       ( "hybrid",
         [
           Alcotest.test_case "finds planted" `Quick hybrid_finds_planted;
+          Alcotest.test_case "two-reader shadow sweep" `Quick hybrid_two_reader_sweep;
           QCheck_alcotest.to_alcotest hybrid_clean_stays_clean;
           QCheck_alcotest.to_alcotest hybrid_sound_on_random;
+          QCheck_alcotest.to_alcotest hybrid_two_reader_exact_small;
           QCheck_alcotest.to_alcotest hybrid_serial_complete;
         ] );
       ( "lockset",
