@@ -29,3 +29,21 @@ let note fmt = Printf.printf fmt
    largest parameter — the "shape" the experiment tables compare
    against the paper's asymptotic rows. *)
 let growth_factor first last = if first <= 0.0 then infinity else last /. first
+
+(* Observability sink the experiments route their simulator runs and OM
+   counters through.  Null (free) by default; [main.ml] arms it with the
+   process-wide registry under [--metrics json] and snapshots it between
+   experiments, so each experiment's JSON carries only its own window. *)
+let sink = ref Spr_obs.Sink.null
+
+let enable_metrics () = sink := Spr_obs.Sink.make ~metrics:Spr_obs.Metrics.default ()
+
+(* Counter value out of the live registry, for experiments that check
+   their table columns against the measured counters. *)
+let counter_value key =
+  match Spr_obs.Sink.metrics !sink with
+  | None -> None
+  | Some m -> (
+      match List.assoc_opt key (Spr_obs.Metrics.snapshot m) with
+      | Some (Spr_obs.Metrics.C n) -> Some n
+      | _ -> Some 0)

@@ -72,13 +72,13 @@ let run () =
     structures;
   T.print tbl;
 
-  (* Amortization counters: relabels per insert as n doubles. *)
+  (* Amortization counters: elements moved per insert as n doubles. *)
   let tbl2 =
     T.create ~title:"amortized relabels per insert (hammer pattern)"
       [
         ("n", T.Right);
-        ("1-level relabels/ins", T.Right);
-        ("2-level top relabels/ins", T.Right);
+        ("1-level moved/ins", T.Right);
+        ("2-level moved/ins", T.Right);
         ("2-level max range", T.Right);
       ]
   in
@@ -99,8 +99,8 @@ let run () =
       T.add_row tbl2
         [
           T.fmt_int n;
-          Printf.sprintf "%.2f" (float_of_int s1.relabels /. float_of_int s1.inserts);
-          Printf.sprintf "%.3f" (float_of_int s2.relabels /. float_of_int s2.inserts);
+          Printf.sprintf "%.2f" (float_of_int s1.items_moved /. float_of_int s1.inserts);
+          Printf.sprintf "%.3f" (float_of_int s2.items_moved /. float_of_int s2.inserts);
           T.fmt_int s2.max_range;
         ])
     [ 25_000; 50_000; 100_000; 200_000 ];
@@ -119,9 +119,9 @@ let run () =
       ~title:"Section 8 — list labeling (u = O(n)) vs order maintenance (hammer)"
       [
         ("n", T.Right);
-        ("list-labeling relabels/ins", T.Right);
+        ("list-labeling moved/ins", T.Right);
         ("rebuilds", T.Right);
-        ("two-level OM relabels/ins", T.Right);
+        ("two-level OM moved/ins", T.Right);
       ]
   in
   List.iter
@@ -141,9 +141,9 @@ let run () =
       T.add_row tbl3
         [
           T.fmt_int n;
-          Printf.sprintf "%.2f" (float_of_int sf.relabels /. float_of_int n);
+          Printf.sprintf "%.2f" (float_of_int sf.items_moved /. float_of_int n);
           T.fmt_int (Spr_om.Om_file.rebuilds f);
-          Printf.sprintf "%.3f" (float_of_int s2.relabels /. float_of_int n);
+          Printf.sprintf "%.3f" (float_of_int s2.items_moved /. float_of_int n);
         ])
     [ 8_000; 32_000; 128_000 ];
   T.print tbl3;

@@ -37,8 +37,9 @@ let run () =
       let tinf = Fj_program.span p in
       List.iter
         (fun procs ->
-          let h = H.create p in
-          let res = Sim.run ~hooks:(H.hooks h) ~seed:9 ~procs p in
+          let sink = !Bench_util.sink in
+          let h = H.create ~sink p in
+          let res = Sim.run ~hooks:(H.hooks h) ~sink ~seed:9 ~procs p in
           let st = H.stats h in
           T.add_row tbl
             [
@@ -59,8 +60,9 @@ let run () =
 
   (* One run dissected into Theorem 10's buckets. *)
   let p = Spr_workloads.Progs.fib ~n:14 ~cost:4 () in
-  let h = H.create p in
-  let res = Sim.run ~hooks:(H.hooks h) ~seed:9 ~procs:8 p in
+  let sink = !Bench_util.sink in
+  let h = H.create ~sink p in
+  let res = Sim.run ~hooks:(H.hooks h) ~sink ~seed:9 ~procs:8 p in
   let st = H.stats h in
   let tbl2 =
     T.create ~title:"Seven-bucket accounting (fib(14), P=8)"

@@ -67,8 +67,9 @@ let sweep name p ps =
       let hybrid_runs =
         List.map
           (fun seed ->
-            let h = H.create p in
-            Sim.run ~hooks:(H.hooks h) ~seed ~procs p)
+            let sink = !Bench_util.sink in
+            let h = H.create ~sink p in
+            Sim.run ~hooks:(H.hooks h) ~sink ~seed ~procs p)
           seeds
       in
       let times = Array.of_list (List.map (fun r -> float_of_int r.Sim.time) hybrid_runs) in
@@ -110,6 +111,14 @@ let run () =
   sweep "deep_spawn(400) (parallelism ~ 2)"
     (Spr_workloads.Progs.deep_spawn ~cost:3 ~depth:400 ())
     [ 1; 2; 4; 8; 16 ];
+  (* Under --metrics json the steals column above must agree with the
+     instrumentation's own counters, and every steal must have split a
+     trace (the |C| = 4s+1 invariant seen from the counter side). *)
+  (match (Bench_util.counter_value "sched/steals", Bench_util.counter_value "hybrid/splits") with
+  | Some steals, Some splits ->
+      Printf.printf "\nmeasured counters: sched/steals=%d hybrid/splits=%d (%s)\n" steals splits
+        (if steals = splits then "consistent" else "MISMATCH")
+  | _ -> ());
   Printf.printf
     "\nPaper shape: hybrid T_P/bound stays below a constant; hybrid keeps\n\
      near-linear speedup while P <~ sqrt(T1/Tinf); the naive scheme's\n\

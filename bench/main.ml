@@ -4,6 +4,9 @@
      dune exec bench/main.exe                 # every experiment
      dune exec bench/main.exe -- fig3         # one experiment
      dune exec bench/main.exe -- list         # available experiments
+     dune exec bench/main.exe -- thm10 --metrics json
+        # also print per-experiment measured-counter snapshots as the
+        # last stdout line: {"experiments":{"thm10":{...}}}
 
    Each experiment regenerates one table/figure/theorem of the paper;
    see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md
@@ -26,21 +29,59 @@ let list_experiments () =
   Printf.printf "available experiments:\n";
   List.iter (fun (k, d, _) -> Printf.printf "  %-10s %s\n" k d) experiments
 
+(* Per-experiment metric snapshots under --metrics json: diff the
+   process-wide registry around each experiment so the emitted object
+   attributes counters (relabels, steals, splits, lock waits) to the
+   experiment that produced them. *)
+let snapshots : (string * Spr_obs.Metrics.snapshot) list ref = ref []
+
+let run_experiment ~metrics (key, _, f) =
+  if not metrics then f ()
+  else begin
+    let before = Spr_obs.Metrics.snapshot Spr_obs.Metrics.default in
+    f ();
+    let after = Spr_obs.Metrics.snapshot Spr_obs.Metrics.default in
+    snapshots := (key, Spr_obs.Metrics.diff after before) :: !snapshots
+  end
+
+let emit_snapshots () =
+  let experiments =
+    List.rev_map
+      (fun (key, snap) -> (key, Spr_obs.Metrics.snapshot_to_json snap))
+      !snapshots
+  in
+  print_endline
+    (Spr_obs.Json.to_string (Spr_obs.Json.Obj [ ("experiments", Spr_obs.Json.Obj experiments) ]))
+
 let () =
   (* A roomy minor heap keeps GC noise out of the asymptotic-shape
      measurements (they allocate many small linked nodes). *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024; space_overhead = 200 };
-  match Array.to_list Sys.argv with
-  | [ _ ] | [ _; "all" ] -> List.iter (fun (_, _, f) -> f ()) experiments
-  | [ _; "list" ] -> list_experiments ()
-  | [ _; key ] -> begin
+  let args = List.tl (Array.to_list Sys.argv) in
+  let metrics, args =
+    let rec strip acc = function
+      | "--metrics" :: "json" :: rest -> (true, List.rev_append acc rest)
+      | "--metrics" :: _ ->
+          Printf.eprintf "bench: --metrics takes the single format \"json\"\n";
+          exit 1
+      | a :: rest -> strip (a :: acc) rest
+      | [] -> (false, List.rev acc)
+    in
+    strip [] args
+  in
+  if metrics then Bench_util.enable_metrics ();
+  (match args with
+  | [] | [ "all" ] -> List.iter (run_experiment ~metrics) experiments
+  | [ "list" ] -> list_experiments ()
+  | [ key ] -> begin
       match List.find_opt (fun (k, _, _) -> k = key) experiments with
-      | Some (_, _, f) -> f ()
+      | Some e -> run_experiment ~metrics e
       | None ->
           Printf.eprintf "unknown experiment %S\n" key;
           list_experiments ();
           exit 1
     end
   | _ ->
-      Printf.eprintf "usage: main.exe [all|list|<experiment>]\n";
-      exit 1
+      Printf.eprintf "usage: main.exe [all|list|<experiment>] [--metrics json]\n";
+      exit 1);
+  if metrics then emit_snapshots ()

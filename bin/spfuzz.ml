@@ -21,7 +21,7 @@ module F = Spr_check.Fuzz
 let say quiet fmt =
   if quiet then Printf.ifprintf stdout fmt else Printf.printf (fmt ^^ "\n%!")
 
-let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet =
+let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
   let algos =
     let all = Spr_core.Algorithms.all in
     match algo with
@@ -45,15 +45,25 @@ let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet =
     algos;
     om_suts;
     log = (fun line -> say quiet "%s" line);
+    sink;
   }
 
-let run mode seed iters max_threads schedules algo inject smoke quiet =
+let run mode seed iters max_threads schedules algo inject smoke quiet metrics_fmt =
   (* The smoke profile is the CI configuration: small and bounded
      (~seconds), still covering every maintainer, every OM structure
      and several schedules. *)
   let iters = if smoke then min iters 60 else iters in
   let max_threads = if smoke then min max_threads 16 else max_threads in
-  let cfg = config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet in
+  (* With --metrics the success line is replaced by the metrics dump
+     (pure JSON on stdout for --metrics json). *)
+  let registry = match metrics_fmt with None -> None | Some _ -> Some (Spr_obs.Metrics.create ()) in
+  let sink =
+    match registry with
+    | None -> Spr_obs.Sink.null
+    | Some m -> Spr_obs.Sink.make ~metrics:m ()
+  in
+  let quiet = quiet || metrics_fmt = Some "json" in
+  let cfg = config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink in
   let failed = ref false in
   let sp_checked = ref 0 and om_checked = ref 0 in
   if mode = "sp" || mode = "all" then begin
@@ -76,8 +86,18 @@ let run mode seed iters max_threads schedules algo inject smoke quiet =
   end;
   if !failed then 1
   else begin
-    Printf.printf "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures), 0 divergences\n"
-      !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts);
+    (match registry with
+    | Some m when metrics_fmt = Some "json" ->
+        print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json m))
+    | Some m ->
+        Printf.printf
+          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures), 0 divergences\n"
+          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts);
+        Format.printf "%a" Spr_obs.Metrics.pp m
+    | None ->
+        Printf.printf
+          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures), 0 divergences\n"
+          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts));
     0
   end
 
@@ -136,11 +156,20 @@ let smoke_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress output.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("pretty", "pretty"); ("json", "json") ])) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Collect observability metrics across all checked schedules and print them on \
+           success (pretty or json; json prints only the JSON object).")
+
 let cmd =
   Cmd.v
     (Cmd.info "spfuzz" ~doc:"Differential fuzzer for SP maintenance and order maintenance")
     Term.(
       const run $ mode_arg $ seed_arg $ iters_arg $ max_threads_arg $ schedules_arg $ algo_arg
-      $ inject_arg $ smoke_arg $ quiet_arg)
+      $ inject_arg $ smoke_arg $ quiet_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

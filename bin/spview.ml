@@ -10,13 +10,31 @@
      spview tree --gen paper --labels --dag
      spview tree --gen random --size 12 --seed 3
      spview detect --workload dcsum-buggy --size 64 --algo sp-order
-     spview hybrid --workload fib --size 12 --procs 8                  *)
+     spview hybrid --workload fib --size 12 --procs 8
+     spview trace --workload fib --size 8 --procs 4 --seed 1           *)
 
 open Cmdliner
 open Spr_sptree
 
+(* A user-facing input error (unknown generator/workload/algorithm
+   name): report it cleanly on stderr and exit 1 instead of dying with
+   an uncaught exception and a backtrace. *)
+exception Usage of string
+
+let usage_error what name valid =
+  raise
+    (Usage (Printf.sprintf "unknown %s %S (valid: %s)" what name (String.concat ", " valid)))
+
+let with_usage f =
+  try f ()
+  with Usage msg ->
+    Printf.eprintf "spview: %s\n" msg;
+    1
+
 (* ------------------------------------------------------------------ *)
 (* tree                                                                *)
+
+let tree_kinds = [ "paper"; "balanced"; "deep"; "forks"; "serial"; "wide"; "random" ]
 
 let gen_tree kind size seed =
   match kind with
@@ -28,9 +46,10 @@ let gen_tree kind size seed =
   | "wide" -> Tree_gen.wide_flat ~leaves:size
   | "random" ->
       Tree_gen.random_tree ~rng:(Spr_util.Rng.create seed) ~leaves:size ~p_prob:0.5
-  | other -> failwith (Printf.sprintf "unknown generator %S" other)
+  | other -> usage_error "generator" other tree_kinds
 
 let tree_cmd_run kind size seed labels dag =
+  with_usage @@ fun () ->
   let t = gen_tree kind size seed in
   Format.printf "parse tree (%d threads, %d forks, nesting depth %d, span %d):@.  %a@."
     (Sp_tree.leaf_count t) (Sp_tree.fork_count t) (Sp_tree.nesting_depth t) (Sp_tree.span t)
@@ -68,6 +87,9 @@ let tree_cmd =
 (* ------------------------------------------------------------------ *)
 (* detect                                                              *)
 
+let workload_kinds =
+  [ "dcsum"; "dcsum-buggy"; "fib"; "deep"; "wide"; "locked"; "locked-buggy"; "random" ]
+
 let gen_workload kind size seed =
   let module W = Spr_workloads.Progs in
   match kind with
@@ -81,14 +103,16 @@ let gen_workload kind size seed =
   | "random" ->
       W.random_prog ~rng:(Spr_util.Rng.create seed) ~threads:size ~locs:8
         ~accesses_per_thread:4 ()
-  | other -> failwith (Printf.sprintf "unknown workload %S" other)
+  | other -> usage_error "workload" other workload_kinds
 
 let detect_cmd_run kind size seed algo locked =
+  with_usage @@ fun () ->
   let p = gen_workload kind size seed in
   let pt = Spr_prog.Prog_tree.of_program p in
   let make =
-    try Spr_core.Algorithms.find algo
-    with Not_found -> failwith (Printf.sprintf "unknown algorithm %S" algo)
+    match List.assoc_opt algo Spr_core.Algorithms.all with
+    | Some f -> f
+    | None -> usage_error "algorithm" algo (List.map fst Spr_core.Algorithms.all)
   in
   if locked then begin
     let r = Spr_race.Drivers.detect_serial_locked pt make in
@@ -138,6 +162,7 @@ let detect_cmd =
 (* hybrid                                                              *)
 
 let hybrid_cmd_run kind size seed procs =
+  with_usage @@ fun () ->
   let p = gen_workload kind size seed in
   Format.printf "workload: %a@." Spr_prog.Fj_program.pp_stats p;
   let h = Spr_hybrid.Sp_hybrid.create p in
@@ -161,9 +186,85 @@ let hybrid_cmd =
     Term.(const hybrid_cmd_run $ workload_arg $ size_arg $ seed_arg $ procs)
 
 (* ------------------------------------------------------------------ *)
+(* trace — record a run through the observability layer               *)
+
+let trace_cmd_run kind size seed procs out metrics_fmt =
+  with_usage @@ fun () ->
+  (match metrics_fmt with
+  | "pretty" | "json" -> ()
+  | other -> usage_error "metrics format" other [ "pretty"; "json" ]);
+  let p = gen_workload kind size seed in
+  let tr = Spr_obs.Trace.create () in
+  let m = Spr_obs.Metrics.create () in
+  let sink = Spr_obs.Sink.make ~trace:tr ~metrics:m () in
+  let h = Spr_hybrid.Sp_hybrid.create ~sink p in
+  let precedes ~executed ~current = Spr_hybrid.Sp_hybrid.precedes h ~executed ~current in
+  let det =
+    Spr_race.Detector.create ~sink ~locs:(Spr_race.Detector.max_loc p + 1) ~precedes ()
+  in
+  (* SP-hybrid under the simulator with the race detector riding on
+     each executing thread — the same assembly as `spview detect
+     --algo` runs serially, but parallel, and with every layer
+     reporting into the sink. *)
+  let on_thread_user h ~wid:_ ~now:_ (u : Spr_prog.Fj_program.thread) =
+    let before = Spr_race.Detector.query_count det in
+    Spr_race.Detector.run_thread det u;
+    let queries = Spr_race.Detector.query_count det - before in
+    let cost = ref 0 in
+    for _ = 1 to queries do
+      cost := !cost + Spr_hybrid.Sp_hybrid.charge_query h
+    done;
+    !cost
+  in
+  let res =
+    Spr_sched.Sim.run ~hooks:(Spr_hybrid.Sp_hybrid.hooks ~on_thread_user h) ~sink ~seed ~procs p
+  in
+  let other_data =
+    [
+      ("workload", Spr_obs.Json.String kind);
+      ("size", Spr_obs.Json.Int size);
+      ("seed", Spr_obs.Json.Int seed);
+      ("procs", Spr_obs.Json.Int procs);
+      ("virtualTime", Spr_obs.Json.Int res.Spr_sched.Sim.time);
+      ("steals", Spr_obs.Json.Int res.Spr_sched.Sim.steals);
+      ("races", Spr_obs.Json.Int (List.length (Spr_race.Detector.races det)));
+    ]
+  in
+  let oc = open_out out in
+  Spr_obs.Json.to_channel oc (Spr_obs.Trace.to_chrome ~other_data tr);
+  output_char oc '\n';
+  close_out oc;
+  (match metrics_fmt with
+  | "json" -> print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json m))
+  | _ ->
+      Format.printf
+        "wrote %s: %d events (%d dropped) — load in chrome://tracing or ui.perfetto.dev@."
+        out (Spr_obs.Trace.length tr) (Spr_obs.Trace.dropped tr);
+      Format.printf "%a" Spr_obs.Metrics.pp m);
+  0
+
+let trace_cmd =
+  let procs = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Workers.") in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Chrome trace_event output file.")
+  in
+  let metrics_fmt =
+    Arg.(
+      value & opt string "pretty"
+      & info [ "metrics" ] ~docv:"FMT" ~doc:"Metrics summary format: pretty or json.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record an instrumented SP-hybrid run as Chrome trace_event JSON plus metrics")
+    Term.(const trace_cmd_run $ workload_arg $ size_arg $ seed_arg $ procs $ out $ metrics_fmt)
+
+(* ------------------------------------------------------------------ *)
 (* runtime — the same instrumented execution, on real domains          *)
 
 let runtime_cmd_run kind size seed procs spin =
+  with_usage @@ fun () ->
   let p = gen_workload kind size seed in
   Format.printf "workload: %a@." Spr_prog.Fj_program.pp_stats p;
   let h = Spr_hybrid.Sp_hybrid.create p in
@@ -202,4 +303,4 @@ let () =
     Cmd.info "spview" ~version:"1.0.0"
       ~doc:"Explore on-the-fly series-parallel maintenance (SPAA 2004 reproduction)"
   in
-  exit (Cmd.eval' (Cmd.group info [ tree_cmd; detect_cmd; hybrid_cmd; runtime_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ tree_cmd; detect_cmd; hybrid_cmd; trace_cmd; runtime_cmd ]))

@@ -42,10 +42,10 @@ let () =
   Om.check_invariants om;
   let st = Om.stats om in
   Format.printf
-    "  %d inserts into one gap: %d rebalances, %.3f top-level relabels/insert,@.  largest \
+    "  %d inserts into one gap: %d relabel passes, %.3f elements moved/insert,@.  largest \
      relabeled range %d, %d buckets@."
-    n st.Spr_om.Om_intf.rebalances
-    (float_of_int st.Spr_om.Om_intf.relabels /. float_of_int n)
+    n st.Spr_om.Om_intf.relabel_passes
+    (float_of_int st.Spr_om.Om_intf.items_moved /. float_of_int n)
     st.Spr_om.Om_intf.max_range (Om.bucket_count om);
 
   Format.printf "@.== 3. Lock-free concurrent queries (Section 4) ==@.";

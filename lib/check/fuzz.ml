@@ -8,6 +8,7 @@ type config = {
   algos : Sp_check.algo list;
   om_suts : (string * (module Om_script.SUT)) list;
   log : string -> unit;
+  sink : Spr_obs.Sink.t;
 }
 
 (* Give a structure without a native self-check a vacuous one, so the
@@ -37,11 +38,17 @@ let default ~seed ~iters =
     algos = Spr_core.Algorithms.all;
     om_suts = default_om_suts;
     log = ignore;
+    sink = Spr_obs.Sink.null;
   }
 
 (* Every iteration gets an independent generator, so a repro depends
    only on (seed, iteration). *)
 let iter_rng cfg i = Rng.create ((cfg.seed * 1_000_003) + i)
+
+let count cfg key =
+  match Spr_obs.Sink.metrics cfg.sink with
+  | None -> ()
+  | Some m -> Spr_obs.Metrics.incr (Spr_obs.Metrics.counter m key)
 
 let progress cfg i what =
   let every = max 1 (cfg.iters / 10) in
@@ -80,9 +87,10 @@ let run_sp cfg =
         List.init cfg.schedules (fun k -> (1 + ((i + k) mod 8), (i * 31) + k))
       in
       let diverges spec =
-        Sp_check.check_program ~algos:cfg.algos ~unfold_seeds ~schedules:hybrid
+        Sp_check.check_program ~sink:cfg.sink ~algos:cfg.algos ~unfold_seeds ~schedules:hybrid
           (Prog_spec.to_program spec)
       in
+      count cfg "fuzz/sp_programs";
       let spec = Prog_spec.of_program program in
       match diverges spec with
       | None -> iterate (i + 1)
@@ -132,6 +140,7 @@ let run_om cfg =
       let mix = mixes.(i mod Array.length mixes) in
       let len = 30 + Rng.int rng 170 in
       let script = Om_script.random_script ~rng ~mix ~len in
+      count cfg "fuzz/om_scripts";
       let rec first_failing = function
         | [] -> None
         | (sut_name, sut) :: rest -> (

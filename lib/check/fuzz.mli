@@ -15,6 +15,10 @@ type config = {
   algos : Sp_check.algo list;  (** serial maintainers under test *)
   om_suts : (string * (module Om_script.SUT)) list;
   log : string -> unit;  (** progress lines (e.g. [print_endline], or [ignore]) *)
+  sink : Spr_obs.Sink.t;
+      (** observability sink threaded into the hybrid schedule checks
+          ([sched/], [hybrid/], OM events) and bumped with [fuzz/]
+          iteration counters; {!Spr_obs.Sink.null} disables. *)
 }
 
 val default_om_suts : (string * (module Om_script.SUT)) list
@@ -25,7 +29,7 @@ val default_om_suts : (string * (module Om_script.SUT)) list
 
 val default : seed:int -> iters:int -> config
 (** All maintainers ({!Spr_core.Algorithms.all}), all OM SUTs,
-    [max_threads = 32], [schedules = 3], silent log. *)
+    [max_threads = 32], [schedules = 3], silent log, null sink. *)
 
 type sp_failure = {
   sp_iter : int;

@@ -74,13 +74,13 @@ let check_unfolded ~seed tree (name, make) =
         events;
       audit ())
 
-let check_hybrid ~procs ~seed program =
+let check_hybrid ?(sink = Spr_obs.Sink.null) ~procs ~seed program =
   let schedule = Printf.sprintf "hybrid procs=%d seed=%d" procs seed in
   let algo = "sp-hybrid" in
   guard ~algo ~schedule (fun () ->
       let module H = Spr_hybrid.Sp_hybrid in
       let pt = Spr_prog.Prog_tree.of_program program in
-      let h = H.create program in
+      let h = H.create ~sink program in
       let started = ref [] in
       let leaf tid = Spr_prog.Prog_tree.leaf_of_thread pt tid in
       let fail fmt =
@@ -105,9 +105,10 @@ let check_hybrid ~procs ~seed program =
       ignore
         (Spr_sched.Sim.run
            ~hooks:(H.hooks ~on_thread_user h)
-           ~seed ~max_ticks:50_000_000 ~procs program))
+           ~sink ~seed ~max_ticks:50_000_000 ~procs program))
 
-let check_program ?algos ?(unfold_seeds = []) ?(schedules = []) program =
+let check_program ?(sink = Spr_obs.Sink.null) ?algos ?(unfold_seeds = []) ?(schedules = [])
+    program =
   let algos = match algos with Some a -> a | None -> Spr_core.Algorithms.all in
   let tree = Spr_prog.Prog_tree.tree (Spr_prog.Prog_tree.of_program program) in
   let first_some f xs =
@@ -125,4 +126,4 @@ let check_program ?algos ?(unfold_seeds = []) ?(schedules = []) program =
       with
       | Some d -> Some d
       | None ->
-          first_some (fun (procs, seed) -> check_hybrid ~procs ~seed program) schedules)
+          first_some (fun (procs, seed) -> check_hybrid ~sink ~procs ~seed program) schedules)

@@ -35,13 +35,16 @@ val check_unfolded : seed:int -> Spr_sptree.Sp_tree.t -> algo -> divergence opti
     discovered threads periodically and at the end.  Only meaningful
     for algorithms that tolerate out-of-order unfolding (SP-order). *)
 
-val check_hybrid : procs:int -> seed:int -> Spr_prog.Fj_program.t -> divergence option
+val check_hybrid :
+  ?sink:Spr_obs.Sink.t -> procs:int -> seed:int -> Spr_prog.Fj_program.t -> divergence option
 (** Run the program through SP-hybrid on the simulator ([procs]
     workers, steal seed [seed]); at every thread start compare
     [precedes]/[parallel] with the reference for every started thread
-    (Theorem 9). *)
+    (Theorem 9).  [sink] collects scheduler/hybrid/OM metrics and
+    events across the checked runs. *)
 
 val check_program :
+  ?sink:Spr_obs.Sink.t ->
   ?algos:algo list ->
   ?unfold_seeds:int list ->
   ?schedules:(int * int) list ->

@@ -20,6 +20,8 @@ module type S = sig
   val trace_count : t -> int
 
   val query_retries : t -> int
+
+  val set_sink : t -> Spr_obs.Sink.t -> unit
 end
 
 module Make (Omc : Spr_om.Om_intf.CONCURRENT) = struct
@@ -67,6 +69,10 @@ module Make (Omc : Spr_om.Om_intf.CONCURRENT) = struct
   let trace_count t = t.next_uid
 
   let query_retries t = Omc.query_retries t.eng + Omc.query_retries t.heb
+
+  let set_sink t sink =
+    Omc.set_sink t.eng sink;
+    Omc.set_sink t.heb sink
 end
 
 include Make (Spr_om.Om_concurrent)

@@ -50,6 +50,10 @@ module type S = sig
 
   val query_retries : t -> int
   (** Failed-and-retried lock-free query attempts across both orders. *)
+
+  val set_sink : t -> Spr_obs.Sink.t -> unit
+  (** Route both backing OM structures' events (inserts, relabel
+      passes) to an observability sink. *)
 end
 
 module Make (_ : Spr_om.Om_intf.CONCURRENT) : S

@@ -24,6 +24,7 @@ type stats = {
 
 type t = {
   costs : cost_model;
+  sink : Spr_obs.Sink.t;
   global : Global_tier.t;
   local : Local_tier.t;
   frames : (int, fstate) Hashtbl.t;
@@ -40,10 +41,14 @@ type t = {
   mutable query_ticks : int;
 }
 
-let create ?(costs = default_costs) ?(local_path_compression = false) program =
+let create ?(costs = default_costs) ?(sink = Spr_obs.Sink.null) ?(local_path_compression = false)
+    program =
+  let global = Global_tier.create () in
+  Global_tier.set_sink global sink;
   {
     costs;
-    global = Global_tier.create ();
+    sink;
+    global;
     local =
       Local_tier.create ~path_compression:local_path_compression
         ~thread_capacity:(Fj_program.thread_count program)
@@ -96,9 +101,27 @@ let hooks ?on_thread_user t =
     t.lock_until <- now + wait + hold;
     t.lock_wait_ticks <- t.lock_wait_ticks + wait;
     t.global_insert_ticks <- t.global_insert_ticks + hold;
+    let victim_trace = Global_tier.trace_id s.cur in
     let { Global_tier.u1; u2; u4; u5 } = Global_tier.split t.global s.cur in
     Local_tier.split t.local ~frame_id:f.Sim.fid ~u1 ~u2;
     t.splits <- t.splits + 1;
+    Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Lock_span { wait; hold });
+    Spr_obs.Sink.emit t.sink
+      (Spr_obs.Trace.Trace_split
+         {
+           victim_trace;
+           u1 = Global_tier.trace_id u1;
+           u2 = Global_tier.trace_id u2;
+           u4 = Global_tier.trace_id u4;
+           u5 = Global_tier.trace_id u5;
+         });
+    (match Spr_obs.Sink.metrics t.sink with
+    | None -> ()
+    | Some m ->
+        Spr_obs.Metrics.incr (Spr_obs.Metrics.counter m "hybrid/splits");
+        Spr_obs.Metrics.add (Spr_obs.Metrics.counter m "hybrid/lock_wait_ticks") wait;
+        Spr_obs.Metrics.add (Spr_obs.Metrics.counter m "hybrid/global_insert_ticks") hold;
+        Spr_obs.Metrics.observe (Spr_obs.Metrics.histogram m "hybrid/lock_wait") wait);
     s.cur <- u4;
     (* The first steal in a block is the outermost: its U5 is the trace
        of whatever follows the join (inner splits' U5 stay unused,

@@ -35,11 +35,21 @@ val default_costs : cost_model
 
 type t
 
-val create : ?costs:cost_model -> ?local_path_compression:bool -> Spr_prog.Fj_program.t -> t
+val create :
+  ?costs:cost_model ->
+  ?sink:Spr_obs.Sink.t ->
+  ?local_path_compression:bool ->
+  Spr_prog.Fj_program.t ->
+  t
 (** [local_path_compression] (default false) enables path compression
     in the local tier's disjoint sets — the Section 7 conjecture; safe
     whenever finds are serialized (they are under the simulator), and
-    measured by the ablation benchmark. *)
+    measured by the ablation benchmark.
+
+    [sink] (default {!Spr_obs.Sink.null}) receives a [Lock_span] (the
+    wait/hold ticks of the global lock) and a [Trace_split] event per
+    steal, the backing OM structures' insert/relabel events, and
+    [hybrid/] counters (splits, lock wait, global-insert ticks). *)
 
 val hooks :
   ?on_thread_user:(t -> wid:int -> now:int -> Spr_prog.Fj_program.thread -> int) ->

@@ -1,0 +1,23 @@
+(** Minimal dependency-free JSON values and canonical printer.
+
+    Used by the metrics JSON renderer and the Chrome trace exporter.
+    Printing is canonical (members in insertion order, stable number
+    formatting) so fixed-seed runs serialize byte-for-byte
+    identically. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+
+val member : string -> t -> t option
+(** [member key j] is the value bound to [key] when [j] is an object
+    containing it (schema-validation helper). *)

@@ -1,0 +1,44 @@
+(* The instrumentation hook handed to the library layers.
+
+   A sink bundles an optional event-trace buffer, an optional metrics
+   registry, and the current (virtual time, worker) context, which the
+   scheduler updates as it steps so that layers with no clock of their
+   own (the OM structures, the race detector) stamp their events
+   correctly.
+
+   [null] is the process-wide disabled sink: every path is
+   instrumented against it by default and pays only a field load and
+   an option match — the bechamel microbenchmarks guard this. *)
+
+type t = {
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  mutable now : int;
+  mutable wid : int;
+}
+
+let null = { trace = None; metrics = None; now = 0; wid = 0 }
+
+let make ?trace ?metrics () = { trace; metrics; now = 0; wid = 0 }
+
+let is_null s = s == null
+
+let trace s = s.trace
+
+let metrics s = s.metrics
+
+let set_context s ~now ~wid =
+  if s != null then begin
+    s.now <- now;
+    s.wid <- wid
+  end
+
+let set_now s ~now = if s != null then s.now <- now
+
+let now s = s.now
+
+let emit s kind =
+  match s.trace with None -> () | Some tr -> Trace.emit tr ~ts:s.now ~wid:s.wid kind
+
+let emit_at s ~ts ~wid kind =
+  match s.trace with None -> () | Some tr -> Trace.emit tr ~ts ~wid kind

@@ -1,0 +1,36 @@
+(** Instrumentation sink threaded through the library layers.
+
+    Bundles an optional {!Trace} buffer, an optional {!Metrics}
+    registry and the current (virtual time, worker id) context.  The
+    scheduler owns the context: it calls {!set_context} as it steps so
+    that clock-less layers (order maintenance, the race detector)
+    stamp events with the right virtual time.
+
+    {!null} is the default everywhere: emitting against it is a single
+    option match, so instrumentation is free unless a recording sink
+    is installed. *)
+
+type t
+
+val null : t
+(** The disabled sink.  Shared and immutable: setters are no-ops on
+    it. *)
+
+val make : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+
+val is_null : t -> bool
+
+val trace : t -> Trace.t option
+
+val metrics : t -> Metrics.t option
+
+val set_context : t -> now:int -> wid:int -> unit
+
+val set_now : t -> now:int -> unit
+
+val now : t -> int
+
+val emit : t -> Trace.kind -> unit
+(** Emit at the current context; no-op without a trace buffer. *)
+
+val emit_at : t -> ts:int -> wid:int -> Trace.kind -> unit

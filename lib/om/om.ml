@@ -29,9 +29,12 @@ type t = {
   mutable size : int;
   mutable nbuckets : int;
   st : Om_intf.stats;
+  mutable sink : Spr_obs.Sink.t;
 }
 
 let name = "om-two-level"
+
+let set_sink t sink = t.sink <- sink
 
 module Top = Labeling.Make (struct
   type elt = bucket
@@ -46,7 +49,14 @@ let create () =
   and base_item =
     { ltag = Labeling.universe / 2; iprev = None; inext = None; bkt = b; alive = true }
   in
-  { base_item; t_param = 1.3; size = 1; nbuckets = 1; st = Om_intf.fresh_stats () }
+  {
+    base_item;
+    t_param = 1.3;
+    size = 1;
+    nbuckets = 1;
+    st = Om_intf.fresh_stats ();
+    sink = Spr_obs.Sink.null;
+  }
 
 let base t = t.base_item
 
@@ -61,9 +71,8 @@ let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted elemen
 
 let top_rebalance t b =
   let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
-  t.st.rebalances <- t.st.rebalances + 1;
-  t.st.relabels <- t.st.relabels + count;
-  if count > t.st.max_range then t.st.max_range <- count;
+  Om_intf.count_pass t.st count;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
   let rec assign bk j =
     bk.btag <- Top.target ~lo ~width ~count j;
     if j + 1 < count then
@@ -90,9 +99,11 @@ let new_bucket_after t b =
 (* Bottom level: local tags inside one bucket.                         *)
 
 (* Spread the [bsize] items of [b] evenly across the local universe. *)
-let respace b =
+let respace t b =
   let count = b.bsize in
   if count > 0 then begin
+    Om_intf.count_pass t.st count;
+    Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
     let cell = Labeling.universe / count in
     let rec assign it j =
       it.ltag <- (j * cell) + (cell / 2);
@@ -119,8 +130,9 @@ let split t b =
     match it.inext with Some nxt -> claim nxt | None -> ()
   in
   claim moved_first;
-  respace b;
-  respace b'
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
+  respace t b;
+  respace t b'
 
 let local_gap_after x =
   let hi = match x.inext with Some y -> y.ltag | None -> Labeling.universe in
@@ -130,7 +142,7 @@ let insert_after t x =
   check_alive "Om.insert_after" x;
   if x.bkt.bsize >= capacity then split t x.bkt;
   let b = x.bkt in
-  if local_gap_after x < 1 then respace b;
+  if local_gap_after x < 1 then respace t b;
   let gap = local_gap_after x in
   assert (gap >= 1);
   let y =
@@ -151,7 +163,7 @@ let insert_before t x =
       (* [x] heads its bucket. *)
       if x.bkt.bsize >= capacity then split t x.bkt;
       let b = x.bkt in
-      if x.ltag < 1 then respace b;
+      if x.ltag < 1 then respace t b;
       assert (x.ltag >= 1);
       let y = { ltag = x.ltag / 2; iprev = None; inext = Some x; bkt = b; alive = true } in
       x.iprev <- Some y;

@@ -18,8 +18,16 @@
 include Om_intf.S
 
 val stats : t -> Om_intf.stats
-(** Counters for the {e top level} (bucket) labeling: rebalances,
-    relabels, max range.  [inserts] counts element insertions. *)
+(** Relabel accounting across {e both} levels: [relabel_passes] counts
+    top-level (bucket) rebalances plus bottom-level respaces;
+    [items_moved] counts bucket retags plus item retags.  [inserts]
+    counts element insertions.  Total items moved per insert is O(1)
+    amortized — the Theorem 5 substrate claim. *)
+
+val set_sink : t -> Spr_obs.Sink.t -> unit
+(** Install an observability sink; relabel passes and bucket splits
+    are emitted as [om]-category trace events.  Default
+    {!Spr_obs.Sink.null} (free). *)
 
 val bucket_count : t -> int
 (** Number of live buckets (introspection). *)

@@ -13,9 +13,12 @@ type t = {
   mutable size : int;
   st : Om_intf.stats;
   retries : int Atomic.t;
+  mutable sink : Spr_obs.Sink.t;
 }
 
 let name = "om-concurrent"
+
+let set_sink t sink = t.sink <- sink
 
 module Lab = Labeling.Make (struct
   type nonrec elt = elt
@@ -37,6 +40,7 @@ let create () =
     size = 1;
     st = Om_intf.fresh_stats ();
     retries = Atomic.make 0;
+    sink = Spr_obs.Sink.null;
   }
 
 let base t = t.base_elt
@@ -47,9 +51,8 @@ let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted elemen
 let rebalance t x =
   (* Pass 1: choose the range. *)
   let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
-  t.st.rebalances <- t.st.rebalances + 1;
-  t.st.relabels <- t.st.relabels + count;
-  if count > t.st.max_range then t.st.max_range <- count;
+  Om_intf.count_pass t.st count;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
   let members = Array.make count first in
   let rec collect e j =
     members.(j) <- e;
@@ -81,6 +84,7 @@ let insert_after_locked t x =
   x.next <- Some y;
   t.size <- t.size + 1;
   t.st.inserts <- t.st.inserts + 1;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
   y
 
 let insert_before_locked t x =
@@ -95,6 +99,7 @@ let insert_before_locked t x =
       x.prev <- Some y;
       t.size <- t.size + 1;
       t.st.inserts <- t.st.inserts + 1;
+      Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
       y
 
 let with_lock t f =

@@ -28,9 +28,12 @@ type t = {
   mutable nbuckets : int;
   st : Om_intf.stats;
   retries : int Atomic.t;
+  mutable sink : Spr_obs.Sink.t;
 }
 
 let name = "om-concurrent-2level"
+
+let set_sink t sink = t.sink <- sink
 
 module Top = Labeling.Make (struct
   type elt = bucket
@@ -74,6 +77,7 @@ let create () =
     nbuckets = 1;
     st = Om_intf.fresh_stats ();
     retries = Atomic.make 0;
+    sink = Spr_obs.Sink.null;
   }
 
 let base t = t.base_item
@@ -106,11 +110,12 @@ let iter_items b f =
 let respace t b =
   iter_items b dirty_item;
   let count = b.bsize in
+  Om_intf.count_pass t.st count;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
   let cell = Labeling.universe / (count + 1) in
   let j = ref 0 in
   iter_items b (fun it ->
       incr j;
-      t.st.relabels <- t.st.relabels + 1;
       Atomic.set it.label (!j * cell));
   iter_items b clean_item
 
@@ -118,9 +123,8 @@ let respace t b =
    the top list). *)
 let top_rebalance t b =
   let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
-  t.st.rebalances <- t.st.rebalances + 1;
-  t.st.relabels <- t.st.relabels + count;
-  if count > t.st.max_range then t.st.max_range <- count;
+  Om_intf.count_pass t.st count;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
   let members = Array.make count first in
   let rec collect bk j =
     members.(j) <- bk;
@@ -154,6 +158,7 @@ let new_bucket_after t b =
    All items of the old bucket are marked dirty for the duration, so
    queries that touch them retry rather than observe the move. *)
 let split t b =
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
   iter_items b dirty_item;
   let b' = new_bucket_after t b in
   let keep = b.bsize / 2 in
@@ -175,11 +180,11 @@ let split t b =
   (* Respace both halves while everything is still dirty, then clean
      every item (they all carried one dirty increment). *)
   let assign b =
+    Om_intf.count_pass t.st b.bsize;
     let cell = Labeling.universe / (b.bsize + 1) in
     let j = ref 0 in
     iter_items b (fun it ->
         incr j;
-        t.st.relabels <- t.st.relabels + 1;
         Atomic.set it.label (!j * cell))
   in
   assign b;
@@ -207,6 +212,7 @@ let insert_after_locked t x =
   b.bsize <- b.bsize + 1;
   t.size <- t.size + 1;
   t.st.inserts <- t.st.inserts + 1;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
   y
 
 let insert_before_locked t x =
@@ -225,6 +231,7 @@ let insert_before_locked t x =
       b.bsize <- b.bsize + 1;
       t.size <- t.size + 1;
       t.st.inserts <- t.st.inserts + 1;
+      Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
       y
 
 let with_lock t f =

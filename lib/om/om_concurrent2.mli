@@ -25,7 +25,9 @@
 include Om_intf.CONCURRENT
 
 val stats : t -> Om_intf.stats
-(** Counters for item relabels/respaces (top-level bucket relabels are
-    included in [relabels]). *)
+(** Relabel accounting covering both levels: a bucket respace, a
+    bucket split and a top-level bucket relabel each count as one pass
+    in [relabel_passes], with the entries they retag accumulated in
+    [items_moved]. *)
 
 val bucket_count : t -> int

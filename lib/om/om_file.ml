@@ -31,6 +31,7 @@ let rec head e = match e.prev with Some p -> head p | None -> e
    universe. *)
 let rebuild t =
   t.rebuilds <- t.rebuilds + 1;
+  Om_intf.count_pass t.st t.size;
   (* Root density stays below 1/4: u >= 4(n+1). *)
   while 1 lsl t.bits < 4 * (t.size + 1) do
     t.bits <- t.bits + 1
@@ -40,7 +41,6 @@ let rebuild t =
   let cell = universe t / (t.size + 1) in
   let rec assign e j =
     e.tag <- (j + 1) * cell;
-    t.st.relabels <- t.st.relabels + 1;
     match e.next with Some nxt -> assign nxt (j + 1) | None -> ()
   in
   assign (head t.base_elt) 0
@@ -80,9 +80,7 @@ let rebalance t x =
   match search 1 with
   | None -> rebuild t
   | Some (first, count, lo, width) ->
-      t.st.rebalances <- t.st.rebalances + 1;
-      t.st.relabels <- t.st.relabels + count;
-      if count > t.st.max_range then t.st.max_range <- count;
+      Om_intf.count_pass t.st count;
       let cell = width / (count + 1) in
       let rec assign e j =
         e.tag <- lo + ((j + 1) * cell);

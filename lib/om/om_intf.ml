@@ -55,16 +55,31 @@ module type S = sig
   (** Number of live elements. *)
 end
 
-(** Operation counters exported by the label-based implementations so
-    the benches can verify the amortized O(1) claim empirically. *)
+(** Operation counters exported by every OM implementation so the
+    benches can verify the amortized-cost claims empirically.  The two
+    dimensions of relabeling cost are kept separate (they amortize
+    differently): [relabel_passes] counts {e relabel passes} — each
+    invocation of a rebalance, respace, renumber or rebuild — while
+    [items_moved] counts the {e entries assigned a new tag} across all
+    those passes.  Implementations with several labeling levels (the
+    two-level structures) account every level into the same counters,
+    so "items moved per insert" compares like with like across
+    structures. *)
 type stats = {
   mutable inserts : int;  (** total elements ever inserted *)
-  mutable relabels : int;  (** total element-relabel events *)
-  mutable rebalances : int;  (** rebalance (range relabel) occurrences *)
-  mutable max_range : int;  (** largest range ever relabeled *)
+  mutable relabel_passes : int;  (** relabel/rebalance pass occurrences *)
+  mutable items_moved : int;  (** entries retagged across all passes *)
+  mutable max_range : int;  (** largest number of entries retagged in one pass *)
 }
 
-let fresh_stats () = { inserts = 0; relabels = 0; rebalances = 0; max_range = 0 }
+let fresh_stats () = { inserts = 0; relabel_passes = 0; items_moved = 0; max_range = 0 }
+
+(* Shared accounting helper: one relabel pass that retagged [count]
+   entries. *)
+let count_pass st count =
+  st.relabel_passes <- st.relabel_passes + 1;
+  st.items_moved <- st.items_moved + count;
+  if count > st.max_range then st.max_range <- count
 
 (** What SP-hybrid's global tier needs from a concurrent
     order-maintenance structure: the base ADT plus atomic multi-insert
@@ -80,4 +95,9 @@ module type CONCURRENT = sig
   val query_retries : t -> int
 
   val check_invariants : t -> unit
+
+  val set_sink : t -> Spr_obs.Sink.t -> unit
+  (** Install an observability sink: inserts, relabel passes and bucket
+      splits are emitted as trace events (stamped with the sink's
+      current virtual-time context).  Default {!Spr_obs.Sink.null}. *)
 end

@@ -35,9 +35,7 @@ let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted elemen
 
 let rebalance t x =
   let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
-  t.st.rebalances <- t.st.rebalances + 1;
-  t.st.relabels <- t.st.relabels + count;
-  if count > t.st.max_range then t.st.max_range <- count;
+  Om_intf.count_pass t.st count;
   let rec assign e j =
     e.tag <- Lab.target ~lo ~width ~count j;
     if j + 1 < count then

@@ -5,19 +5,22 @@ type elt = {
   mutable alive : bool;
 }
 
-type t = { base_elt : elt; mutable size : int }
+type t = { base_elt : elt; mutable size : int; st : Om_intf.stats }
 
 let name = "om-naive"
 
 let create () =
   let base_elt = { rank = 0; prev = None; next = None; alive = true } in
-  { base_elt; size = 1 }
+  { base_elt; size = 1; st = Om_intf.fresh_stats () }
 
 let base t = t.base_elt
 
 (* Walk to the true head (the base may have had elements inserted before
-   it) and renumber every element. *)
+   it) and renumber every element.  Every renumber is one relabel pass
+   moving all [size] elements — the Θ(n)-per-insert accounting the
+   amortized structures are compared against. *)
 let renumber t =
+  Om_intf.count_pass t.st t.size;
   let rec head e = match e.prev with Some p -> head p | None -> e in
   let rec go i e =
     e.rank <- i;
@@ -33,6 +36,7 @@ let insert_after t x =
   (match x.next with Some n -> n.prev <- Some y | None -> ());
   x.next <- Some y;
   t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
   renumber t;
   y
 
@@ -42,6 +46,7 @@ let insert_before t x =
   (match x.prev with Some p -> p.next <- Some y | None -> ());
   x.prev <- Some y;
   t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
   renumber t;
   y
 
@@ -73,3 +78,5 @@ let delete t e =
 let size t = t.size
 
 let rank _t e = e.rank
+
+let stats t = t.st

@@ -9,3 +9,9 @@ include Om_intf.S
 
 val rank : t -> elt -> int
 (** Current 0-based position of the element (test introspection). *)
+
+val stats : t -> Om_intf.stats
+(** Relabel accounting in the shared schema: every renumber is one
+    pass moving [size] elements, so [items_moved / inserts] exhibits
+    the Θ(n) cost the amortized structures are measured against
+    ([max_range] peaks at the largest list renumbered). *)

@@ -18,9 +18,10 @@ type t = {
   (* Shadow reference counts, for the release protocol. *)
   refs : (int, int) Hashtbl.t;
   on_unreferenced : (int -> unit) option;
+  sink : Spr_obs.Sink.t;
 }
 
-let create ?on_unreferenced ~locs ~precedes () =
+let create ?on_unreferenced ?(sink = Spr_obs.Sink.null) ~locs ~precedes () =
   {
     writer = Array.make (max 1 locs) None;
     reader = Array.make (max 1 locs) None;
@@ -30,6 +31,7 @@ let create ?on_unreferenced ~locs ~precedes () =
     queries = 0;
     refs = Hashtbl.create 64;
     on_unreferenced;
+    sink;
   }
 
 (* Drop one reference to [o]; notify when it leaves shadow memory. *)
@@ -112,7 +114,24 @@ let access t ~current (a : Fj_program.access) =
   end
 
 let run_thread t (u : Fj_program.thread) =
-  Array.iter (fun a -> access t ~current:u.Fj_program.tid a) u.Fj_program.accesses
+  let before = t.queries in
+  (match Spr_obs.Sink.metrics t.sink with
+  | None -> Array.iter (fun a -> access t ~current:u.Fj_program.tid a) u.Fj_program.accesses
+  | Some m ->
+      let h = Spr_obs.Metrics.histogram m "race/queries_per_access" in
+      Array.iter
+        (fun a ->
+          let q0 = t.queries in
+          access t ~current:u.Fj_program.tid a;
+          Spr_obs.Metrics.observe h (t.queries - q0))
+        u.Fj_program.accesses;
+      Spr_obs.Metrics.add (Spr_obs.Metrics.counter m "race/queries") (t.queries - before);
+      Spr_obs.Metrics.add
+        (Spr_obs.Metrics.counter m "race/accesses")
+        (Array.length u.Fj_program.accesses));
+  if Array.length u.Fj_program.accesses > 0 then
+    Spr_obs.Sink.emit t.sink
+      (Spr_obs.Trace.Race_query { tid = u.Fj_program.tid; queries = t.queries - before })
 
 let races t = Spr_util.Vec.to_list t.races
 

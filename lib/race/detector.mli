@@ -41,6 +41,7 @@ type t
 
 val create :
   ?on_unreferenced:(int -> unit) ->
+  ?sink:Spr_obs.Sink.t ->
   locs:int ->
   precedes:(executed:int -> current:int -> bool) ->
   unit ->
@@ -48,6 +49,11 @@ val create :
 (** [locs] bounds the shadow-memory address space; [precedes] answers
     "did [executed] logically precede [current]?" for threads already
     seen.
+
+    [sink] (default {!Spr_obs.Sink.null}) receives one [Race_query]
+    event per accessing thread run through {!run_thread} and, when a
+    metric registry is attached, [race/] counters plus a
+    [race/queries_per_access] histogram.
 
     [on_unreferenced tid] fires when a thread that had entered shadow
     memory loses its last reference (every slot it occupied has been

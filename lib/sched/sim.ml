@@ -50,6 +50,7 @@ type worker = {
 
 type state = {
   hooks : hooks;
+  sink : Spr_obs.Sink.t;
   rng : Spr_util.Rng.t;
   workers : worker array;
   mutable now : int;
@@ -78,6 +79,7 @@ let new_frame st proc parent =
 let do_return st w f =
   let parent = f.parent in
   (match parent with Some p -> p.outstanding <- p.outstanding - 1 | None -> ());
+  let fid = f.fid in
   let inline =
     match Spr_util.Deque.pop_bottom w.deque with
     | Some cont ->
@@ -103,7 +105,8 @@ let do_return st w f =
   in
   let h = st.hooks.on_return ~wid:w.wid ~now:st.now ~child:f ~parent ~inline in
   st.hook_ticks <- st.hook_ticks + h;
-  w.busy_left <- w.busy_left + h
+  w.busy_left <- w.busy_left + h;
+  Spr_obs.Sink.emit st.sink (Spr_obs.Trace.Return { frame = fid; inline })
 
 (* Process exactly one step of frame [f]; consumes the current tick and
    possibly schedules more busy ticks. *)
@@ -121,6 +124,7 @@ let process_step st w f =
     end
     else begin
       let h = st.hooks.on_block_end ~wid:w.wid ~now:st.now f in
+      Spr_obs.Sink.emit st.sink (Spr_obs.Trace.Sync { frame = f.fid });
       st.hook_ticks <- st.hook_ticks + h;
       st.overhead_ticks <- st.overhead_ticks + 1;
       f.block <- f.block + 1;
@@ -135,6 +139,8 @@ let process_step st w f =
     | Fj_program.Run u ->
         f.item <- f.item + 1;
         let h = st.hooks.on_thread ~wid:w.wid ~now:st.now f u in
+        Spr_obs.Sink.emit st.sink
+          (Spr_obs.Trace.Thread_run { tid = u.Fj_program.tid; cost = u.Fj_program.cost });
         st.hook_ticks <- st.hook_ticks + h;
         st.work_ticks <- st.work_ticks + u.Fj_program.cost;
         (* This tick is the first of the thread's cost. *)
@@ -146,6 +152,7 @@ let process_step st w f =
         Spr_util.Deque.push_bottom w.deque f;
         let child = new_frame st g (Some f) in
         let h = st.hooks.on_spawn ~wid:w.wid ~now:st.now ~parent:f ~child in
+        Spr_obs.Sink.emit st.sink (Spr_obs.Trace.Spawn { parent = f.fid; child = child.fid });
         st.hook_ticks <- st.hook_ticks + h;
         st.overhead_ticks <- st.overhead_ticks + 1;
         w.busy_left <- h;
@@ -167,6 +174,8 @@ let attempt_steal st w =
     match Spr_util.Deque.pop_top victim.deque with
     | Some f ->
         st.steals <- st.steals + 1;
+        Spr_obs.Sink.emit st.sink
+          (Spr_obs.Trace.Steal { thief = w.wid; victim = victim_id; frame = f.fid });
         let h = st.hooks.on_steal ~thief:w.wid ~victim:victim_id ~now:st.now f in
         st.hook_ticks <- st.hook_ticks + h;
         w.busy_left <- h;
@@ -174,11 +183,30 @@ let attempt_steal st w =
     | None -> ()
   end
 
-let run ?(hooks = no_hooks) ?(seed = 1) ?(max_ticks = max_int) ~procs program =
+(* Fold the run's bucket accounting into the sink's metrics registry
+   (counters accumulate across runs; diff snapshots to isolate one). *)
+let record_metrics sink (r : result) =
+  match Spr_obs.Sink.metrics sink with
+  | None -> ()
+  | Some m ->
+      let c key v = Spr_obs.Metrics.add (Spr_obs.Metrics.counter m key) v in
+      c "sched/steals" r.steals;
+      c "sched/steal_attempts" r.steal_attempts;
+      c "sched/steal_attempts_lock_held" r.steal_attempts_lock_held;
+      c "sched/work_ticks" r.work_ticks;
+      c "sched/overhead_ticks" r.overhead_ticks;
+      c "sched/steal_ticks" r.steal_ticks;
+      c "sched/hook_ticks" r.hook_ticks;
+      c "sched/frames" r.frames;
+      Spr_obs.Metrics.set (Spr_obs.Metrics.gauge m "sched/time") (float_of_int r.time)
+
+let run ?(hooks = no_hooks) ?(sink = Spr_obs.Sink.null) ?(seed = 1) ?(max_ticks = max_int) ~procs
+    program =
   if procs < 1 then invalid_arg "Sim.run: need at least one worker";
   let st =
     {
       hooks;
+      sink;
       rng = Spr_util.Rng.create seed;
       workers =
         Array.init procs (fun wid ->
@@ -203,6 +231,7 @@ let run ?(hooks = no_hooks) ?(seed = 1) ?(max_ticks = max_int) ~procs program =
         if st.done_ then ()
         else if w.busy_left > 0 then w.busy_left <- w.busy_left - 1
         else begin
+          Spr_obs.Sink.set_context sink ~now:st.now ~wid:w.wid;
           match w.continue_with with
           | Some f -> process_step st w f
           | None -> attempt_steal st w
@@ -211,14 +240,18 @@ let run ?(hooks = no_hooks) ?(seed = 1) ?(max_ticks = max_int) ~procs program =
     st.now <- st.now + 1;
     if st.now > max_ticks then failwith "Sim.run: max_ticks exceeded (scheduler livelock?)"
   done;
-  {
-    time = st.now;
-    steals = st.steals;
-    steal_attempts = st.steal_attempts;
-    steal_attempts_lock_held = st.steal_attempts_lock_held;
-    work_ticks = st.work_ticks;
-    overhead_ticks = st.overhead_ticks;
-    steal_ticks = st.steal_ticks;
-    hook_ticks = st.hook_ticks;
-    frames = st.next_fid;
-  }
+  let r =
+    {
+      time = st.now;
+      steals = st.steals;
+      steal_attempts = st.steal_attempts;
+      steal_attempts_lock_held = st.steal_attempts_lock_held;
+      work_ticks = st.work_ticks;
+      overhead_ticks = st.overhead_ticks;
+      steal_ticks = st.steal_ticks;
+      hook_ticks = st.hook_ticks;
+      frames = st.next_fid;
+    }
+  in
+  record_metrics sink r;
+  r

@@ -73,8 +73,22 @@ type result = {
 }
 
 val run :
-  ?hooks:hooks -> ?seed:int -> ?max_ticks:int -> procs:int -> Spr_prog.Fj_program.t -> result
+  ?hooks:hooks ->
+  ?sink:Spr_obs.Sink.t ->
+  ?seed:int ->
+  ?max_ticks:int ->
+  procs:int ->
+  Spr_prog.Fj_program.t ->
+  result
 (** Simulate the program on [procs] virtual workers.
+
+    [sink] (default {!Spr_obs.Sink.null}) receives one trace event per
+    spawn, thread execution, passed sync, return and successful steal,
+    each stamped with the virtual clock and acting worker; the sink's
+    (now, wid) context is kept current across the run so hook-level
+    instrumentation (SP-hybrid, OM, race detection) stamps its own
+    events consistently.  On completion the [result] buckets are also
+    added to the sink's metric registry under [sched/].
     @raise Invalid_argument if [procs < 1].
     @raise Failure if the run exceeds [max_ticks] (a scheduler-bug
     tripwire used by the test suite; default unlimited). *)

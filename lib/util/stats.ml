@@ -30,6 +30,90 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
+(* In-place quickselect: after [select a k], a.(k) holds the k-th
+   smallest element.  Median-of-three pivoting keeps the recursion
+   deterministic (no RNG) and behaves well on the sorted and
+   constant-valued inputs the metrics layer produces. *)
+let select a k =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let median3 lo hi =
+    let mid = lo + ((hi - lo) / 2) in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    a.(mid)
+  in
+  let rec go lo hi =
+    if lo < hi then begin
+      let pivot = median3 lo hi in
+      (* Three-way partition: [lo, lt) < pivot, [lt, i) = pivot,
+         (gt, hi] > pivot.  Essential for heavily repeated values. *)
+      let lt = ref lo and i = ref lo and gt = ref hi in
+      while !i <= !gt do
+        if a.(!i) < pivot then begin
+          swap !lt !i;
+          incr lt;
+          incr i
+        end
+        else if a.(!i) > pivot then begin
+          swap !i !gt;
+          decr gt
+        end
+        else incr i
+      done;
+      if k < !lt then go lo (!lt - 1) else if k > !gt then go (!gt + 1) hi
+    end
+  in
+  go 0 (Array.length a - 1)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty input";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+  let a = Array.copy xs in
+  let rank = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  select a lo;
+  (* Read a.(lo) before the second select: selecting for [hi]
+     re-partitions the array and may move another (smaller) element of
+     the lower partition into slot [lo]. *)
+  let vlo = a.(lo) in
+  if lo = hi then vlo
+  else begin
+    select a hi;
+    let frac = rank -. float_of_int lo in
+    (vlo *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let quantile_counts pairs q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile_counts: q out of range";
+  let pairs = Array.of_list (List.filter (fun (_, c) -> c > 0) (Array.to_list pairs)) in
+  let n = Array.fold_left (fun acc (_, c) -> acc + c) 0 pairs in
+  if n = 0 then invalid_arg "Stats.quantile_counts: empty input";
+  Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+  (* Value of the multiset's r-th order statistic via cumulative
+     counts. *)
+  let value_at r =
+    let rec go i seen =
+      let v, c = pairs.(i) in
+      if r < seen + c then v else go (i + 1) (seen + c)
+    in
+    go 0 0
+  in
+  let rank = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then value_at lo
+  else begin
+    let frac = rank -. float_of_int lo in
+    (value_at lo *. (1.0 -. frac)) +. (value_at hi *. frac)
+  end
+
 let min_max xs =
   if Array.length xs = 0 then invalid_arg "Stats.min_max: empty input";
   Array.fold_left

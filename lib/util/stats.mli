@@ -18,6 +18,22 @@ val median : float array -> float
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]], linear interpolation. *)
 
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0,1\]]: the interpolated q-th
+    quantile, computed by deterministic quickselect (expected O(n), no
+    full sort; the input is not modified).  Agrees with
+    [percentile xs (100 q)]; property-tested against a sorted-array
+    oracle.
+    @raise Invalid_argument on an empty array or [q] outside [\[0,1\]]. *)
+
+val quantile_counts : (float * int) array -> float -> float
+(** [quantile_counts pairs q] is [quantile] over the multiset in which
+    each [(value, count)] pair contributes [count] copies of [value] —
+    the form the observability layer's histograms provide.  Pairs with
+    non-positive counts are ignored; pair order is irrelevant.
+    @raise Invalid_argument when the multiset is empty or [q] is
+    outside [\[0,1\]]. *)
+
 val min_max : float array -> float * float
 
 val linear_fit : (float * float) array -> float * float

@@ -21,3 +21,23 @@ Detecting a planted determinacy race:
   detection (sp-order): 2 race report(s) on locations [17; 20], 9 SP queries
     loc 17: t0 (W) vs t1 (W)
     loc 20: t3 (W) vs t4 (W)
+
+Unknown generator/workload/algorithm names fail cleanly (exit 1, valid
+names listed) instead of dying with a backtrace:
+
+  $ spview tree --gen nope
+  spview: unknown generator "nope" (valid: paper, balanced, deep, forks, serial, wide, random)
+  [1]
+
+  $ spview detect --workload nope
+  spview: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random)
+  [1]
+
+  $ spview hybrid --workload nope
+  spview: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random)
+  [1]
+
+  $ spview detect --workload dcsum --algo nope
+  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-order-implicit, sp-bags-norank, lca-reference)
+  [1]
+

@@ -1,0 +1,274 @@
+(* Unit tests for the observability layer (spr_obs): the JSON printer,
+   the metrics registry, the trace ring buffer and its Chrome
+   trace_event export, and the sink plumbing — including an end-to-end
+   run of the simulator + SP-hybrid that validates the schema of every
+   exported event. *)
+
+open Spr_obs
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let json_printing () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\n");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 1.5);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string)
+    "canonical print" {|{"s":"a\"b\n","i":-3,"f":1.5,"l":[true,null],"o":{}}|}
+    (Json.to_string j);
+  Alcotest.(check bool) "member hit" true (Json.member "i" j = Some (Json.Int (-3)));
+  Alcotest.(check bool) "member miss" true (Json.member "zzz" j = None);
+  Alcotest.(check bool) "member on non-object" true (Json.member "x" Json.Null = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let metrics_instruments () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a/c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  let g = Metrics.gauge m "a/g" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram m "a/h" in
+  List.iter (Metrics.observe h) [ 1; 2; 4; 100 ];
+  (match Metrics.snapshot m with
+  | [ ("a/c", Metrics.C 5); ("a/g", Metrics.G 2.5); ("a/h", Metrics.H hd) ] ->
+      Alcotest.(check int) "hist count" 4 hd.Metrics.count;
+      Alcotest.(check int) "hist sum" 107 hd.Metrics.sum;
+      Alcotest.(check int) "hist max" 100 hd.Metrics.max
+  | _ -> Alcotest.fail "unexpected snapshot shape (should be sorted by key)");
+  (* Re-registering by key returns the same cell. *)
+  Metrics.incr (Metrics.counter m "a/c");
+  (match Metrics.snapshot m with
+  | ("a/c", Metrics.C 6) :: _ -> ()
+  | _ -> Alcotest.fail "counter lookup did not find the existing cell");
+  (* A key cannot change kind. *)
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Metrics.gauge m "a/c");
+       false
+     with Invalid_argument _ -> true)
+
+let metrics_snapshot_diff_reset () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x/c" in
+  let h = Metrics.histogram m "x/h" in
+  Metrics.add c 10;
+  Metrics.observe h 8;
+  let before = Metrics.snapshot m in
+  Metrics.add c 7;
+  Metrics.observe h 32;
+  let after = Metrics.snapshot m in
+  (match Metrics.diff after before with
+  | [ ("x/c", Metrics.C 7); ("x/h", Metrics.H hd) ] ->
+      Alcotest.(check int) "window count" 1 hd.Metrics.count;
+      Alcotest.(check int) "window sum" 32 hd.Metrics.sum
+  | _ -> Alcotest.fail "diff shape");
+  Metrics.reset m;
+  match Metrics.snapshot m with
+  | [ ("x/c", Metrics.C 0); ("x/h", Metrics.H hd) ] ->
+      Alcotest.(check int) "reset count" 0 hd.Metrics.count
+  | _ -> Alcotest.fail "reset should keep registrations and zero values"
+
+let metrics_json_and_quantiles () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "s/c") 3;
+  let h = Metrics.histogram m "s/h" in
+  for _ = 1 to 90 do
+    Metrics.observe h 1
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 1000
+  done;
+  (* Log-bucketed approximation: p50 lands in the 1-bucket, p99 in the
+     1000-bucket (whose answer is capped at the observed max). *)
+  Alcotest.(check (float 1e-9)) "p50" 1.0 (Metrics.quantile h 0.5);
+  Alcotest.(check bool) "p99 in the top bucket" true (Metrics.quantile h 0.99 > 500.0);
+  Alcotest.(check bool) "p99 capped at max" true (Metrics.quantile h 0.99 <= 1000.0);
+  let j = Metrics.to_json m in
+  Alcotest.(check bool) "counter field" true (Json.member "s/c" j = Some (Json.Int 3));
+  match Json.member "s/h" j with
+  | Some hist ->
+      Alcotest.(check bool) "hist count field" true
+        (Json.member "count" hist = Some (Json.Int 100));
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (Json.member k hist <> None))
+        [ "sum"; "max"; "p50"; "p90"; "p99" ]
+  | None -> Alcotest.fail "histogram missing from JSON"
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer                                                   *)
+
+let trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.emit t ~ts:i ~wid:0 (Trace.Sync { frame = i })
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.length t);
+  Alcotest.(check int) "dropped counted" 2 (Trace.dropped t);
+  (* The buffer keeps the tail of the run, oldest first. *)
+  let frames =
+    List.map
+      (fun e -> match e.Trace.kind with Trace.Sync { frame } -> frame | _ -> -1)
+      (Trace.events t)
+  in
+  Alcotest.(check (list int)) "keeps the tail" [ 3; 4; 5; 6 ] frames;
+  Trace.clear t;
+  Alcotest.(check int) "clear empties" 0 (Trace.length t);
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped t)
+
+(* Every exported trace_event must carry the Chrome-required fields;
+   complete events ("ph":"X") additionally carry a duration, instants
+   ("ph":"i") a scope. *)
+let check_chrome_event ?(meta_ok = false) j =
+  let require keys =
+    List.iter
+      (fun k ->
+        if Json.member k j = None then
+          Alcotest.failf "event %s lacks required field %S" (Json.to_string j) k)
+      keys
+  in
+  match Json.member "ph" j with
+  | Some (Json.String "X") ->
+      require [ "name"; "ts"; "pid"; "tid"; "dur" ]
+  | Some (Json.String "i") -> require [ "name"; "ts"; "pid"; "tid"; "s" ]
+  | Some (Json.String "M") when meta_ok ->
+      (* Metadata records (thread naming) carry no timestamp. *)
+      require [ "name"; "pid"; "tid"; "args" ]
+  | ph ->
+      Alcotest.failf "event %s has unexpected ph %s" (Json.to_string j)
+        (match ph with Some p -> Json.to_string p | None -> "<none>")
+
+let all_kinds =
+  [
+    Trace.Spawn { parent = 1; child = 2 };
+    Trace.Sync { frame = 1 };
+    Trace.Steal { thief = 1; victim = 0; frame = 3 };
+    Trace.Return { frame = 3; inline = true };
+    Trace.Thread_run { tid = 7; cost = 5 };
+    Trace.Trace_split { victim_trace = 1; u1 = 2; u2 = 3; u4 = 4; u5 = 5 };
+    Trace.Lock_span { wait = 2; hold = 3 };
+    Trace.Om_insert { om = "eng" };
+    Trace.Om_relabel { om = "eng"; moved = 12 };
+    Trace.Om_bucket_split { om = "heb" };
+    Trace.Race_query { tid = 4; queries = 2 };
+  ]
+
+let trace_chrome_schema () =
+  List.iter
+    (fun kind -> check_chrome_event (Trace.chrome_of_event { Trace.ts = 5; wid = 1; kind }))
+    all_kinds;
+  (* Durations come from the payload: thread runs last their cost, the
+     lock span covers wait + hold. *)
+  let dur kind =
+    match Json.member "dur" (Trace.chrome_of_event { Trace.ts = 0; wid = 0; kind }) with
+    | Some (Json.Int d) -> d
+    | _ -> Alcotest.fail "expected an integer dur"
+  in
+  Alcotest.(check int) "thread dur = cost" 5 (dur (Trace.Thread_run { tid = 0; cost = 5 }));
+  Alcotest.(check int) "lock dur = wait+hold" 5 (dur (Trace.Lock_span { wait = 2; hold = 3 }))
+
+let trace_to_chrome () =
+  let t = Trace.create () in
+  List.iteri (fun i kind -> Trace.emit t ~ts:i ~wid:(i mod 3) kind) all_kinds;
+  let j = Trace.to_chrome ~other_data:[ ("workload", Json.String "unit") ] t in
+  (match Json.member "traceEvents" j with
+  | Some (Json.List evs) ->
+      Alcotest.(check bool) "metadata + events" true (List.length evs > List.length all_kinds);
+      List.iter (check_chrome_event ~meta_ok:true) evs
+  | _ -> Alcotest.fail "traceEvents missing");
+  match Json.member "otherData" j with
+  | Some od ->
+      Alcotest.(check bool) "caller data kept" true
+        (Json.member "workload" od = Some (Json.String "unit"));
+      Alcotest.(check bool) "event accounting" true (Json.member "events" od <> None)
+  | None -> Alcotest.fail "otherData missing"
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+
+let sink_plumbing () =
+  Alcotest.(check bool) "null is null" true (Sink.is_null Sink.null);
+  (* Emitting and setting context on the null sink must be no-ops. *)
+  Sink.set_context Sink.null ~now:99 ~wid:3;
+  Sink.emit Sink.null (Trace.Sync { frame = 0 });
+  Alcotest.(check int) "null clock untouched" 0 (Sink.now Sink.null);
+  let t = Trace.create () in
+  let m = Metrics.create () in
+  let s = Sink.make ~trace:t ~metrics:m () in
+  Alcotest.(check bool) "live sink" false (Sink.is_null s);
+  Alcotest.(check bool) "metrics exposed" true (Sink.metrics s = Some m);
+  Sink.set_context s ~now:42 ~wid:2;
+  Sink.emit s (Trace.Sync { frame = 1 });
+  Sink.emit_at s ~ts:7 ~wid:0 (Trace.Sync { frame = 2 });
+  match Trace.events t with
+  | [ a; b ] ->
+      Alcotest.(check int) "context ts" 42 a.Trace.ts;
+      Alcotest.(check int) "context wid" 2 a.Trace.wid;
+      Alcotest.(check int) "explicit ts" 7 b.Trace.ts
+  | _ -> Alcotest.fail "expected exactly two events"
+
+(* ------------------------------------------------------------------ *)
+(* End to end: simulator + SP-hybrid under a recording sink            *)
+
+let end_to_end () =
+  let t = Trace.create () in
+  let m = Metrics.create () in
+  let sink = Sink.make ~trace:t ~metrics:m () in
+  let p = Spr_workloads.Progs.fib ~n:8 ~cost:3 () in
+  let h = Spr_hybrid.Sp_hybrid.create ~sink p in
+  let res = Spr_sched.Sim.run ~hooks:(Spr_hybrid.Sp_hybrid.hooks h) ~sink ~seed:1 ~procs:4 p in
+  Alcotest.(check bool) "events recorded" true (Trace.length t > 0);
+  (* Every buffered event passes the Chrome schema check once exported. *)
+  (match Trace.to_chrome t with
+  | Json.Obj _ as j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) -> List.iter (check_chrome_event ~meta_ok:true) evs
+      | _ -> Alcotest.fail "traceEvents missing")
+  | _ -> Alcotest.fail "to_chrome should build an object");
+  (* Counters agree with the simulator's own accounting, and Theorem
+     2's trace structure shows as steals == splits. *)
+  let counter key =
+    match List.assoc_opt key (Metrics.snapshot m) with
+    | Some (Metrics.C n) -> n
+    | _ -> Alcotest.failf "missing counter %s" key
+  in
+  Alcotest.(check int) "sched/steals matches result" res.Spr_sched.Sim.steals
+    (counter "sched/steals");
+  Alcotest.(check int) "steal = split" (counter "sched/steals") (counter "hybrid/splits");
+  let stolen =
+    List.length
+      (List.filter
+         (fun e -> match e.Trace.kind with Trace.Steal _ -> true | _ -> false)
+         (Trace.events t))
+  in
+  Alcotest.(check int) "steal events buffered" res.Spr_sched.Sim.steals stolen
+
+let () =
+  Alcotest.run "spr_obs"
+    [
+      ("json", [ Alcotest.test_case "printing" `Quick json_printing ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "instruments" `Quick metrics_instruments;
+          Alcotest.test_case "snapshot/diff/reset" `Quick metrics_snapshot_diff_reset;
+          Alcotest.test_case "json + quantiles" `Quick metrics_json_and_quantiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick trace_ring;
+          Alcotest.test_case "chrome schema" `Quick trace_chrome_schema;
+          Alcotest.test_case "to_chrome" `Quick trace_to_chrome;
+        ] );
+      ("sink", [ Alcotest.test_case "plumbing" `Quick sink_plumbing ]);
+      ("end-to-end", [ Alcotest.test_case "sim + hybrid" `Quick end_to_end ]);
+    ]

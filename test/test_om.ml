@@ -172,8 +172,11 @@ let om_order_after_mixed () =
     if got <> want then Alcotest.failf "order mismatch for (%d, %d)" a b
   done
 
-(* Amortization: relabels per insert stays bounded even under the
-   hammer pattern. *)
+(* Amortization: elements moved per insert stays bounded even under the
+   hammer pattern.  [items_moved] counts both levels — a capacity-2h
+   bucket respace charges O(lg n) moves to the O(lg n) inserts that
+   filled it, so the two-level amortized cost is a constant a bit above
+   the pure top-level rate (empirically ~2.5 under the hammer). *)
 let amortized_bound () =
   let t = Spr_om.Om.create () in
   let anchor = Spr_om.Om.base t in
@@ -182,9 +185,9 @@ let amortized_bound () =
     ignore (Spr_om.Om.insert_after t anchor)
   done;
   let st = Spr_om.Om.stats t in
-  let per_insert = float_of_int st.relabels /. float_of_int n in
-  if per_insert > 2.0 then
-    Alcotest.failf "two-level OM: %.3f top-level relabels per insert (expected O(1))" per_insert
+  let per_insert = float_of_int st.items_moved /. float_of_int n in
+  if per_insert > 8.0 then
+    Alcotest.failf "two-level OM: %.3f elements moved per insert (expected O(1))" per_insert
 
 let one_level_amortized_bound () =
   let t = Spr_om.Om_label.create () in
@@ -194,7 +197,7 @@ let one_level_amortized_bound () =
     ignore (Spr_om.Om_label.insert_after t anchor)
   done;
   let st = Spr_om.Om_label.stats t in
-  let per_insert = float_of_int st.relabels /. float_of_int n in
+  let per_insert = float_of_int st.items_moved /. float_of_int n in
   (* One-level bound is O(lg n) amortized; lg 20000 ~ 14.3. *)
   if per_insert > 64.0 then
     Alcotest.failf "one-level OM: %.3f relabels per insert (expected O(lg n))" per_insert
@@ -361,7 +364,7 @@ let file_maintenance_growth () =
     done;
     Alcotest.(check bool) "universe stays O(n)" true (Spr_om.Om_file.universe t <= 16 * n);
     let st = Spr_om.Om_file.stats t in
-    float_of_int st.relabels /. float_of_int n
+    float_of_int st.items_moved /. float_of_int n
   in
   let small = relabels_per_insert 2_000 in
   let large = relabels_per_insert 64_000 in

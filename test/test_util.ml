@@ -161,6 +161,72 @@ let stats_basics () =
   Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
   Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
 
+(* Sorted-array oracle for quantiles: the textbook linear-interpolation
+   definition on a fully sorted copy.  [Stats.quantile] must agree
+   despite computing via quickselect without sorting. *)
+let quantile_oracle xs q =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  let n = Array.length ys in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  if lo = hi then ys.(lo) else ys.(lo) +. ((pos -. float_of_int lo) *. (ys.(hi) -. ys.(lo)))
+
+let quantile_model =
+  QCheck2.Test.make ~count:300 ~name:"Stats.quantile agrees with sorted-array oracle"
+    QCheck2.Gen.(pair (list_size (int_range 1 60) (int_bound 1000)) (int_bound 100))
+    (fun (ints, qpct) ->
+      let xs = Array.of_list (List.map float_of_int ints) in
+      let q = float_of_int qpct /. 100.0 in
+      let got = Stats.quantile xs q in
+      let want = quantile_oracle xs q in
+      if abs_float (got -. want) > 1e-9 then
+        QCheck2.Test.fail_reportf "quantile %.2f of %d samples: got %g, oracle %g" q
+          (Array.length xs) got want
+      else begin
+        (* The input must come back untouched (quickselect works on a
+           scratch copy). *)
+        let orig = Array.of_list (List.map float_of_int ints) in
+        xs = orig
+      end)
+
+let quantile_counts_model =
+  QCheck2.Test.make ~count:300
+    ~name:"Stats.quantile_counts agrees with the expanded multiset"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) (pair (int_bound 50) (int_range (-1) 4)))
+        (int_bound 100))
+    (fun (pairs, qpct) ->
+      let q = float_of_int qpct /. 100.0 in
+      let pairs = List.map (fun (v, c) -> (float_of_int v, c)) pairs in
+      let expanded =
+        List.concat_map (fun (v, c) -> List.init (max 0 c) (fun _ -> v)) pairs
+      in
+      match expanded with
+      | [] ->
+          (* Empty multiset must be rejected, same as an empty array. *)
+          (try
+             ignore (Stats.quantile_counts (Array.of_list pairs) q);
+             false
+           with Invalid_argument _ -> true)
+      | _ ->
+          let got = Stats.quantile_counts (Array.of_list pairs) q in
+          let want = quantile_oracle (Array.of_list expanded) q in
+          if abs_float (got -. want) > 1e-9 then
+            QCheck2.Test.fail_reportf "quantile_counts %.2f: got %g, oracle %g" q got want
+          else true)
+
+let quantile_edges () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.quantile: empty input") (fun () ->
+      ignore (Stats.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q out of range")
+    (fun () -> ignore (Stats.quantile [| 1.0 |] 1.5));
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.quantile [| 7.0 |] 0.99);
+  Alcotest.(check (float 1e-9))
+    "matches percentile" (Stats.percentile [| 3.0; 1.0; 2.0 |] 50.0)
+    (Stats.quantile [| 3.0; 1.0; 2.0 |] 0.5)
+
 let stats_fits () =
   (* y = 3x + 1 *)
   let pts = Array.init 20 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
@@ -224,6 +290,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick stats_basics;
           Alcotest.test_case "fits" `Quick stats_fits;
+          Alcotest.test_case "quantile edges" `Quick quantile_edges;
+          QCheck_alcotest.to_alcotest quantile_model;
+          QCheck_alcotest.to_alcotest quantile_counts_model;
         ] );
       ( "table",
         [

@@ -1,0 +1,45 @@
+The trace recorder is deterministic: the same workload, seed and
+worker count must serialize byte-for-byte identical Chrome traces.
+
+  $ spview trace --workload fib --size 8 --procs 4 --seed 1 --out a.json --metrics json > m1.json
+  $ spview trace --workload fib --size 8 --procs 4 --seed 1 --out b.json --metrics json > m2.json
+  $ cmp a.json b.json
+  $ cmp m1.json m2.json
+
+A different seed steers the scheduler differently:
+
+  $ spview trace --workload fib --size 8 --procs 4 --seed 2 --out c.json --metrics json > /dev/null
+  $ cmp -s a.json c.json
+  [1]
+
+The file is Chrome trace_event JSON-object format: a traceEvents
+array (worker-name metadata, then events from the sched, hybrid and
+om subsystems) plus run parameters under otherData.
+
+  $ head -c 75 a.json; echo
+  {"traceEvents":[{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"nam
+  $ grep -c '"cat":"sched"' a.json > /dev/null && echo has-sched
+  has-sched
+  $ grep -c '"cat":"hybrid"' a.json > /dev/null && echo has-hybrid
+  has-hybrid
+  $ grep -c '"cat":"om"' a.json > /dev/null && echo has-om
+  has-om
+  $ grep -o '"otherData":{[^}]*' a.json | grep -o '"workload":"fib"'
+  "workload":"fib"
+
+The metrics summary holds the Theorem 10 accounting; every steal is
+one trace split:
+
+  $ grep -o '"hybrid/splits":[0-9]*' m1.json
+  "hybrid/splits":14
+  $ grep -o '"sched/steals":[0-9]*' m1.json
+  "sched/steals":14
+
+The default summary is the pretty renderer:
+
+  $ spview trace --workload fib --size 6 --procs 2 --seed 1 --out d.json | head -n 5
+  wrote d.json: 160 events (0 dropped) — load in chrome://tracing or ui.perfetto.dev
+  hybrid/
+    global_insert_ticks          32
+    lock_wait                    n=4 mean=0.0 p50=0 p90=0 p99=0 max=0
+    lock_wait_ticks              0
