@@ -55,6 +55,13 @@ let test_om_insert =
   Test.make ~name:"om/two-level-insert-hammer"
     (Staged.stage (fun () -> ignore (Spr_om.Om.insert_after om anchor)))
 
+(* Same kernel on the packed (array-backed) two-level structure. *)
+let test_om_packed_insert =
+  let om = Spr_om.Om_packed.create () in
+  let anchor = Spr_om.Om_packed.base om in
+  Test.make ~name:"om/packed-insert-hammer"
+    (Staged.stage (fun () -> ignore (Spr_om.Om_packed.insert_after om anchor)))
+
 (* EXP-FIG11-12 kernel: a global-tier split (5-trace multi-insert). *)
 let test_split =
   let g = Spr_hybrid.Global_tier.create () in
@@ -72,6 +79,7 @@ let all_tests =
     test_thm10_hybrid;
     test_steals_sim;
     test_om_insert;
+    test_om_packed_insert;
     test_split;
   ]
 

@@ -1,0 +1,102 @@
+(* Machine-readable benchmark output behind `main.exe -- <exp> --json
+   FILE`, and the schema the regression gate (regress.exe) compares
+   against committed baselines (BENCH_om.json).
+
+   Schema (version 1):
+
+     { "schema_version": 1,
+       "experiments": ["om"],
+       "entries": [
+         { "experiment": "om",
+           "backend":    "om-packed",
+           "pattern":    "append",
+           "n":          1000000,
+           "metric":     "ns_per_insert",   // or a counter metric
+           "kind":       "time",            // "time" | "counter"
+           "samples":    [134.2, ...],      // raw per-repeat values
+           "median":     134.2,
+           "q25": ..., "q75": ..., "q90": ... } ] }
+
+   Everything except the values inside "samples"/"median"/"q*" of
+   kind:"time" entries is deterministic for a fixed seed: entry order
+   is the code's emission order, counter entries are exact, and the
+   key set is fixed.  The cram test (test/bench_json.t) checks exactly
+   that split, and regress.exe only thresholds kind:"time" rows. *)
+
+module J = Spr_obs.Json
+
+type kind = Time | Counter
+
+type entry = {
+  experiment : string;
+  backend : string;
+  pattern : string;
+  n : int;
+  metric : string;
+  kind : kind;
+  samples : float list;
+}
+
+(* Armed by main.ml when --json is given.  [n_override] lets the cram
+   test and CI smoke run the insert-heavy measurement at a tiny size
+   (schema identical, wall clock negligible). *)
+let collector : entry list ref option ref = ref None
+let n_override : int option ref = ref None
+
+let enable ?n () =
+  collector := Some (ref []);
+  n_override := n
+
+let enabled () = !collector <> None
+
+(* The measured size for JSON entries: the acceptance size 10^6 unless
+   the command line asked for a smaller smoke size. *)
+let scaled_n ~default = match !n_override with Some n -> n | None -> default
+
+let add ~experiment ~backend ~pattern ~n ~metric ~kind samples =
+  match !collector with
+  | None -> ()
+  | Some entries ->
+      entries := { experiment; backend; pattern; n; metric; kind; samples } :: !entries
+
+let entry_to_json e =
+  let arr = Array.of_list e.samples in
+  let q p = Spr_util.Stats.quantile arr p in
+  J.Obj
+    [
+      ("experiment", J.String e.experiment);
+      ("backend", J.String e.backend);
+      ("pattern", J.String e.pattern);
+      ("n", J.Int e.n);
+      ("metric", J.String e.metric);
+      ("kind", J.String (match e.kind with Time -> "time" | Counter -> "counter"));
+      ("samples", J.List (List.map (fun s -> J.Float s) e.samples));
+      ("median", J.Float (q 0.5));
+      ("q25", J.Float (q 0.25));
+      ("q75", J.Float (q 0.75));
+      ("q90", J.Float (q 0.9));
+    ]
+
+let to_json () =
+  match !collector with
+  | None -> J.Null
+  | Some entries ->
+      let es = List.rev !entries in
+      let experiments =
+        List.fold_left
+          (fun acc e -> if List.mem e.experiment acc then acc else e.experiment :: acc)
+          [] es
+        |> List.rev
+      in
+      J.Obj
+        [
+          ("schema_version", J.Int 1);
+          ("experiments", J.List (List.map (fun x -> J.String x) experiments));
+          ("entries", J.List (List.map entry_to_json es));
+        ]
+
+let write_file path =
+  let oc = open_out path in
+  J.to_channel oc (to_json ());
+  output_char oc '\n';
+  close_out oc

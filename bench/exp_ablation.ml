@@ -21,6 +21,7 @@ module T = Spr_util.Table
 
 module Sp_order_two_level = Spr_core.Sp_order
 module Sp_order_one_level = Spr_core.Sp_order_generic.Make (Spr_om.Om_label)
+module Sp_order_packed = Spr_core.Sp_order_generic.Make (Spr_om.Om_packed)
 module Sp_order_naive_om = Spr_core.Sp_order_generic.Make (Spr_om.Om_naive)
 
 let om_backend () =
@@ -47,7 +48,10 @@ let om_backend () =
           Spr_sptree.Sp_tree.iter_events tree (Sp_order_two_level.on_event t));
       measure "one-level labels" n (fun tree ->
           let t = Sp_order_one_level.create tree in
-          Spr_sptree.Sp_tree.iter_events tree (Sp_order_one_level.on_event t)))
+          Spr_sptree.Sp_tree.iter_events tree (Sp_order_one_level.on_event t));
+      measure "two-level packed" n (fun tree ->
+          let t = Sp_order_packed.create tree in
+          Spr_sptree.Sp_tree.iter_events tree (Sp_order_packed.on_event t)))
     [ 16_384; 131_072 ];
   (* Footnote 2: drop the English OM structure entirely. *)
   List.iter

@@ -7,6 +7,10 @@
      dune exec bench/main.exe -- thm10 --metrics json
         # also print per-experiment measured-counter snapshots as the
         # last stdout line: {"experiments":{"thm10":{...}}}
+     dune exec bench/main.exe -- om --json out.json
+        # also write machine-readable samples/medians/quantiles for
+        # the regression gate (schema in bench_json.ml); --json-n N
+        # shrinks the measured size for smoke runs
 
    Each experiment regenerates one table/figure/theorem of the paper;
    see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md
@@ -69,7 +73,35 @@ let () =
     in
     strip [] args
   in
+  let json_file, json_n, args =
+    let rec strip ~file ~n acc = function
+      | "--json" :: path :: rest when path <> "" && path.[0] <> '-' ->
+          strip ~file:(Some path) ~n acc rest
+      | "--json" :: _ ->
+          Printf.eprintf "bench: --json takes an output file path\n";
+          exit 1
+      | "--json-n" :: v :: rest -> (
+          match int_of_string_opt v with
+          | Some size when size > 0 -> strip ~file ~n:(Some size) acc rest
+          | _ ->
+              Printf.eprintf "bench: --json-n takes a positive integer\n";
+              exit 1)
+      | "--json-n" :: [] ->
+          Printf.eprintf "bench: --json-n takes a positive integer\n";
+          exit 1
+      | a :: rest -> strip ~file ~n (a :: acc) rest
+      | [] -> (file, n, List.rev acc)
+    in
+    strip ~file:None ~n:None [] args
+  in
   if metrics then Bench_util.enable_metrics ();
+  (match json_file with
+  | Some _ -> Bench_json.enable ?n:json_n ()
+  | None ->
+      if json_n <> None then begin
+        Printf.eprintf "bench: --json-n only makes sense with --json\n";
+        exit 1
+      end);
   (match args with
   | [] | [ "all" ] -> List.iter (run_experiment ~metrics) experiments
   | [ "list" ] -> list_experiments ()
@@ -82,6 +114,8 @@ let () =
           exit 1
     end
   | _ ->
-      Printf.eprintf "usage: main.exe [all|list|<experiment>] [--metrics json]\n";
+      Printf.eprintf
+        "usage: main.exe [all|list|<experiment>] [--metrics json] [--json FILE [--json-n N]]\n";
       exit 1);
+  (match json_file with Some path -> Bench_json.write_file path | None -> ());
   if metrics then emit_snapshots ()

@@ -1,0 +1,105 @@
+(* Benchmark regression gate.
+
+   Usage:
+     regress BASELINE.json CANDIDATE.json [--threshold R]
+
+   Both files follow the schema bench_json.ml emits (`main.exe --
+   <exp> --json FILE`).  Every entry in the baseline must be present
+   in the candidate, matched on (experiment, backend, pattern, n,
+   metric).  Rules:
+
+     - kind "time":    fail if candidate median > R x baseline median
+                       (default R = 1.5; CI uses 3.0 to absorb
+                       machine-to-machine variance);
+     - kind "counter": fail on any drift beyond float noise — counters
+                       are deterministic for the fixed seed, so a
+                       change means the algorithm changed and the
+                       baseline needs a deliberate refresh.
+
+   Exit codes: 0 clean, 1 regression/missing entry, 2 usage or parse
+   error.  To refresh the committed baseline after an intentional
+   change: dune exec bench/main.exe -- om --json BENCH_om.json *)
+
+module J = Spr_obs.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("regress: " ^ s); exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> die "%s" e in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match J.of_string s with
+  | Ok j -> j
+  | Error e -> die "%s: %s" path e
+
+let get_string key j =
+  match J.member key j with Some (J.String s) -> s | _ -> die "entry missing %S" key
+
+let get_int key j =
+  match J.member key j with Some (J.Int i) -> i | _ -> die "entry missing %S" key
+
+let get_num key j =
+  match J.member key j with
+  | Some (J.Float f) -> f
+  | Some (J.Int i) -> float_of_int i
+  | _ -> die "entry missing %S" key
+
+let entries path j =
+  match J.member "entries" j with
+  | Some (J.List es) -> es
+  | _ -> die "%s: no \"entries\" array (not a bench --json file?)" path
+
+let entry_key e =
+  Printf.sprintf "%s/%s/%s/n=%d/%s" (get_string "experiment" e) (get_string "backend" e)
+    (get_string "pattern" e) (get_int "n" e) (get_string "metric" e)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse paths threshold = function
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some r when r >= 1.0 -> parse paths r rest
+        | _ -> die "--threshold takes a ratio >= 1.0")
+    | "--threshold" :: [] -> die "--threshold takes a ratio >= 1.0"
+    | a :: rest -> parse (a :: paths) threshold rest
+    | [] -> (List.rev paths, threshold)
+  in
+  let paths, threshold = parse [] 1.5 args in
+  let base_path, cand_path =
+    match paths with
+    | [ b; c ] -> (b, c)
+    | _ -> die "usage: regress BASELINE.json CANDIDATE.json [--threshold R]"
+  in
+  let base = load base_path and cand = load cand_path in
+  let cand_tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace cand_tbl (entry_key e) e) (entries cand_path cand);
+  let failures = ref 0 in
+  let checked = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL %s\n" s) fmt in
+  List.iter
+    (fun b ->
+      let key = entry_key b in
+      incr checked;
+      match Hashtbl.find_opt cand_tbl key with
+      | None -> fail "%s: missing from candidate" key
+      | Some c -> (
+          let bm = get_num "median" b and cm = get_num "median" c in
+          match get_string "kind" b with
+          | "time" ->
+              if cm > bm *. threshold then
+                fail "%s: median %.1f vs baseline %.1f (%.2fx > %.2fx threshold)" key cm bm
+                  (cm /. bm) threshold
+          | "counter" ->
+              let tol = 1e-6 *. Float.max 1.0 (Float.abs bm) in
+              if Float.abs (cm -. bm) > tol then
+                fail "%s: counter %.6f vs baseline %.6f — deterministic counter drifted; \
+                      refresh the baseline if the change is intentional"
+                  key cm bm
+          | k -> fail "%s: unknown kind %S" key k))
+    (entries base_path base);
+  if !failures > 0 then begin
+    Printf.printf "regress: %d/%d entries FAILED (threshold %.2fx)\n" !failures !checked threshold;
+    exit 1
+  end
+  else Printf.printf "regress: OK — %d entries within %.2fx of baseline\n" !checked threshold

@@ -44,6 +44,7 @@ let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
     schedules;
     algos;
     om_suts;
+    om_pairs = F.default_om_pairs;
     log = (fun line -> say quiet "%s" line);
     sink;
   }
@@ -91,13 +92,15 @@ let run mode seed iters max_threads schedules algo inject smoke quiet metrics_fm
         print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json m))
     | Some m ->
         Printf.printf
-          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures), 0 divergences\n"
-          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts);
+          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
+          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts)
+          (List.length cfg.F.om_pairs);
         Format.printf "%a" Spr_obs.Metrics.pp m
     | None ->
         Printf.printf
-          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures), 0 divergences\n"
-          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts));
+          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
+          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts)
+          (List.length cfg.F.om_pairs));
     0
   end
 

@@ -7,6 +7,7 @@ type config = {
   schedules : int;
   algos : Sp_check.algo list;
   om_suts : (string * (module Om_script.SUT)) list;
+  om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list;
   log : string -> unit;
   sink : Spr_obs.Sink.t;
 }
@@ -23,10 +24,23 @@ let no_invariants (module M : Spr_om.Om_intf.S) : (module Om_script.SUT) =
 let default_om_suts =
   [
     ("om", ((module Spr_om.Om) : (module Om_script.SUT)));
+    ("om-packed", (module Spr_om.Om_packed));
     ("om-label", no_invariants (module Spr_om.Om_label));
     ("om-file", no_invariants (module Spr_om.Om_file));
     ("om-concurrent", (module Spr_om.Om_concurrent));
     ("om-concurrent2", (module Spr_om.Om_concurrent2));
+  ]
+
+(* Cross-validation pairs: candidate replayed with a non-naive oracle.
+   The packed backend implements the exact same algorithm as the boxed
+   two-level structure, so their answers must agree op for op — a much
+   sharper check than each independently agreeing with the naive
+   model's coarse total order. *)
+let default_om_pairs =
+  [
+    ( "om-packed vs om-two-level",
+      ((module Spr_om.Om_packed) : (module Om_script.SUT)),
+      ((module Spr_om.Om) : (module Om_script.SUT)) );
   ]
 
 let default ~seed ~iters =
@@ -37,6 +51,7 @@ let default ~seed ~iters =
     schedules = 3;
     algos = Spr_core.Algorithms.all;
     om_suts = default_om_suts;
+    om_pairs = default_om_pairs;
     log = ignore;
     sink = Spr_obs.Sink.null;
   }
@@ -141,22 +156,30 @@ let run_om cfg =
       let len = 30 + Rng.int rng 170 in
       let script = Om_script.random_script ~rng ~mix ~len in
       count cfg "fuzz/om_scripts";
+      (* Uniform check list: each SUT against the naive oracle, then
+         each cross-validation pair against its own oracle. *)
+      let checks =
+        List.map (fun (n, sut) -> (n, fun s -> Om_script.replay sut s)) cfg.om_suts
+        @ List.map
+            (fun (n, sut, oracle) -> (n, fun s -> Om_script.replay_vs ~oracle sut s))
+            cfg.om_pairs
+      in
       let rec first_failing = function
         | [] -> None
-        | (sut_name, sut) :: rest -> (
-            match Om_script.replay sut script with
+        | (sut_name, check) :: rest -> (
+            match check script with
             | None -> first_failing rest
             | Some d ->
                 cfg.log
                   (Format.asprintf "om: divergence at iteration %d (%a), shrinking..." i
                      Om_script.pp_divergence d);
-                let still_failing ops = Om_script.replay sut ops <> None in
+                let still_failing ops = check ops <> None in
                 let shrunk = Shrink.list ~still_failing script in
-                let d = match Om_script.replay sut shrunk with Some d -> d | None -> d in
+                let d = match check shrunk with Some d -> d | None -> d in
                 Some
                   { om_iter = i; om_structure = sut_name; om_script = shrunk; om_divergence = d })
       in
-      match first_failing cfg.om_suts with None -> iterate (i + 1) | f -> f
+      match first_failing checks with None -> iterate (i + 1) | f -> f
     end
   in
   iterate 0

@@ -14,6 +14,9 @@ type config = {
   schedules : int;  (** simulated hybrid schedules (procs, steal seed) per program *)
   algos : Sp_check.algo list;  (** serial maintainers under test *)
   om_suts : (string * (module Om_script.SUT)) list;
+  om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list;
+      (** cross-validation pairs [(label, candidate, oracle)] replayed
+          via {!Om_script.replay_vs} on every script *)
   log : string -> unit;  (** progress lines (e.g. [print_endline], or [ignore]) *)
   sink : Spr_obs.Sink.t;
       (** observability sink threaded into the hybrid schedule checks
@@ -22,14 +25,20 @@ type config = {
 }
 
 val default_om_suts : (string * (module Om_script.SUT)) list
-(** Every OM implementation in the repo: [Om], [Om_label], [Om_file],
-    [Om_concurrent], [Om_concurrent2] — structures without a native
-    [check_invariants] get a no-op one.  ([Om_naive] is the oracle, not
-    a SUT.) *)
+(** Every OM implementation in the repo: [Om], [Om_packed], [Om_label],
+    [Om_file], [Om_concurrent], [Om_concurrent2] — structures without a
+    native [check_invariants] get a no-op one.  ([Om_naive] is the
+    oracle, not a SUT.) *)
+
+val default_om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list
+(** The packed backend cross-validated against the boxed two-level
+    structure as oracle (same algorithm, answers must agree op for
+    op). *)
 
 val default : seed:int -> iters:int -> config
-(** All maintainers ({!Spr_core.Algorithms.all}), all OM SUTs,
-    [max_threads = 32], [schedules = 3], silent log, null sink. *)
+(** All maintainers ({!Spr_core.Algorithms.all}), all OM SUTs and
+    cross-validation pairs, [max_threads = 32], [schedules = 3], silent
+    log, null sink. *)
 
 type sp_failure = {
   sp_iter : int;

@@ -58,25 +58,34 @@ module type SUT = sig
   val check_invariants : t -> unit
 end
 
-module Naive = Spr_om.Om_naive
 module Vec = Spr_util.Vec
 
-let replay (module M : SUT) script =
+(* The default oracle: the naive specification, which needs no
+   self-check of its own (every insert renumbers the whole list). *)
+let naive_oracle : (module SUT) =
+  (module struct
+    include Spr_om.Om_naive
+
+    let check_invariants _ = ()
+  end)
+
+let replay_vs ~oracle (module M : SUT) script =
+  let (module O : SUT) = oracle in
   let sut = M.create () in
-  let model = Naive.create () in
+  let model = O.create () in
   (* Live elements, as (candidate, oracle) pairs; slot 0 is the base. *)
-  let live : (M.elt * Naive.elt) Vec.t = Vec.create () in
-  Vec.push live (M.base sut, Naive.base model);
+  let live : (M.elt * O.elt) Vec.t = Vec.create () in
+  Vec.push live (M.base sut, O.base model);
   let fail step op fmt = Format.kasprintf (fun detail -> Some { structure = M.name; step; op; detail }) fmt in
   let check_query step op i j =
     let a, na = Vec.get live i and b, nb = Vec.get live j in
-    let got = M.precedes sut a b and want = Naive.precedes model na nb in
+    let got = M.precedes sut a b and want = O.precedes model na nb in
     if got <> want then fail step op "precedes(#%d, #%d) = %b, oracle says %b" i j got want
     else None
   in
   let after_mutation step op =
     M.check_invariants sut;
-    let got = M.size sut and want = Naive.size model in
+    let got = M.size sut and want = O.size model in
     if got <> want then fail step op "size = %d, oracle says %d" got want else None
   in
   let step_op step op =
@@ -84,11 +93,11 @@ let replay (module M : SUT) script =
     match op with
     | Insert_after i ->
         let a, na = Vec.get live (i mod n) in
-        Vec.push live (M.insert_after sut a, Naive.insert_after model na);
+        Vec.push live (M.insert_after sut a, O.insert_after model na);
         after_mutation step (Some op)
     | Insert_before i ->
         let a, na = Vec.get live (i mod n) in
-        Vec.push live (M.insert_before sut a, Naive.insert_before model na);
+        Vec.push live (M.insert_before sut a, O.insert_before model na);
         after_mutation step (Some op)
     | Delete i ->
         if n < 2 then None (* only the base is live: skip *)
@@ -96,7 +105,7 @@ let replay (module M : SUT) script =
           let idx = 1 + (i mod (n - 1)) in
           let a, na = Vec.get live idx in
           M.delete sut a;
-          Naive.delete model na;
+          O.delete model na;
           (* Swap-remove to keep the vector dense. *)
           (match Vec.pop live with
           | Some last -> if idx < Vec.length live then Vec.set live idx last
@@ -128,3 +137,5 @@ let replay (module M : SUT) script =
         | None -> run (step + 1) rest)
   in
   run 0 script
+
+let replay sut script = replay_vs ~oracle:naive_oracle sut script

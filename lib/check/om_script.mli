@@ -53,7 +53,19 @@ module type SUT = sig
 end
 
 val replay : (module SUT) -> script -> divergence option
-(** Run the script; [None] means the candidate agreed with the oracle
-    throughout and every invariant check passed.  Exceptions raised by
-    the candidate (including [check_invariants] failures) are caught
-    and reported as divergences. *)
+(** Run the script against the {!Spr_om.Om_naive} oracle; [None] means
+    the candidate agreed with the oracle throughout and every invariant
+    check passed.  Exceptions raised by the candidate (including
+    [check_invariants] failures) are caught and reported as
+    divergences. *)
+
+val naive_oracle : (module SUT)
+(** {!Spr_om.Om_naive} with a vacuous self-check — the oracle
+    {!replay} uses. *)
+
+val replay_vs : oracle:(module SUT) -> (module SUT) -> script -> divergence option
+(** [replay_vs ~oracle sut script] is {!replay} with an explicit
+    oracle, for cross-validating two non-trivial structures against
+    each other (e.g. the packed backend against the boxed two-level
+    structure, whose answers must be identical op for op).  Only the
+    candidate's [check_invariants] is called; the oracle is trusted. *)

@@ -1,5 +1,14 @@
 let sp_order tree = Sp_maintainer.Instance ((module Sp_order), Sp_order.create tree)
 
+module Sp_order_packed = struct
+  include Sp_order_generic.Make (Spr_om.Om_packed)
+
+  let name = "sp-order-packed"
+end
+
+let sp_order_packed tree =
+  Sp_maintainer.Instance ((module Sp_order_packed), Sp_order_packed.create tree)
+
 let sp_order_implicit tree =
   Sp_maintainer.Instance ((module Sp_order_implicit), Sp_order_implicit.create tree)
 
@@ -32,6 +41,7 @@ let figure3 =
 let all =
   figure3
   @ [
+      ("sp-order-packed", sp_order_packed);
       ("sp-order-implicit", sp_order_implicit);
       ("sp-bags-norank", sp_bags_no_compression);
       ("lca-reference", lca_reference);

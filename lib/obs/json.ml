@@ -70,3 +70,166 @@ let to_channel oc j =
 
 (* Accessors used by the schema-validation tests. *)
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+(* Recursive-descent parser for the same subset the printer emits.
+   The benchmark regression gate reads its committed baselines back
+   through this, so the observability layer stays dependency-free in
+   both directions.  Accepts arbitrary RFC 8259 input (whitespace,
+   nested containers, escapes); rejects trailing garbage. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let skip_ws p =
+  while
+    p.pos < String.length p.src
+    && match p.src.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> p.pos <- p.pos + 1
+  | Some c' -> parse_error "expected %C at offset %d, found %C" c p.pos c'
+  | None -> parse_error "expected %C at offset %d, found end of input" c p.pos
+
+let literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" p.pos
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> parse_error "unterminated string at offset %d" p.pos
+    | Some '"' -> p.pos <- p.pos + 1
+    | Some '\\' -> (
+        p.pos <- p.pos + 1;
+        match peek p with
+        | Some '"' -> Buffer.add_char buf '"'; p.pos <- p.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; p.pos <- p.pos + 1; go ()
+        | Some '/' -> Buffer.add_char buf '/'; p.pos <- p.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; p.pos <- p.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; p.pos <- p.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; p.pos <- p.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; p.pos <- p.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; p.pos <- p.pos + 1; go ()
+        | Some 'u' ->
+            if p.pos + 5 > String.length p.src then
+              parse_error "truncated \\u escape at offset %d" p.pos;
+            let code = int_of_string ("0x" ^ String.sub p.src (p.pos + 1) 4) in
+            (* The printer only emits \u for control characters; decode
+               the BMP code point as UTF-8 so round-trips are lossless. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            p.pos <- p.pos + 5;
+            go ()
+        | _ -> parse_error "bad escape at offset %d" p.pos)
+    | Some c ->
+        Buffer.add_char buf c;
+        p.pos <- p.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while p.pos < String.length p.src && is_num_char p.src.[p.pos] do
+    p.pos <- p.pos + 1
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> parse_error "bad number %S at offset %d" s start)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> parse_error "unexpected end of input at offset %d" p.pos
+  | Some '"' -> String (parse_string p)
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some '[' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else
+        let rec elems acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              p.pos <- p.pos + 1;
+              List.rev (v :: acc)
+          | _ -> parse_error "expected ',' or ']' at offset %d" p.pos
+        in
+        List (elems [])
+  | Some '{' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              p.pos <- p.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> parse_error "expected ',' or '}' at offset %d" p.pos
+        in
+        Obj (members [])
+  | Some _ -> parse_number p
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  match parse_value p with
+  | v ->
+      skip_ws p;
+      if p.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" p.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg

@@ -21,3 +21,10 @@ val to_channel : out_channel -> t -> unit
 val member : string -> t -> t option
 (** [member key j] is the value bound to [key] when [j] is an object
     containing it (schema-validation helper). *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document.  Accepts the full RFC 8259 value grammar
+    (whitespace, nesting, string escapes); [Error msg] carries the
+    offset of the first syntax error.  Round-trips everything
+    [to_string] emits — the benchmark regression gate reads committed
+    baselines back through this. *)

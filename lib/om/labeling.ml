@@ -8,6 +8,7 @@ module type LINKED = sig
   type elt
 
   val tag : elt -> int
+  val set_tag : elt -> int -> unit
   val prev : elt -> elt option
   val next : elt -> elt option
 end
@@ -60,4 +61,23 @@ module Make (L : LINKED) = struct
        is safe because width <= 2^60 and count >= 1. *)
     let cell = width / count in
     lo + (j * cell) + (cell / 2)
+
+  (* Serial relabel commit: assign the [count] members starting at
+     [first] their evenly spread tags in one left-to-right sweep.  The
+     cell width is computed once and the running tag carried as an
+     accumulator, so the per-item work is one store and one add —
+     [target]'s per-item division and range check (and the closure the
+     callers used to allocate around it) stay out of the loop.  The
+     concurrent structures keep using [target]: their five-pass
+     protocol needs the j-th tag in isolation. *)
+  let spread ~lo ~width ~count first =
+    let cell = width / count in
+    let rec go e tag remaining =
+      L.set_tag e tag;
+      if remaining > 1 then
+        match L.next e with
+        | Some nxt -> go nxt (tag + cell) (remaining - 1)
+        | None -> assert false
+    in
+    go first (lo + (cell / 2)) count
 end

@@ -28,6 +28,7 @@ module type LINKED = sig
   type elt
 
   val tag : elt -> int
+  val set_tag : elt -> int -> unit
   val prev : elt -> elt option
   val next : elt -> elt option
 end
@@ -49,5 +50,13 @@ module Make (L : LINKED) : sig
   val target : lo:int -> width:int -> count:int -> int -> int
   (** [target ~lo ~width ~count j] is the evenly spread tag of the
       [j]th (0-based) of [count] elements: the midpoint of the [j]th of
-      [count] equal cells of [\[lo, lo+width)]. *)
+      [count] equal cells of [\[lo, lo+width)].  Used by the concurrent
+      structures, whose multi-pass relabel protocols need one tag at a
+      time; serial sweeps should use {!spread}. *)
+
+  val spread : lo:int -> width:int -> count:int -> L.elt -> unit
+  (** [spread ~lo ~width ~count first] assigns [target ~lo ~width
+      ~count j] to the [j]th member in one sweep from [first], with the
+      cell division hoisted out of the loop — the relabel commit for
+      serial structures. *)
 end

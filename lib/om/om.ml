@@ -40,6 +40,7 @@ module Top = Labeling.Make (struct
   type elt = bucket
 
   let tag b = b.btag
+  let set_tag b v = b.btag <- v
   let prev b = b.bprev
   let next b = b.bnext
 end)
@@ -73,14 +74,7 @@ let top_rebalance t b =
   let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
   Om_intf.count_pass t.st count;
   Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
-  let rec assign bk j =
-    bk.btag <- Top.target ~lo ~width ~count j;
-    if j + 1 < count then
-      match bk.bnext with
-      | Some nxt -> assign nxt (j + 1)
-      | None -> assert false
-  in
-  assign first 0
+  Top.spread ~lo ~width ~count first
 
 (* Fresh empty bucket placed immediately after [b] in the top order. *)
 let new_bucket_after t b =
@@ -104,12 +98,13 @@ let respace t b =
   if count > 0 then begin
     Om_intf.count_pass t.st count;
     Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+    (* One store and one add per item; the cell division is hoisted. *)
     let cell = Labeling.universe / count in
-    let rec assign it j =
-      it.ltag <- (j * cell) + (cell / 2);
-      match it.inext with Some nxt -> assign nxt (j + 1) | None -> ()
+    let rec assign it tag =
+      it.ltag <- tag;
+      match it.inext with Some nxt -> assign nxt (tag + cell) | None -> ()
     in
-    match b.first with Some f -> assign f 0 | None -> assert false
+    match b.first with Some f -> assign f (cell / 2) | None -> assert false
   end
 
 (* Split a full bucket: move its upper half into a fresh bucket placed

@@ -24,6 +24,7 @@ module Lab = Labeling.Make (struct
   type nonrec elt = elt
 
   let tag e = Atomic.get e.label
+  let set_tag e v = Atomic.set e.label v
   let prev e = e.prev
   let next e = e.next
 end)

@@ -39,6 +39,7 @@ module Top = Labeling.Make (struct
   type elt = bucket
 
   let tag b = Atomic.get b.blabel
+  let set_tag b v = Atomic.set b.blabel v
   let prev b = b.bprev
   let next b = b.bnext
 end)

@@ -18,6 +18,7 @@ module Lab = Labeling.Make (struct
   type nonrec elt = elt
 
   let tag e = e.tag
+  let set_tag e v = e.tag <- v
   let prev e = e.prev
   let next e = e.next
 end)
@@ -36,14 +37,7 @@ let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted elemen
 let rebalance t x =
   let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
   Om_intf.count_pass t.st count;
-  let rec assign e j =
-    e.tag <- Lab.target ~lo ~width ~count j;
-    if j + 1 < count then
-      match e.next with
-      | Some nxt -> assign nxt (j + 1)
-      | None -> assert false
-  in
-  assign first 0
+  Lab.spread ~lo ~width ~count first
 
 let insert_after t x =
   check_alive "Om_label.insert_after" x;

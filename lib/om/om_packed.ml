@@ -1,0 +1,421 @@
+(* Packed two-level order maintenance.
+
+   Same algorithm as {!Om} — items grouped into buckets of at most
+   [capacity], bucket order kept by one-level list labeling over the
+   60-bit tag universe, items inside a bucket carrying evenly spread
+   local tags — but laid out as struct-of-arrays over integer indices
+   instead of boxed records with [option] prev/next links.  An element
+   handle is an [int] index into the item arrays; [-1] is nil.  The
+   insert/query/delete hot paths touch a handful of int-array cells and
+   allocate nothing (array doubling amortizes to O(1) words per
+   element); deleted item and bucket slots are recycled through
+   intrusive free lists threaded through the [next] arrays. *)
+
+let capacity = 62
+
+let universe = Labeling.universe
+
+let t_param = 1.3
+
+let nil = -1
+
+(* Marks a slot that is not a live member of the order: deleted (on the
+   free list) or never used.  Stored in [i_bkt] for items and [b_first]
+   for buckets, so liveness checks are one array load. *)
+let dead = -2
+
+type elt = int
+
+type t = {
+  (* Items, struct-of-arrays.  [i_next] doubles as the free-list link
+     of dead slots. *)
+  mutable i_tag : int array;
+  mutable i_prev : int array;
+  mutable i_next : int array;
+  mutable i_bkt : int array;
+  mutable i_top : int;  (* slots ever used; [i_top <= Array.length i_tag] *)
+  mutable i_free : int;  (* head of the item free list *)
+  mutable i_nfree : int;
+  (* Buckets, struct-of-arrays.  [b_next] doubles as the free-list
+     link; [b_first] is [dead] for dead slots. *)
+  mutable b_tag : int array;
+  mutable b_prev : int array;
+  mutable b_next : int array;
+  mutable b_first : int array;
+  mutable b_size : int array;
+  mutable b_top : int;
+  mutable b_free : int;
+  mutable b_nfree : int;
+  mutable size : int;
+  mutable nbuckets : int;
+  st : Om_intf.stats;
+  mutable sink : Spr_obs.Sink.t;
+}
+
+let name = "om-packed"
+
+let set_sink t sink = t.sink <- sink
+
+let create () =
+  let icap = 64 and bcap = 8 in
+  let t =
+    {
+      i_tag = Array.make icap 0;
+      i_prev = Array.make icap nil;
+      i_next = Array.make icap nil;
+      i_bkt = Array.make icap dead;
+      i_top = 1;
+      i_free = nil;
+      i_nfree = 0;
+      b_tag = Array.make bcap 0;
+      b_prev = Array.make bcap nil;
+      b_next = Array.make bcap nil;
+      b_first = Array.make bcap dead;
+      b_size = Array.make bcap 0;
+      b_top = 1;
+      b_free = nil;
+      b_nfree = 0;
+      size = 1;
+      nbuckets = 1;
+      st = Om_intf.fresh_stats ();
+      sink = Spr_obs.Sink.null;
+    }
+  in
+  (* Slot 0 of each level is the base item in its initial bucket. *)
+  t.i_tag.(0) <- universe / 2;
+  t.i_bkt.(0) <- 0;
+  t.b_first.(0) <- 0;
+  t.b_size.(0) <- 1;
+  t
+
+let base _t = 0
+
+let alive t e = e >= 0 && e < t.i_top && t.i_bkt.(e) >= 0
+
+let check_alive ctx t e = if not (alive t e) then invalid_arg (ctx ^ ": deleted element")
+
+(* ------------------------------------------------------------------ *)
+(* Slot allocation.                                                    *)
+
+let grow a init =
+  let n = Array.length a in
+  let b = Array.make (2 * n) init in
+  Array.blit a 0 b 0 n;
+  b
+
+let alloc_item t =
+  if t.i_free <> nil then begin
+    let s = t.i_free in
+    t.i_free <- t.i_next.(s);
+    t.i_nfree <- t.i_nfree - 1;
+    s
+  end
+  else begin
+    if t.i_top = Array.length t.i_tag then begin
+      t.i_tag <- grow t.i_tag 0;
+      t.i_prev <- grow t.i_prev nil;
+      t.i_next <- grow t.i_next nil;
+      t.i_bkt <- grow t.i_bkt dead
+    end;
+    let s = t.i_top in
+    t.i_top <- t.i_top + 1;
+    s
+  end
+
+let alloc_bucket t =
+  if t.b_free <> nil then begin
+    let s = t.b_free in
+    t.b_free <- t.b_next.(s);
+    t.b_nfree <- t.b_nfree - 1;
+    s
+  end
+  else begin
+    if t.b_top = Array.length t.b_tag then begin
+      t.b_tag <- grow t.b_tag 0;
+      t.b_prev <- grow t.b_prev nil;
+      t.b_next <- grow t.b_next nil;
+      t.b_first <- grow t.b_first dead;
+      t.b_size <- grow t.b_size 0
+    end;
+    let s = t.b_top in
+    t.b_top <- t.b_top + 1;
+    s
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level: bucket tags via one-level labeling on the index arrays.  *)
+
+(* Smallest aligned enclosing range of some width 2^i around bucket [b]
+   that is sparse enough to relabel — the same Bender et al. search as
+   {!Labeling.find_range}, inlined over the packed arrays. *)
+let top_find_range t b =
+  let ratio = 2.0 /. t_param in
+  let btag = t.b_tag and bprev = t.b_prev and bnext = t.b_next in
+  let rec search i threshold =
+    if i > Labeling.universe_bits then failwith "Om_packed: tag universe exhausted"
+    else begin
+      let width = 1 lsl i in
+      let lo = btag.(b) land lnot (width - 1) in
+      let hi = lo + width in
+      let first = ref b in
+      let p = ref bprev.(b) in
+      while !p <> nil && btag.(!p) >= lo do
+        first := !p;
+        p := bprev.(!p)
+      done;
+      let count = ref 1 in
+      let nx = ref bnext.(!first) in
+      while !nx <> nil && btag.(!nx) < hi do
+        incr count;
+        nx := bnext.(!nx)
+      done;
+      if float_of_int !count <= threshold && width >= 8 * !count then (!first, !count, lo, width)
+      else search (i + 1) (threshold *. ratio)
+    end
+  in
+  search 1 ratio
+
+let top_rebalance t b =
+  let first, count, lo, width = top_find_range t b in
+  Om_intf.count_pass t.st count;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+  let cell = width / count in
+  let btag = t.b_tag and bnext = t.b_next in
+  let bk = ref first in
+  let tag = ref (lo + (cell / 2)) in
+  for _ = 1 to count do
+    btag.(!bk) <- !tag;
+    tag := !tag + cell;
+    bk := bnext.(!bk)
+  done
+
+let top_gap_after t b =
+  let nx = t.b_next.(b) in
+  let hi = if nx = nil then universe else t.b_tag.(nx) in
+  hi - t.b_tag.(b) - 1
+
+(* Fresh empty bucket placed immediately after [b] in the top order. *)
+let new_bucket_after t b =
+  if top_gap_after t b < 1 then top_rebalance t b;
+  let gap = top_gap_after t b in
+  assert (gap >= 1);
+  let b' = alloc_bucket t in
+  t.b_tag.(b') <- t.b_tag.(b) + 1 + ((gap - 1) / 2);
+  t.b_prev.(b') <- b;
+  t.b_next.(b') <- t.b_next.(b);
+  t.b_first.(b') <- nil;
+  t.b_size.(b') <- 0;
+  (if t.b_next.(b) <> nil then t.b_prev.(t.b_next.(b)) <- b');
+  t.b_next.(b) <- b';
+  t.nbuckets <- t.nbuckets + 1;
+  b'
+
+(* ------------------------------------------------------------------ *)
+(* Bottom level: local tags inside one bucket.                         *)
+
+(* Spread the items of [b] evenly across the local universe. *)
+let respace t b =
+  let count = t.b_size.(b) in
+  if count > 0 then begin
+    Om_intf.count_pass t.st count;
+    Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+    let cell = universe / count in
+    let itag = t.i_tag and inext = t.i_next in
+    let it = ref t.b_first.(b) in
+    let tag = ref (cell / 2) in
+    for _ = 1 to count do
+      itag.(!it) <- !tag;
+      tag := !tag + cell;
+      it := inext.(!it)
+    done
+  end
+
+(* Split a full bucket: move its upper half into a fresh bucket placed
+   right after it, then respace both halves. *)
+let split t b =
+  let keep = t.b_size.(b) / 2 in
+  let last_kept = ref t.b_first.(b) in
+  for _ = 2 to keep do
+    last_kept := t.i_next.(!last_kept)
+  done;
+  let moved_first = t.i_next.(!last_kept) in
+  let b' = new_bucket_after t b in
+  t.i_next.(!last_kept) <- nil;
+  t.i_prev.(moved_first) <- nil;
+  t.b_first.(b') <- moved_first;
+  t.b_size.(b') <- t.b_size.(b) - keep;
+  t.b_size.(b) <- keep;
+  let it = ref moved_first in
+  while !it <> nil do
+    t.i_bkt.(!it) <- b';
+    it := t.i_next.(!it)
+  done;
+  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
+  respace t b;
+  respace t b'
+
+let local_gap_after t x =
+  let nx = t.i_next.(x) in
+  let hi = if nx = nil then universe else t.i_tag.(nx) in
+  hi - t.i_tag.(x) - 1
+
+(* ------------------------------------------------------------------ *)
+(* The ADT.                                                            *)
+
+let insert_after t x =
+  check_alive "Om_packed.insert_after" t x;
+  if t.b_size.(t.i_bkt.(x)) >= capacity then split t t.i_bkt.(x);
+  let b = t.i_bkt.(x) in
+  if local_gap_after t x < 1 then respace t b;
+  let gap = local_gap_after t x in
+  assert (gap >= 1);
+  let y = alloc_item t in
+  t.i_tag.(y) <- t.i_tag.(x) + 1 + ((gap - 1) / 2);
+  t.i_prev.(y) <- x;
+  t.i_next.(y) <- t.i_next.(x);
+  t.i_bkt.(y) <- b;
+  (if t.i_next.(x) <> nil then t.i_prev.(t.i_next.(x)) <- y);
+  t.i_next.(x) <- y;
+  t.b_size.(b) <- t.b_size.(b) + 1;
+  t.size <- t.size + 1;
+  t.st.inserts <- t.st.inserts + 1;
+  y
+
+let insert_before t x =
+  check_alive "Om_packed.insert_before" t x;
+  if t.i_prev.(x) <> nil then insert_after t t.i_prev.(x)
+  else begin
+    (* [x] heads its bucket. *)
+    if t.b_size.(t.i_bkt.(x)) >= capacity then split t t.i_bkt.(x);
+    let b = t.i_bkt.(x) in
+    if t.i_tag.(x) < 1 then respace t b;
+    assert (t.i_tag.(x) >= 1);
+    let y = alloc_item t in
+    t.i_tag.(y) <- t.i_tag.(x) / 2;
+    t.i_prev.(y) <- nil;
+    t.i_next.(y) <- x;
+    t.i_bkt.(y) <- b;
+    t.i_prev.(x) <- y;
+    t.b_first.(b) <- y;
+    t.b_size.(b) <- t.b_size.(b) + 1;
+    t.size <- t.size + 1;
+    t.st.inserts <- t.st.inserts + 1;
+    y
+  end
+
+let insert_many_after t x k =
+  let rec go anchor k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let y = insert_after t anchor in
+      go y (k - 1) (y :: acc)
+    end
+  in
+  go x k []
+
+let precedes t x y =
+  check_alive "Om_packed.precedes" t x;
+  check_alive "Om_packed.precedes" t y;
+  let bx = t.i_bkt.(x) and by = t.i_bkt.(y) in
+  if bx = by then t.i_tag.(x) < t.i_tag.(y) else t.b_tag.(bx) < t.b_tag.(by)
+
+let delete t e =
+  check_alive "Om_packed.delete" t e;
+  if e = 0 then invalid_arg "Om_packed.delete: cannot delete base";
+  let b = t.i_bkt.(e) in
+  let p = t.i_prev.(e) and n = t.i_next.(e) in
+  (if p <> nil then t.i_next.(p) <- n else t.b_first.(b) <- n);
+  (if n <> nil then t.i_prev.(n) <- p);
+  (* Retire the slot: mark dead, clear the stale links, chain it onto
+     the free list through [i_next]. *)
+  t.i_bkt.(e) <- dead;
+  t.i_prev.(e) <- nil;
+  t.i_next.(e) <- t.i_free;
+  t.i_free <- e;
+  t.i_nfree <- t.i_nfree + 1;
+  t.b_size.(b) <- t.b_size.(b) - 1;
+  t.size <- t.size - 1;
+  if t.b_size.(b) = 0 then begin
+    let bp = t.b_prev.(b) and bn = t.b_next.(b) in
+    (if bp <> nil then t.b_next.(bp) <- bn);
+    (if bn <> nil then t.b_prev.(bn) <- bp);
+    t.b_first.(b) <- dead;
+    t.b_prev.(b) <- nil;
+    t.b_next.(b) <- t.b_free;
+    t.b_free <- b;
+    t.b_nfree <- t.b_nfree + 1;
+    t.nbuckets <- t.nbuckets - 1
+  end
+
+let size t = t.size
+
+let stats t = t.st
+
+let bucket_count t = t.nbuckets
+
+let item_slots t = t.i_top
+
+let free_items t = t.i_nfree
+
+let bucket_slots t = t.b_top
+
+let free_buckets t = t.b_nfree
+
+(* ------------------------------------------------------------------ *)
+(* O(n) self-check (test hook).                                        *)
+
+let check_invariants t =
+  (* Free lists: every listed slot is dead, counts agree. *)
+  let count_free next first top pred_dead what =
+    let seen = ref 0 in
+    let s = ref first in
+    while !s <> nil do
+      if !s < 0 || !s >= top then failwith ("Om_packed.check_invariants: " ^ what ^ " free link out of range");
+      if not (pred_dead !s) then failwith ("Om_packed.check_invariants: live slot on " ^ what ^ " free list");
+      incr seen;
+      s := next.(!s)
+    done;
+    !seen
+  in
+  let nfi = count_free t.i_next t.i_free t.i_top (fun s -> t.i_bkt.(s) = dead) "item" in
+  if nfi <> t.i_nfree then failwith "Om_packed.check_invariants: item free count mismatch";
+  let nfb = count_free t.b_next t.b_free t.b_top (fun s -> t.b_first.(s) = dead) "bucket" in
+  if nfb <> t.b_nfree then failwith "Om_packed.check_invariants: bucket free count mismatch";
+  if t.i_top - t.i_nfree <> t.size then
+    failwith "Om_packed.check_invariants: item slot accounting mismatch";
+  if t.b_top - t.b_nfree <> t.nbuckets then
+    failwith "Om_packed.check_invariants: bucket slot accounting mismatch";
+  (* Walk the bucket list from the head (left of the base's bucket). *)
+  let head = ref t.i_bkt.(0) in
+  while t.b_prev.(!head) <> nil do
+    head := t.b_prev.(!head)
+  done;
+  let total = ref 0 and nbuckets = ref 0 in
+  let b = ref !head and prev_btag = ref min_int and prev_b = ref nil in
+  while !b <> nil do
+    if t.b_first.(!b) = dead then failwith "Om_packed.check_invariants: dead bucket linked";
+    if t.b_tag.(!b) <= !prev_btag then
+      failwith "Om_packed.check_invariants: bucket tags not increasing";
+    if t.b_prev.(!b) <> !prev_b then failwith "Om_packed.check_invariants: broken bucket back-link";
+    let n = ref 0 in
+    let it = ref t.b_first.(!b) and prev_ltag = ref min_int and prev_i = ref nil in
+    if !it = nil then failwith "Om_packed.check_invariants: empty bucket linked";
+    while !it <> nil do
+      if t.i_bkt.(!it) <> !b then failwith "Om_packed.check_invariants: stale bucket index";
+      if t.i_tag.(!it) <= !prev_ltag then
+        failwith "Om_packed.check_invariants: local tags not increasing";
+      if t.i_prev.(!it) <> !prev_i then failwith "Om_packed.check_invariants: broken item back-link";
+      incr n;
+      prev_ltag := t.i_tag.(!it);
+      prev_i := !it;
+      it := t.i_next.(!it)
+    done;
+    if !n <> t.b_size.(!b) then failwith "Om_packed.check_invariants: bucket size mismatch";
+    total := !total + !n;
+    incr nbuckets;
+    prev_btag := t.b_tag.(!b);
+    prev_b := !b;
+    b := t.b_next.(!b)
+  done;
+  if !total <> t.size then failwith "Om_packed.check_invariants: size mismatch";
+  if !nbuckets <> t.nbuckets then failwith "Om_packed.check_invariants: bucket count mismatch"

@@ -1,0 +1,55 @@
+(** Packed two-level order maintenance: the same O(1)-amortized-insert,
+    O(1)-worst-case-query algorithm as {!Om}, stored as struct-of-arrays
+    over [int] indices instead of boxed records with [option] links.
+
+    Why a second two-level backend: every SP-order/SP-hybrid operation
+    bottoms out here, and the record layout of {!Om} is pointer-chasing
+    — each insert allocates a five-field block, each link hop loads a
+    boxed [option], and neighbouring elements land wherever the GC put
+    them.  The packed layout keeps tags, links and bucket indices in
+    flat [int] arrays ([-1] for nil), so the hot paths are a handful of
+    int-array loads/stores with no per-operation allocation, and
+    elements that are adjacent in the order tend to be adjacent in
+    memory (compare DePa's compact-representation argument, PAPERS.md).
+    Deleted item and bucket slots are recycled through intrusive free
+    lists, so long-running workloads with deletions stay compact.
+
+    Behaviour (ordering answers, relabel accounting, amortized bounds)
+    is identical to {!Om}; spfuzz cross-validates the two on every run. *)
+
+include Om_intf.S
+
+val stats : t -> Om_intf.stats
+(** Relabel accounting across both levels, same convention as
+    {!Om.stats}. *)
+
+val set_sink : t -> Spr_obs.Sink.t -> unit
+(** Install an observability sink; relabel passes and bucket splits are
+    emitted as [om]-category trace events.  Default
+    {!Spr_obs.Sink.null} (free). *)
+
+val bucket_count : t -> int
+(** Number of live buckets (introspection). *)
+
+val item_slots : t -> int
+(** Item slots ever allocated (high-water mark).  With free-list reuse,
+    deleting [k] elements and inserting [k] fresh ones leaves this
+    unchanged — the property the qcheck suite pins down. *)
+
+val free_items : t -> int
+(** Item slots currently on the free list; [item_slots t - free_items t
+    = size t]. *)
+
+val bucket_slots : t -> int
+(** Bucket slots ever allocated (high-water mark). *)
+
+val free_buckets : t -> int
+(** Bucket slots currently on the free list. *)
+
+val check_invariants : t -> unit
+(** Walk the whole structure and verify ordering invariants — bucket
+    tags strictly increase, local tags strictly increase within each
+    bucket, prev/next index links of both levels agree, sizes and
+    free-list/slot accounting are consistent, and no dead slot is
+    linked.  Test hook; O(n).
+    @raise Failure on violation. *)

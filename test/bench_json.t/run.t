@@ -1,0 +1,74 @@
+Machine-readable benchmark output (`spr-bench <exp> --json FILE`) and
+the regression gate (spr-regress) that compares two such files.
+
+A smoke-size run emits the versioned schema:
+
+  $ spr-bench om --json out.json --json-n 2000 > /dev/null
+  $ jq -r '.schema_version' out.json
+  1
+  $ jq -r '.experiments[]' out.json
+  om
+
+Entry identity — order, key set, backends, patterns, sizes — is
+deterministic (only the timing values inside the entries vary run to
+run):
+
+  $ jq -r '.entries[] | "\(.backend) \(.pattern) n=\(.n) \(.metric) \(.kind)"' out.json
+  om-two-level append n=2000 ns_per_insert time
+  om-two-level append n=2000 items_moved_per_insert counter
+  om-two-level hammer n=2000 ns_per_insert time
+  om-two-level hammer n=2000 items_moved_per_insert counter
+  om-two-level random n=2000 ns_per_insert time
+  om-two-level random n=2000 items_moved_per_insert counter
+  om-packed append n=2000 ns_per_insert time
+  om-packed append n=2000 items_moved_per_insert counter
+  om-packed hammer n=2000 ns_per_insert time
+  om-packed hammer n=2000 items_moved_per_insert counter
+  om-packed random n=2000 ns_per_insert time
+  om-packed random n=2000 items_moved_per_insert counter
+
+Every entry carries numeric samples and quantiles:
+
+  $ jq -r '[.entries[] | (.median|type), (.q25|type), (.q75|type), (.q90|type)] | unique | .[]' out.json
+  number
+  $ jq -r '[.entries[] | .samples | type] | unique | .[]' out.json
+  array
+  $ jq -r '[.entries[] | .samples[] | type] | unique | .[]' out.json
+  number
+
+Counter entries (items moved per insert) are exact for the fixed seed:
+a second run reproduces them bit-for-bit, timing aside:
+
+  $ spr-bench om --json out2.json --json-n 2000 > /dev/null
+  $ jq -c '[.entries[] | select(.kind=="counter") | {backend,pattern,median}]' out.json > c1
+  $ jq -c '[.entries[] | select(.kind=="counter") | {backend,pattern,median}]' out2.json > c2
+  $ cmp c1 c2
+
+The gate accepts a self-comparison:
+
+  $ spr-regress out.json out.json
+  regress: OK — 12 entries within 1.50x of baseline
+
+A synthetically slowed timing entry trips it (exit 1):
+
+  $ jq '(.entries[] | select(.kind=="time") | .median) |= . * 10' out.json > slow.json
+  $ spr-regress out.json slow.json > /dev/null
+  [1]
+
+So does a drifted deterministic counter:
+
+  $ jq '(.entries[] | select(.kind=="counter") | .median) |= . + 1' out.json > drift.json
+  $ spr-regress out.json drift.json > /dev/null
+  [1]
+
+And a candidate that lost entries:
+
+  $ jq '.entries |= .[0:6]' out.json > partial.json
+  $ spr-regress out.json partial.json > /dev/null
+  [1]
+
+Malformed input is a usage error (exit 2), not a crash:
+
+  $ echo 'not json' > bad.json
+  $ spr-regress out.json bad.json 2> /dev/null
+  [2]

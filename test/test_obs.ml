@@ -27,6 +27,42 @@ let json_printing () =
   Alcotest.(check bool) "member miss" true (Json.member "zzz" j = None);
   Alcotest.(check bool) "member on non-object" true (Json.member "x" Json.Null = None)
 
+let json_parsing () =
+  let roundtrip j =
+    match Json.of_string (Json.to_string j) with
+    | Ok j' -> Alcotest.(check bool) ("roundtrip " ^ Json.to_string j) true (j = j')
+    | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  in
+  List.iter roundtrip
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int 42;
+      Json.Int (-7);
+      Json.Float 1.25;
+      Json.Float (-0.0625);
+      Json.String "a\"b\\c\nd\te\r\x01";
+      Json.List [];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("samples", Json.List [ Json.Float 134.2; Json.Int 7; Json.Null ]);
+          ("nested", Json.Obj [ ("k", Json.List [ Json.Obj [ ("x", Json.Bool true) ] ]) ]);
+        ];
+    ];
+  (* Whitespace and jq-style formatting are accepted. *)
+  (match Json.of_string " {\n  \"a\" : [ 1 , 2.5 ] ,\n  \"b\" : null\n}\n" with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5 ]); ("b", Json.Null) ]) -> ()
+  | Ok j -> Alcotest.fail ("wrong parse: " ^ Json.to_string j)
+  | Error e -> Alcotest.fail e);
+  (* Malformed inputs are errors, not exceptions. *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed " ^ s))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 
@@ -256,7 +292,11 @@ let end_to_end () =
 let () =
   Alcotest.run "spr_obs"
     [
-      ("json", [ Alcotest.test_case "printing" `Quick json_printing ]);
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick json_printing;
+          Alcotest.test_case "parsing" `Quick json_parsing;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "instruments" `Quick metrics_instruments;

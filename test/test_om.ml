@@ -323,13 +323,70 @@ let script_mix (name, sut) (mix, mix_name) =
           Alcotest.failf "%s" (Format.asprintf "%a" Spr_check.Om_script.pp_divergence d))
 
 let script_suts : (string * (module Spr_check.Om_script.SUT)) list =
-  [ ("om", (module Spr_om.Om)); ("om-concurrent2", (module Spr_om.Om_concurrent2)) ]
+  [
+    ("om", (module Spr_om.Om));
+    ("om-packed", (module Spr_om.Om_packed));
+    ("om-concurrent2", (module Spr_om.Om_concurrent2));
+  ]
 
 let script_mixes =
   [
     (Spr_check.Om_script.Delete_heavy, "delete-heavy");
     (Spr_check.Om_script.Head_heavy, "head-heavy");
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Om_packed free-list hygiene: deletion recycles slots, so a
+   delete/insert churn never grows the item arrays past their
+   high-water mark — the packed structure stays proportional to the
+   peak live set, not the operation count. *)
+
+let packed_free_list_reuse =
+  QCheck2.Test.make ~count:100 ~name:"om-packed: delete/insert churn reuses slots"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (10 -- 300))
+    (fun (seed, n) ->
+      let module P = Spr_om.Om_packed in
+      let rng = Rng.create seed in
+      let t = P.create () in
+      let live = Spr_util.Vec.create () in
+      Spr_util.Vec.push live (P.base t);
+      for _ = 1 to n do
+        let anchor = Spr_util.Vec.get live (Rng.int rng (Spr_util.Vec.length live)) in
+        Spr_util.Vec.push live
+          (if Rng.bool rng then P.insert_after t anchor else P.insert_before t anchor)
+      done;
+      let slots = P.item_slots t in
+      Alcotest.(check int) "slots = live + free" (P.size t + P.free_items t) slots;
+      (* Delete a random half (never the base)... *)
+      let deleted = ref 0 in
+      while Spr_util.Vec.length live > 1 && !deleted < n / 2 do
+        let idx = 1 + Rng.int rng (Spr_util.Vec.length live - 1) in
+        P.delete t (Spr_util.Vec.get live idx);
+        (match Spr_util.Vec.pop live with
+        | Some last -> if idx < Spr_util.Vec.length live then Spr_util.Vec.set live idx last
+        | None -> assert false);
+        incr deleted
+      done;
+      P.check_invariants t;
+      Alcotest.(check int) "every delete lands on the free list" !deleted (P.free_items t);
+      (* ... then insert the same number back: the free list must absorb
+         every one of them without touching the high-water mark. *)
+      for _ = 1 to !deleted do
+        ignore (P.insert_after t (P.base t))
+      done;
+      P.check_invariants t;
+      Alcotest.(check int) "item arrays did not grow" slots (P.item_slots t);
+      Alcotest.(check int) "free list drained" 0 (P.free_items t);
+      true)
+
+let packed_use_after_delete () =
+  let module P = Spr_om.Om_packed in
+  let t = P.create () in
+  let e = P.insert_after t (P.base t) in
+  P.delete t e;
+  Alcotest.check_raises "use after delete rejected"
+    (Invalid_argument "Om_packed.precedes: deleted element") (fun () ->
+      ignore (P.precedes t (P.base t) e))
 
 (* ------------------------------------------------------------------ *)
 
@@ -344,6 +401,7 @@ let structures : (module Spr_om.Om_intf.S) list =
   [
     (module Spr_om.Om_label);
     (module Spr_om.Om);
+    (module Spr_om.Om_packed);
     (module Spr_om.Om_concurrent);
     (module Spr_om.Om_concurrent2);
     (module Spr_om.Om_file);
@@ -403,6 +461,11 @@ let () =
               (insert_before_head_splits sut)
             :: List.map (fun m -> QCheck_alcotest.to_alcotest (script_mix s m)) script_mixes)
           script_suts );
+      ( "packed",
+        [
+          QCheck_alcotest.to_alcotest packed_free_list_reuse;
+          Alcotest.test_case "use after delete rejected" `Quick packed_use_after_delete;
+        ] );
       ( "one-level",
         [ Alcotest.test_case "amortized O(lg n) relabels" `Quick one_level_amortized_bound ] );
       ( "file-maintenance",
