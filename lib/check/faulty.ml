@@ -24,3 +24,28 @@ module Om_broken_insert_before = struct
 end
 
 let om_broken_insert_before : (module Om_script.SUT) = (module Om_broken_insert_before)
+
+module Om_concurrent_unvalidated = struct
+  include Spr_om.Om_concurrent
+
+  let name = "om-concurrent-unvalidated"
+
+  (* The planted ordering bug: a query that reads each label once and
+     skips the stamp-validation protocol entirely.  Serially (and on
+     any schedule where no relabel lands between the two reads) the
+     answers are right; a writer rebalancing between [uq-read-x] and
+     [uq-read-y] can leave a stale label of one element compared
+     against a fresh label of the other, flipping the answer.  Bug
+     depth 2: one preemption of the reader at the right point
+     suffices, so PCT with d >= 2 finds it and the DFS explorer hits
+     it on every enumeration of a rebalancing script. *)
+  let precedes _t x y =
+    Spr_schedhook.Hook.yield ~kind:Spr_schedhook.Hook.Read ~layer:name ~name:"uq-read-x" ();
+    let xl = debug_label x in
+    Spr_schedhook.Hook.yield ~kind:Spr_schedhook.Hook.Read ~layer:name ~name:"uq-read-y" ();
+    let yl = debug_label y in
+    xl < yl
+end
+
+let om_concurrent_unvalidated : (module Spr_om.Om_intf.CONCURRENT) =
+  (module Om_concurrent_unvalidated)

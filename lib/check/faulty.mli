@@ -13,3 +13,13 @@ val om_broken_insert_before : (module Om_script.SUT)
 (** The two-level {!Spr_om.Om} with [insert_before] silently replaced
     by [insert_after] — the classic wrong-neighbor bug.  Caught by any
     script that queries around an [Insert_before]. *)
+
+val om_concurrent_unvalidated : (module Spr_om.Om_intf.CONCURRENT)
+(** {!Spr_om.Om_concurrent} with [precedes] replaced by a single
+    unvalidated read of each label (no stamp double-check, no retry).
+    Correct under serial execution; wrong whenever a relabel pass lands
+    between its two reads — an ordering bug of depth 2, the target the
+    schedule-exploration harness ([spfuzz --sched pct --inject-fault
+    om-unvalidated]) must find and shrink.  The extra yield between the
+    reads is in the faulty code itself, so the controller can place a
+    writer there. *)

@@ -73,7 +73,7 @@ let fstate t (f : Sim.frame) =
       s
 
 let hooks ?on_thread_user t =
-  let locked f = Mutex.protect t.hook_lock f in
+  let locked f = Spr_schedhook.Hook.locked ~layer:"hybrid" ~name:"hook-lock" t.hook_lock f in
   let on_spawn ~wid:_ ~now:_ ~parent ~child =
     locked (fun () ->
         let ps = fstate t parent in

@@ -20,6 +20,14 @@ let name = "om-concurrent"
 
 let set_sink t sink = t.sink <- sink
 
+(* Schedule-exploration yield points (no-ops unless a controller is
+   installed — see Spr_schedhook.Hook).  Placement rule: a yield sits
+   *before* the shared-memory operations it names, so the footprint
+   kind of a parked task describes the step it is about to run. *)
+module Hook = Spr_schedhook.Hook
+
+let yield ?kind pt = Hook.yield ?kind ~layer:name ~name:pt ()
+
 module Lab = Labeling.Make (struct
   type nonrec elt = elt
 
@@ -50,6 +58,7 @@ let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted elemen
 
 (* Five-pass rebalance; caller holds [t.lock]. *)
 let rebalance t x =
+  yield "relabel";
   (* Pass 1: choose the range. *)
   let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
   Om_intf.count_pass t.st count;
@@ -61,16 +70,23 @@ let rebalance t x =
   in
   collect first 0;
   (* Pass 2: bump stamps — queries overlapping pass 3 will notice. *)
+  yield "relabel-dirty";
   Array.iter (fun e -> Atomic.incr e.stamp) members;
   (* Pass 3: minimal labels, left to right.  Item j has at least j
      distinct labels >= lo below it inside the range, so lo + j only
      ever decreases a label and order is preserved pointwise. *)
-  Array.iteri (fun j e -> Atomic.set e.label (lo + j)) members;
+  Array.iteri
+    (fun j e ->
+      yield "relabel-min";
+      Atomic.set e.label (lo + j))
+    members;
   (* Pass 4: bump stamps again — queries overlapping pass 5 retry. *)
+  yield "relabel-redirty";
   Array.iter (fun e -> Atomic.incr e.stamp) members;
   (* Pass 5: final evenly spread labels, right to left (labels only
      increase, so going right-to-left preserves order throughout). *)
   for j = count - 1 downto 0 do
+    yield "relabel-spread";
     Atomic.set members.(j).label (Lab.target ~lo ~width ~count j)
   done
 
@@ -103,9 +119,7 @@ let insert_before_locked t x =
       Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
       y
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let with_lock t f = Hook.locked ~layer:name ~name:"lock" t.lock f
 
 let insert_after t x = with_lock t (fun () -> insert_after_locked t x)
 
@@ -143,21 +157,27 @@ let insert_around t x ~before ~after =
       let afters = go_after x after [] in
       (befores, afters))
 
-(* Lock-free query with double-read validation. *)
+(* Lock-free query with double-read validation.  The two read rounds
+   are separate yield points so a schedule controller can interleave a
+   writer's relabel passes between them — the race the stamp protocol
+   exists to defeat. *)
 let precedes t x y =
   check_alive "Om_concurrent.precedes" x;
   check_alive "Om_concurrent.precedes" y;
   let rec attempt () =
+    yield ~kind:Hook.Read "q-read1";
     let xl1 = Atomic.get x.label in
     let xs1 = Atomic.get x.stamp in
     let yl1 = Atomic.get y.label in
     let ys1 = Atomic.get y.stamp in
+    yield ~kind:Hook.Read "q-read2";
     let xl2 = Atomic.get x.label in
     let xs2 = Atomic.get x.stamp in
     let yl2 = Atomic.get y.label in
     let ys2 = Atomic.get y.stamp in
     if xl1 = xl2 && xs1 = xs2 && yl1 = yl2 && ys1 = ys2 then xl1 < yl1
     else begin
+      yield ~kind:Hook.Link "q-retry";
       Atomic.incr t.retries;
       attempt ()
     end
@@ -180,6 +200,8 @@ let delete t e =
 let size t = t.size
 
 let query_retries t = Atomic.get t.retries
+
+let debug_label e = Atomic.get e.label
 
 let stats t = t.st
 

@@ -33,6 +33,12 @@ val insert_around : t -> elt -> before:int -> after:int -> elt list * elt list
 val query_retries : t -> int
 (** Total failed-and-retried query attempts so far. *)
 
+val debug_label : elt -> int
+(** A raw, unvalidated read of the element's current label.  Exposed
+    only so the fault-injection harness ([Spr_check.Faulty]) can build
+    a deliberately broken [precedes] that skips the stamp-validation
+    protocol; production code must never compare labels this way. *)
+
 val stats : t -> Om_intf.stats
 
 val set_sink : t -> Spr_obs.Sink.t -> unit

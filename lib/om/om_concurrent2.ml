@@ -35,6 +35,14 @@ let name = "om-concurrent-2level"
 
 let set_sink t sink = t.sink <- sink
 
+(* Schedule-exploration yield points; no-ops without a controller.
+   Mutation steps are Write (they change query-visible labels, stamps,
+   or bucket assignments); query read rounds are Read; retries are
+   Link (the retry counter is never query-visible). *)
+module Hook = Spr_schedhook.Hook
+
+let yield ?kind pt = Hook.yield ?kind ~layer:name ~name:pt ()
+
 module Top = Labeling.Make (struct
   type elt = bucket
 
@@ -109,6 +117,7 @@ let iter_items b f =
 
 (* Evenly respace the items of one bucket over the local universe. *)
 let respace t b =
+  yield "respace-dirty";
   iter_items b dirty_item;
   let count = b.bsize in
   Om_intf.count_pass t.st count;
@@ -117,7 +126,9 @@ let respace t b =
   let j = ref 0 in
   iter_items b (fun it ->
       incr j;
+      yield "respace-set";
       Atomic.set it.label (!j * cell));
+  yield "respace-clean";
   iter_items b clean_item
 
 (* Relabel the enclosing sparse range of buckets (one-level labeling on
@@ -132,8 +143,14 @@ let top_rebalance t b =
     if j + 1 < count then collect (Option.get bk.bnext) (j + 1)
   in
   collect first 0;
+  yield "top-dirty";
   Array.iter dirty_bucket members;
-  Array.iteri (fun j bk -> Atomic.set bk.blabel (Top.target ~lo ~width ~count j)) members;
+  Array.iteri
+    (fun j bk ->
+      yield "top-set";
+      Atomic.set bk.blabel (Top.target ~lo ~width ~count j))
+    members;
+  yield "top-clean";
   Array.iter clean_bucket members
 
 let new_bucket_after t b =
@@ -160,6 +177,7 @@ let new_bucket_after t b =
    queries that touch them retry rather than observe the move. *)
 let split t b =
   Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
+  yield "split-dirty";
   iter_items b dirty_item;
   let b' = new_bucket_after t b in
   let keep = b.bsize / 2 in
@@ -173,6 +191,7 @@ let split t b =
   b.bsize <- keep;
   let rec claim = function
     | Some it ->
+        yield "split-claim";
         Atomic.set it.bkt b';
         claim it.inext
     | None -> ()
@@ -188,8 +207,10 @@ let split t b =
         incr j;
         Atomic.set it.label (!j * cell))
   in
+  yield "split-assign";
   assign b;
   assign b';
+  yield "split-clean";
   iter_items b clean_item;
   iter_items b' clean_item
 
@@ -235,9 +256,7 @@ let insert_before_locked t x =
       Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
       y
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let with_lock t f = Hook.locked ~layer:name ~name:"lock" t.lock f
 
 let insert_after t x = with_lock t (fun () -> insert_after_locked t x)
 
@@ -295,13 +314,16 @@ let precedes t x y =
   check_alive "Om_concurrent2.precedes" x;
   check_alive "Om_concurrent2.precedes" y;
   let rec attempt () =
+    yield ~kind:Hook.Read "q-read1";
     let x1 = read_view x in
     let y1 = read_view y in
+    yield ~kind:Hook.Read "q-read2";
     let x2 = read_view x in
     let y2 = read_view y in
     if stable x1 x2 && stable y1 y2 then
       if x1.vb == y1.vb then x1.vl < y1.vl else x1.vbl < y1.vbl
     else begin
+      yield ~kind:Hook.Link "q-retry";
       Atomic.incr t.retries;
       attempt ()
     end

@@ -52,9 +52,11 @@ let burn st cost =
   done;
   ignore !sink
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+module Hook = Spr_schedhook.Hook
+
+(* Named lock acquisitions are schedule-controller decision points;
+   without a controller installed this is a plain Mutex.lock. *)
+let with_lock ~name m f = Hook.locked ~layer:"runtime" ~name m f
 
 (* A procedure finished. *)
 let do_return st w (f : Sim.frame) =
@@ -64,7 +66,7 @@ let do_return st w (f : Sim.frame) =
       Atomic.set st.done_flag true;
       w.current <- None
   | Some p ->
-      let popped = with_lock w.dlock (fun () -> Spr_util.Deque.pop_bottom w.deque) in
+      let popped = with_lock ~name:"dlock" w.dlock (fun () -> Spr_util.Deque.pop_bottom w.deque) in
       (* Steals remove older continuations first, so a non-empty bottom
          is necessarily our direct parent. *)
       (match popped with Some cont -> assert (cont == p) | None -> ());
@@ -74,8 +76,24 @@ let do_return st w (f : Sim.frame) =
          the maintainer fold its P-bag into its S-bag) while this
          child's threads are still waiting to be filed as parallel. *)
       ignore (st.hooks.Sim.on_return ~wid:w.wid ~now:0 ~child:f ~parent:(Some p) ~inline);
+      (* Lost-wakeup audit: parking never sleeps, so there is no wakeup
+         to lose.  A parent parks by setting [stalled <- true] under
+         [st.proto] (see [step]) and then simply drops the frame — its
+         worker goes back to stealing.  Resumption is this ownership
+         handoff: the last returning child, also under [st.proto],
+         observes [stalled && outstanding = 0], clears [stalled], and
+         takes the frame as its own [current].  Both the park decision
+         ([outstanding > 0]?) and the resume decision are atomic under
+         the same mutex, so the racy pattern "parent checks, child
+         decrements, parent sleeps forever" cannot occur: either the
+         parent sees [outstanding = 0] and never parks, or the child
+         sees [stalled] and adopts the frame.  No condition variable,
+         no missed signal.  The deterministic-scheduler regression test
+         (test_schedtest.ml, "runtime no lost wakeup") sweeps seeds
+         over fork-join programs; a lost wakeup would surface there as
+         a Deadlock/Livelock outcome. *)
       let resume =
-        with_lock st.proto (fun () ->
+        with_lock ~name:"proto" st.proto (fun () ->
             p.Sim.outstanding <- p.Sim.outstanding - 1;
             if (not inline) && p.Sim.stalled && p.Sim.outstanding = 0 then begin
               p.Sim.stalled <- false;
@@ -91,7 +109,7 @@ let step st w (f : Sim.frame) =
   if f.Sim.item >= Array.length blocks.(f.Sim.block) then begin
     (* At the sync closing the block. *)
     let parked =
-      with_lock st.proto (fun () ->
+      with_lock ~name:"proto" st.proto (fun () ->
           if f.Sim.outstanding > 0 then begin
             f.Sim.stalled <- true;
             true
@@ -115,14 +133,14 @@ let step st w (f : Sim.frame) =
         burn st u.Fj_program.cost
     | Fj_program.Spawn g ->
         f.Sim.item <- f.Sim.item + 1;
-        with_lock st.proto (fun () -> f.Sim.outstanding <- f.Sim.outstanding + 1);
+        with_lock ~name:"proto" st.proto (fun () -> f.Sim.outstanding <- f.Sim.outstanding + 1);
         let child = new_frame st g (Some f) in
         (* Register the child with the instrumentation *before* the
            continuation becomes stealable: a steal that splits the
            parent's trace must not affect which trace the child (the
            left subtree, U3) inherits. *)
         ignore (st.hooks.Sim.on_spawn ~wid:w.wid ~now:0 ~parent:f ~child);
-        with_lock w.dlock (fun () -> Spr_util.Deque.push_bottom w.deque f);
+        with_lock ~name:"dlock" w.dlock (fun () -> Spr_util.Deque.push_bottom w.deque f);
         w.current <- Some child
   end
 
@@ -143,7 +161,7 @@ let try_steal st w =
        the orderings.  (Lock order is always deque -> instrumentation;
        hooks never touch deques.) *)
     let got =
-      with_lock victim.dlock (fun () ->
+      with_lock ~name:"dlock" victim.dlock (fun () ->
           match Spr_util.Deque.pop_top victim.deque with
           | Some f ->
               Atomic.incr st.steals;
@@ -153,14 +171,24 @@ let try_steal st w =
     in
     match got with
     | Some f -> w.current <- Some f
-    | None -> Domain.cpu_relax ()
+    | None ->
+        (* The Spin hint lets a PCT controller rotate an empty-handed
+           stealer to the bottom of the priority band, so busy-waiting
+           cannot starve the worker that holds the work. *)
+        Hook.yield ~hint:Hook.Spin ~layer:"runtime" ~name:"steal-miss" ();
+        Domain.cpu_relax ()
   end
-  else Domain.cpu_relax ()
+  else begin
+    Hook.yield ~hint:Hook.Spin ~layer:"runtime" ~name:"steal-miss" ();
+    Domain.cpu_relax ()
+  end
 
 let worker_loop st w =
-  while not (Atomic.get st.done_flag) do
-    match w.current with Some f -> step st w f | None -> try_steal st w
-  done
+  Hook.task_scope ~id:w.wid (fun () ->
+      while not (Atomic.get st.done_flag) do
+        Hook.yield ~layer:"runtime" ~name:"loop" ();
+        match w.current with Some f -> step st w f | None -> try_steal st w
+      done)
 
 let run ?(hooks = Sim.no_hooks) ?(seed = 1) ?(spin = 200) ~workers program =
   if workers < 1 then invalid_arg "Runtime.run: need at least one worker";

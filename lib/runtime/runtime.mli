@@ -21,9 +21,15 @@
     maintainer serializes its own bookkeeping and keeps queries
     lock-free, as Section 4 prescribes).
 
-    Unlike the simulator, runs are {e not} deterministic — tests
-    validate schedule-independent facts (SP relations against the
-    a-posteriori reference, the 4s+1 trace law, work conservation). *)
+    Unlike the simulator, free-running executions are {e not}
+    deterministic — tests validate schedule-independent facts (SP
+    relations against the a-posteriori reference, the 4s+1 trace law,
+    work conservation).  Every lock acquisition and the steal/step loop
+    are however routed through {!Spr_schedhook.Hook} yield points
+    (workers register as controlled tasks [0 .. workers-1]), so with a
+    schedule controller installed (see [Spr_schedtest]) a run becomes a
+    deterministic, replayable function of the controller's decision
+    sequence; without one the hooks are single-atomic-load no-ops. *)
 
 type result = {
   steals : int;

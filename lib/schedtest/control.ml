@@ -1,0 +1,290 @@
+module Hook = Spr_schedhook.Hook
+module Rng = Spr_util.Rng
+
+type strategy =
+  | Random of int
+  | Pct of { seed : int; depth : int; steps : int }
+  | Fixed of { prefix : int list; fallback : [ `Round_robin | `Min_id ] }
+
+type step_info = { task : int; point : string; kind : Hook.kind }
+
+type decision = { chosen : int; enabled : step_info list }
+
+type outcome = Completed | Deadlock of int list | Livelock
+
+exception Aborted
+
+type task_state = Unstarted | Parked | Blocked of Mutex.t | Running | Done
+
+(* Mutable per-strategy decision state. *)
+type strat_state =
+  | S_random of Rng.t
+  | S_pct of {
+      prio : int array;  (* higher runs first; ties broken by task id *)
+      mutable change_points : int list;  (* ascending decision indices *)
+      mutable next_low : int;  (* next change-point priority (d-2 downto) *)
+      mutable spin_floor : int;  (* rotating bottom band for Spin parkers *)
+    }
+  | S_fixed of { mutable prefix : int list; fallback : [ `Round_robin | `Min_id ] }
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  expected : int;
+  states : task_state array;
+  points : step_info array;  (* points.(i): where task i is parked / its pending step *)
+  mutable registered : int;
+  mutable current : int;  (* granted task, -1 = decision pending *)
+  mutable ndecisions : int;
+  mutable decisions_rev : decision list;
+  mutable aborted : outcome option;
+  max_decisions : int;
+  strat : strat_state;
+}
+
+let create ?(max_decisions = 200_000) ~expected strategy =
+  if expected < 1 then invalid_arg "Control.create: need at least one task";
+  let strat =
+    match strategy with
+    | Random seed -> S_random (Rng.create seed)
+    | Pct { seed; depth; steps } ->
+        let rng = Rng.create seed in
+        (* Initial priorities: a random permutation of [d, d+n), so
+           every change-point priority (counting down from d-2) sits
+           below the whole initial band, and the rotating spin floor
+           (-1 and falling) sits below the change points in turn. *)
+        let order = Array.init expected (fun i -> i) in
+        Rng.shuffle rng order;
+        let prio = Array.make expected 0 in
+        Array.iteri (fun rank task -> prio.(task) <- depth + rank) order;
+        S_pct
+          {
+            prio;
+            change_points =
+              List.sort compare
+                (List.init (max 0 (depth - 1)) (fun _ -> Rng.int rng (max 1 steps)));
+            next_low = depth - 2;
+            spin_floor = -1;
+          }
+    | Fixed { prefix; fallback } -> S_fixed { prefix; fallback }
+  in
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    expected;
+    states = Array.make expected Unstarted;
+    points = Array.init expected (fun task -> { task; point = "task/start"; kind = Hook.Write });
+    registered = 0;
+    current = -1;
+    ndecisions = 0;
+    decisions_rev = [];
+    aborted = None;
+    max_decisions;
+    strat;
+  }
+
+let enabled_infos t =
+  let acc = ref [] in
+  for i = t.expected - 1 downto 0 do
+    match t.states.(i) with Parked -> acc := t.points.(i) :: !acc | _ -> ()
+  done;
+  !acc
+
+let choose t (enabled : step_info list) =
+  let n = List.length enabled in
+  match t.strat with
+  | S_random rng -> (List.nth enabled (Rng.int rng n)).task
+  | S_pct st ->
+      let best =
+        List.fold_left
+          (fun best (i : step_info) ->
+            match best with
+            | None -> Some i.task
+            | Some b -> if st.prio.(i.task) > st.prio.(b) then Some i.task else best)
+          None enabled
+      in
+      let chosen = Option.get best in
+      (match st.change_points with
+      | cp :: rest when cp <= t.ndecisions ->
+          (* This decision crosses a change point: the task we are about
+             to run falls below the initial band. *)
+          st.change_points <- rest;
+          st.prio.(chosen) <- st.next_low;
+          st.next_low <- st.next_low - 1
+      | _ -> ());
+      chosen
+  | S_fixed st ->
+      let is_enabled id = List.exists (fun (i : step_info) -> i.task = id) enabled in
+      let rec pop () =
+        match st.prefix with
+        | id :: rest ->
+            st.prefix <- rest;
+            if is_enabled id then Some id else pop ()
+        | [] -> None
+      in
+      (match pop () with
+      | Some id -> id
+      | None -> (
+          match st.fallback with
+          | `Min_id -> (List.hd enabled).task
+          | `Round_robin -> (List.nth enabled (t.ndecisions mod n)).task))
+
+let abort t reason =
+  t.aborted <- Some reason;
+  Condition.broadcast t.cond
+
+let maybe_decide t =
+  if t.aborted = None && t.registered = t.expected && t.current < 0 then begin
+    let enabled = enabled_infos t in
+    match enabled with
+    | [] ->
+        let blocked = ref [] in
+        Array.iteri
+          (fun i st -> match st with Blocked _ -> blocked := i :: !blocked | _ -> ())
+          t.states;
+        if !blocked <> [] then abort t (Deadlock (List.rev !blocked))
+        (* else: every task is Done — nothing to schedule. *)
+    | _ ->
+        if t.ndecisions >= t.max_decisions then abort t Livelock
+        else begin
+          let chosen = choose t enabled in
+          t.decisions_rev <- { chosen; enabled } :: t.decisions_rev;
+          t.ndecisions <- t.ndecisions + 1;
+          t.current <- chosen;
+          t.states.(chosen) <- Running;
+          Condition.broadcast t.cond
+        end
+  end
+
+let with_mutex t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Park the calling task (mutex held) and wait to be granted again.
+   Raises [Aborted] (after releasing the mutex, via [with_mutex]'s
+   finalizer) on deadlock/livelock so the task unwinds. *)
+let park_and_wait t id =
+  maybe_decide t;
+  while t.aborted = None && t.current <> id do
+    Condition.wait t.cond t.mutex
+  done;
+  if t.aborted <> None then raise Aborted
+
+let c_register t id =
+  with_mutex t (fun () ->
+      if id < 0 || id >= t.expected then
+        invalid_arg (Printf.sprintf "Control: task id %d out of range [0, %d)" id t.expected);
+      (match t.states.(id) with
+      | Unstarted -> ()
+      | _ -> invalid_arg (Printf.sprintf "Control: task id %d registered twice" id));
+      t.states.(id) <- Parked;
+      t.registered <- t.registered + 1;
+      park_and_wait t id)
+
+let c_finish t id =
+  with_mutex t (fun () ->
+      t.states.(id) <- Done;
+      if t.current = id then t.current <- -1;
+      maybe_decide t)
+
+let c_yield t ~layer ~name ~kind ~hint =
+  with_mutex t (fun () ->
+      let id = t.current in
+      (* A yield from outside any granted task (harness code running
+         while the controller is installed) is ignored. *)
+      if id >= 0 then begin
+        t.points.(id) <- { task = id; point = layer ^ "/" ^ name; kind };
+        (match (t.strat, hint) with
+        | S_pct st, Hook.Spin ->
+            (* Rotate spinners to the bottom: most recent spinner runs
+               last, so a busy-waiting worker cannot pin the top
+               priority and starve the task holding the work. *)
+            st.prio.(id) <- st.spin_floor;
+            st.spin_floor <- st.spin_floor - 1
+        | _ -> ());
+        t.states.(id) <- Parked;
+        t.current <- -1;
+        park_and_wait t id
+      end)
+
+let c_blocked t m =
+  with_mutex t (fun () ->
+      let id = t.current in
+      if id >= 0 then begin
+        (* The pending step is still the same lock acquisition:
+           [t.points.(id)] keeps the lock's yield point. *)
+        t.states.(id) <- Blocked m;
+        t.current <- -1;
+        park_and_wait t id
+      end)
+
+let c_released t m =
+  with_mutex t (fun () ->
+      Array.iteri
+        (fun i st -> match st with Blocked m' when m' == m -> t.states.(i) <- Parked | _ -> ())
+        t.states)
+
+let hook t =
+  {
+    Hook.c_register = c_register t;
+    c_finish = c_finish t;
+    c_yield = (fun ~layer ~name ~kind ~hint -> c_yield t ~layer ~name ~kind ~hint);
+    c_blocked = c_blocked t;
+    c_released = c_released t;
+  }
+
+let with_installed t f =
+  Hook.install (hook t);
+  Fun.protect ~finally:Hook.uninstall f
+
+let outcome t = match t.aborted with Some r -> r | None -> Completed
+
+let decisions t = Array.of_list (List.rev t.decisions_rev)
+
+let trace t = List.rev_map (fun d -> d.chosen) t.decisions_rev
+
+(* FNV-1a, 64-bit, over the little-endian bytes of each choice. *)
+let digest tr =
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (byte land 0xff))) 0x100000001b3L
+  in
+  List.iter
+    (fun c ->
+      mix c;
+      mix (c lsr 8))
+    tr;
+  Printf.sprintf "%016Lx" !h
+
+let pp_trace fmt tr =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ' ')
+    Format.pp_print_int fmt tr
+
+type report = { outcome : outcome; decisions : decision array; exns : (int * exn) list }
+
+let run ?max_decisions strategy ~tasks =
+  let n = List.length tasks in
+  let t = create ?max_decisions ~expected:n strategy in
+  let exns = Array.make n None in
+  (* The controller must be installed before any task thread reaches
+     its [task_scope], or that task would race ahead uncontrolled. *)
+  with_installed t (fun () ->
+      let threads =
+        List.mapi
+          (fun i body ->
+            Thread.create
+              (fun () ->
+                try Hook.task_scope ~id:i body with
+                | Aborted -> ()
+                | e -> exns.(i) <- Some e)
+              ())
+          tasks
+      in
+      List.iter Thread.join threads);
+  let exn_list =
+    Array.to_list exns
+    |> List.mapi (fun i e -> (i, e))
+    |> List.filter_map (fun (i, e) -> Option.map (fun e -> (i, e)) e)
+  in
+  { outcome = outcome t; decisions = decisions t; exns = exn_list }

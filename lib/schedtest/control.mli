@@ -1,0 +1,92 @@
+(** Schedule controllers: serialize controlled tasks and decide, at
+    every {!Spr_schedhook.Hook} yield point, which task runs next.
+
+    A controller owns [expected] tasks (ids [0 .. expected-1]).  Once
+    all of them have registered, exactly one task is granted at a time;
+    the grant sequence is the {e schedule}, recorded as a decision
+    trace.  Because tasks only interact through shared memory between
+    yield points and exactly one runs at a time, the whole execution is
+    a deterministic function of the strategy (and its seed) — the same
+    strategy replays the same schedule byte for byte, a recorded trace
+    can be replayed with {!strategy.Fixed}, and a shrunk trace still
+    drives a legal schedule (infeasible forced choices are skipped).
+
+    This explores sequentially-consistent interleavings at yield-point
+    granularity — the standard stateless-model-checking trade-off (the
+    controller cannot produce weak-memory reorderings, and races finer
+    than the instrumented points are not varied). *)
+
+type strategy =
+  | Random of int
+      (** Seeded uniform choice among enabled tasks at every decision —
+          the deterministic replayable scheduler. *)
+  | Pct of { seed : int; depth : int; steps : int }
+      (** PCT (Burckhardt et al., ASPLOS 2010): random distinct initial
+          priorities, always run the highest-priority enabled task, and
+          at [depth - 1] change points (sampled uniformly from
+          [\[0, steps)]) drop the running task's priority below the
+          initial band.  Finds any bug of depth [d] with probability
+          >= 1/(n * steps^(d-1)) per run.  Tasks that park with the
+          [Spin] hint (a failed steal attempt) are rotated to the
+          bottom so a busy-waiting worker cannot monopolize the top
+          priority. *)
+  | Fixed of { prefix : int list; fallback : [ `Round_robin | `Min_id ] }
+      (** Replay: force the recorded choices while feasible (entries
+          naming tasks that are not currently enabled are skipped, so
+          ddmin-shrunk traces remain executable), then fall back to
+          round-robin (fair — safe for spinning workers) or to the
+          lowest enabled id (the canonical completion the DFS explorer
+          uses). *)
+
+type step_info = {
+  task : int;
+  point : string;  (** "layer/name" of the yield point the task parks at *)
+  kind : Spr_schedhook.Hook.kind;  (** footprint of its pending step *)
+}
+
+type decision = { chosen : int; enabled : step_info list (** ascending task id *) }
+
+type outcome =
+  | Completed
+  | Deadlock of int list  (** every live task blocked on a held mutex *)
+  | Livelock  (** decision budget exhausted *)
+
+exception Aborted
+(** Raised inside parked tasks when the controller aborts (deadlock or
+    livelock) so every task unwinds and the harness can report. *)
+
+type t
+
+val create : ?max_decisions:int -> expected:int -> strategy -> t
+(** [max_decisions] (default 200_000) bounds the schedule length;
+    exceeding it aborts with {!Livelock}. *)
+
+val hook : t -> Spr_schedhook.Hook.controller
+
+val with_installed : t -> (unit -> 'a) -> 'a
+(** Install {!hook} for the duration of [f] (uninstalled in a
+    finalizer).  The caller must ensure no other controller is
+    active. *)
+
+val outcome : t -> outcome
+
+val decisions : t -> decision array
+(** The recorded schedule, in decision order. *)
+
+val trace : t -> int list
+(** Chosen task ids only. *)
+
+val digest : int list -> string
+(** FNV-1a hash of a trace, 16 hex digits — the replayability
+    fingerprint printed by [spfuzz --sched]. *)
+
+val pp_trace : Format.formatter -> int list -> unit
+(** Compact rendering, e.g. [0 0 1 0 2]. *)
+
+type report = { outcome : outcome; decisions : decision array; exns : (int * exn) list }
+
+val run : ?max_decisions:int -> strategy -> tasks:(unit -> unit) list -> report
+(** Spawn one systhread per task (task [i] = [List.nth tasks i]),
+    run them under a fresh controller, join, and report.  {!Aborted}
+    is absorbed (visible through [outcome]); other task exceptions are
+    collected in [exns]. *)

@@ -1,0 +1,234 @@
+module Rng = Spr_util.Rng
+module Shrink = Spr_check.Shrink
+
+type writer_op = W_head_insert | W_base_insert | W_delete_own
+
+type query = { qx : int; qy : int }
+
+type t = {
+  prelude_head : int;
+  prelude_base : int;
+  writer : writer_op list;
+  readers : query list list;
+}
+
+let n_prelude s = 1 + s.prelude_base + s.prelude_head
+
+let n_tasks s = 1 + List.length s.readers
+
+let random ~rng ~prelude_head ~prelude_base ~writer_len ~readers ~queries =
+  let writer =
+    List.init writer_len (fun _ ->
+        let d = Rng.int rng 100 in
+        if d < 55 then W_head_insert else if d < 80 then W_base_insert else W_delete_own)
+  in
+  let n = 1 + prelude_base + prelude_head in
+  let reader () =
+    List.init queries (fun _ -> { qx = Rng.int rng n; qy = Rng.int rng n })
+  in
+  { prelude_head; prelude_base; writer; readers = List.init readers (fun _ -> reader ()) }
+
+let pp_writer_op fmt = function
+  | W_head_insert -> Format.pp_print_string fmt "W_head_insert"
+  | W_base_insert -> Format.pp_print_string fmt "W_base_insert"
+  | W_delete_own -> Format.pp_print_string fmt "W_delete_own"
+
+let pp fmt s =
+  let semi fmt () = Format.fprintf fmt ";@ " in
+  Format.fprintf fmt "@[<hv 2>{ prelude_head = %d;@ prelude_base = %d;@ writer = [@[<hv>%a@]];@ readers = [@[<hv>%a@]] }@]"
+    s.prelude_head s.prelude_base
+    (Format.pp_print_list ~pp_sep:semi pp_writer_op)
+    s.writer
+    (Format.pp_print_list ~pp_sep:semi (fun fmt r ->
+         Format.fprintf fmt "[@[<hv>%a@]]"
+           (Format.pp_print_list ~pp_sep:semi (fun fmt q ->
+                Format.fprintf fmt "{ qx = %d; qy = %d }" q.qx q.qy))
+           r))
+    s.readers
+
+type run_result = { report : Control.report; failure : string option }
+
+(* Build the prelude on any OM structure; returns (elems, headmost)
+   with elems.(0) the base, then the base-chain in creation order, then
+   the head-chain in creation order (so the last entry is the
+   head-most element when [prelude_head > 0]). *)
+let build_prelude (type s e) ~(create : unit -> s) ~(base : s -> e)
+    ~(insert_after : s -> e -> e) ~(insert_before : s -> e -> e) spec =
+  let st = create () in
+  let n = n_prelude spec in
+  let pre = Array.make n (base st) in
+  for i = 1 to spec.prelude_base do
+    pre.(i) <- insert_after st (base st)
+  done;
+  let anchor = ref (base st) in
+  for i = 1 to spec.prelude_head do
+    let y = insert_before st !anchor in
+    pre.(spec.prelude_base + i) <- y;
+    anchor := y
+  done;
+  (st, pre, !anchor)
+
+(* Replay the writer ops against any structure.  Deterministic given
+   the op list (no dependence on the schedule), which is what lets the
+   post-run sweep mirror the writer serially.  Returns the created
+   elements in creation order, deleted ones blanked out. *)
+let writer_replay (type s e) ~(insert_after : s -> e -> e)
+    ~(insert_before : s -> e -> e) ~(delete : s -> e -> unit) st ~headmost ~base ops =
+  let anchor = ref headmost in
+  let created = ref [] in
+  (* surviving base-inserts, most recent first *)
+  let base_stack = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | W_head_insert ->
+          let y = insert_before st !anchor in
+          anchor := y;
+          created := ref (Some y) :: !created
+      | W_base_insert ->
+          let y = insert_after st base in
+          let cell = ref (Some y) in
+          created := cell :: !created;
+          base_stack := (y, cell) :: !base_stack
+      | W_delete_own -> (
+          match !base_stack with
+          | [] -> ()
+          | (y, cell) :: rest ->
+              base_stack := rest;
+              delete st y;
+              cell := None))
+    ops;
+  List.rev_map (fun cell -> !cell) !created
+
+let run (module M : Spr_om.Om_intf.CONCURRENT) (s : t) strategy =
+  let n = n_prelude s in
+  let sut, pre, sut_head =
+    build_prelude ~create:M.create ~base:M.base ~insert_after:M.insert_after
+      ~insert_before:M.insert_before s
+  in
+  let module O = Spr_om.Om in
+  let ora, opre, ora_head =
+    build_prelude ~create:O.create ~base:O.base ~insert_after:O.insert_after
+      ~insert_before:O.insert_before s
+  in
+  (* The truth matrix: relative order of prelude elements is invariant
+     under every schedule (writers only add/remove other elements and
+     relabel order-preservingly), so these serial answers are the
+     unique correct ones for every concurrent query. *)
+  let truth = Array.init n (fun i -> Array.init n (fun j -> O.precedes ora opre.(i) opre.(j))) in
+  let prelude_mismatch = ref None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if !prelude_mismatch = None && M.precedes sut pre.(i) pre.(j) <> truth.(i).(j) then
+        prelude_mismatch := Some (i, j)
+    done
+  done;
+  (* Concurrent phase: task 0 = writer, tasks 1.. = readers. *)
+  let survivors = ref [] in
+  let writer_body () =
+    survivors :=
+      writer_replay ~insert_after:M.insert_after ~insert_before:M.insert_before
+        ~delete:M.delete sut ~headmost:sut_head ~base:(M.base sut) s.writer
+  in
+  let answers =
+    List.map (fun r -> Array.make (List.length r) None) s.readers
+  in
+  let reader_body r ans () =
+    List.iteri
+      (fun k q -> ans.(k) <- Some (M.precedes sut pre.(q.qx mod n) pre.(q.qy mod n)))
+      r
+  in
+  let tasks = writer_body :: List.map2 reader_body s.readers answers in
+  let report = Control.run strategy ~tasks in
+  (* Validation, in increasing order of subtlety; first failure wins. *)
+  let fail = ref None in
+  let set_fail msg = if !fail = None then fail := Some msg in
+  (match report.outcome with
+  | Control.Completed -> ()
+  | Control.Deadlock ids ->
+      set_fail
+        (Printf.sprintf "deadlock: tasks [%s] blocked"
+           (String.concat "; " (List.map string_of_int ids)))
+  | Control.Livelock -> set_fail "livelock: decision budget exhausted");
+  List.iter
+    (fun (i, e) -> set_fail (Printf.sprintf "task %d raised %s" i (Printexc.to_string e)))
+    report.exns;
+  (match !prelude_mismatch with
+  | Some (i, j) ->
+      set_fail (Printf.sprintf "serial prelude disagrees with oracle at (%d, %d)" i j)
+  | None -> ());
+  List.iteri
+    (fun r (queries, ans) ->
+      List.iteri
+        (fun k q ->
+          match ans.(k) with
+          | Some a when a <> truth.(q.qx mod n).(q.qy mod n) ->
+              set_fail
+                (Printf.sprintf
+                   "reader %d query %d: precedes(pre.%d, pre.%d) = %b, serial oracle says %b"
+                   r k (q.qx mod n) (q.qy mod n) a
+                   (truth.(q.qx mod n).(q.qy mod n)))
+          | _ -> ())
+        queries)
+    (List.combine s.readers answers);
+  (if !fail = None then
+     try M.check_invariants sut
+     with e -> set_fail (Printf.sprintf "check_invariants: %s" (Printexc.to_string e)));
+  (* A-posteriori sweep: mirror the writer serially on the oracle and
+     compare the full final order, prelude and surviving writer
+     elements alike. *)
+  (if !fail = None && report.outcome = Control.Completed && report.exns = [] then begin
+     let osurvivors =
+       writer_replay ~insert_after:O.insert_after ~insert_before:O.insert_before
+         ~delete:O.delete ora ~headmost:ora_head ~base:(O.base ora) s.writer
+     in
+     let zip =
+       List.filter_map
+         (fun (a, b) -> match (a, b) with Some a, Some b -> Some (a, b) | _ -> None)
+         (List.combine !survivors osurvivors)
+     in
+     let all =
+       Array.to_list (Array.map2 (fun a b -> (a, b)) pre opre) @ zip
+     in
+     List.iteri
+       (fun i (sx, ox) ->
+         List.iteri
+           (fun j (sy, oy) ->
+             if !fail = None && M.precedes sut sx sy <> O.precedes ora ox oy then
+               set_fail (Printf.sprintf "final sweep: pair (%d, %d) disagrees with oracle" i j))
+           all)
+       all
+   end);
+  { report; failure = !fail }
+
+let set_nth i v xs = List.mapi (fun j x -> if j = i then v else x) xs
+
+let shrink ~still_failing s0 =
+  let s = ref s0 in
+  s :=
+    { !s with
+      writer = Shrink.list ~still_failing:(fun w -> still_failing { !s with writer = w }) !s.writer
+    };
+  List.iteri
+    (fun i _ ->
+      let r = List.nth !s.readers i in
+      let r' =
+        Shrink.list
+          ~still_failing:(fun cand -> still_failing { !s with readers = set_nth i cand !s.readers })
+          r
+      in
+      s := { !s with readers = set_nth i r' !s.readers })
+    !s.readers;
+  let nonempty = List.filter (fun r -> r <> []) !s.readers in
+  if List.length nonempty < List.length !s.readers && still_failing { !s with readers = nonempty }
+  then s := { !s with readers = nonempty };
+  let rec trim get put =
+    let v = get !s in
+    if v > 0 && still_failing (put !s (v - 1)) then begin
+      s := put !s (v - 1);
+      trim get put
+    end
+  in
+  trim (fun s -> s.prelude_head) (fun s v -> { s with prelude_head = v });
+  trim (fun s -> s.prelude_base) (fun s v -> { s with prelude_base = v });
+  !s

@@ -1,0 +1,84 @@
+(** Concurrent OM scripts: small multi-task programs over a concurrent
+    order-maintenance structure, built so that {e every} interleaving
+    has a unique correct answer.
+
+    The key fact making schedule exploration decidable here: writers
+    never change the {e relative} order of existing elements (inserts
+    add fresh elements, rebalances are order-preserving).  So for any
+    two elements created before the concurrent phase ("prelude"
+    elements), [precedes x y] has one correct boolean under every
+    schedule, precomputable serially.  The harness discipline that
+    keeps this airtight:
+
+    - readers query prelude elements only (always alive — no
+      use-after-delete, whose answer would be schedule-dependent);
+    - the writer deletes only elements it created itself during the
+      concurrent phase, and never its own insertion anchors.
+
+    A script is one writer (task 0) plus one or more readers.  The
+    writer's op mix is engineered to trigger label rebalances within a
+    handful of operations — [W_head_insert] chains insert before the
+    current head, which forces a relabel pass over the whole (small)
+    list almost immediately — so even DFS-sized scripts (≤ 6–8 ops
+    total) drive queries through torn label states. *)
+
+type writer_op =
+  | W_head_insert  (** insert before the current head; anchors the next one *)
+  | W_base_insert  (** insert immediately after the base element *)
+  | W_delete_own
+      (** delete the most recent surviving [W_base_insert] element;
+          no-op when none — never touches prelude elements or head
+          anchors *)
+
+type query = { qx : int; qy : int }
+(** A reader op: compare prelude elements [qx mod n] and [qy mod n]
+    (n = prelude size incl. base).  Modular resolution keeps every
+    sublist of a reader a valid reader — what {!Spr_check.Shrink.list}
+    needs. *)
+
+type t = {
+  prelude_head : int;  (** serial insert-before-head chain length *)
+  prelude_base : int;  (** serial insert-after-base count *)
+  writer : writer_op list;
+  readers : query list list;  (** task [r+1] runs [List.nth readers r] *)
+}
+
+val n_prelude : t -> int
+(** Prelude element count including the base element. *)
+
+val n_tasks : t -> int
+
+val random :
+  rng:Spr_util.Rng.t ->
+  prelude_head:int ->
+  prelude_base:int ->
+  writer_len:int ->
+  readers:int ->
+  queries:int ->
+  t
+(** Reproducible random script; writer ops biased toward
+    [W_head_insert] (the rebalance trigger). *)
+
+val pp : Format.formatter -> t -> unit
+(** Print as an OCaml-literal-shaped repro. *)
+
+type run_result = {
+  report : Control.report;
+  failure : string option;
+      (** [None] iff: outcome [Completed], no task exception, every
+          reader answer matches the precomputed truth, the final state
+          passes [check_invariants], and a post-run pairwise sweep
+          agrees element-for-element with a serial {!Spr_om.Om} mirror
+          of the same prelude + writer ops. *)
+}
+
+val run : (module Spr_om.Om_intf.CONCURRENT) -> t -> Control.strategy -> run_result
+(** Build a fresh structure, run the script's tasks under a fresh
+    controller with the given strategy, and validate.  Deterministic:
+    same script + same strategy reproduces the same report (and the
+    same failure) byte for byte. *)
+
+val shrink : still_failing:(t -> bool) -> t -> t
+(** Minimize a failing script: ddmin the writer, then each reader,
+    then trim prelude sizes and drop empty readers — all while
+    [still_failing] holds. *)

@@ -1,0 +1,108 @@
+module Hook = Spr_schedhook.Hook
+module Shrink = Spr_check.Shrink
+
+type stats = {
+  mutable schedules : int;
+  mutable pruned : int;
+  mutable max_depth : int;
+  mutable truncated : bool;
+}
+
+type failure = { trace : int list; message : string }
+
+type runner = Control.strategy -> Control.report * string option
+
+let fresh_stats () = { schedules = 0; pruned = 0; max_depth = 0; truncated = false }
+
+let independent (a : Control.step_info) (b : Control.step_info) =
+  match (a.kind, b.kind) with
+  | Hook.Read, Hook.Read | Hook.Read, Hook.Link | Hook.Link, Hook.Read -> true
+  | _ -> false
+
+exception Budget
+
+let record_run stats failures (report : Control.report) fail =
+  stats.schedules <- stats.schedules + 1;
+  let depth = Array.length report.decisions in
+  if depth > stats.max_depth then stats.max_depth <- depth;
+  match fail with
+  | Some message ->
+      failures :=
+        { trace = Array.to_list (Array.map (fun d -> d.Control.chosen) report.decisions); message }
+        :: !failures
+  | None -> ()
+
+let dfs ?(max_schedules = 100_000) ~(run : runner) () =
+  let stats = fresh_stats () in
+  let failures = ref [] in
+  (* Each call performs one complete run forced through [prefix] and
+     completed canonically (lowest enabled id), then walks the suffix
+     harvesting sibling branch points.  [sleep0] is the sleep set of
+     the first free node (depth = length of prefix).  A sleep set holds
+     steps already explored from a sibling branch of an ancestor node;
+     scheduling one of them first again would commute with everything
+     up to that sibling's subtree and reproduce an explored class. *)
+  let rec expand prefix sleep0 =
+    if stats.schedules >= max_schedules then begin
+      stats.truncated <- true;
+      raise Budget
+    end;
+    let report, fail = run (Control.Fixed { prefix; fallback = `Min_id }) in
+    record_run stats failures report fail;
+    let ds = report.decisions in
+    let depth = Array.length ds in
+    let rec walk i rev_choices sleep =
+      if i < depth then begin
+        let d = ds.(i) in
+        let in_sleep task = List.exists (fun (p : Control.step_info) -> p.task = task) sleep in
+        let chosen_step =
+          List.find (fun (p : Control.step_info) -> p.task = d.chosen) d.enabled
+        in
+        let chosen_sleeping = in_sleep d.chosen in
+        (* Steps already explored at this node, the canonical choice
+           first (this very run is its exploration). *)
+        let explored = ref (if chosen_sleeping then sleep else chosen_step :: sleep) in
+        List.iter
+          (fun (s : Control.step_info) ->
+            if s.task <> d.chosen && not (in_sleep s.task) then begin
+              let child_sleep = List.filter (fun p -> independent p s) !explored in
+              expand (List.rev (s.task :: rev_choices)) child_sleep;
+              explored := s :: !explored
+            end)
+          d.enabled;
+        if chosen_sleeping then
+          (* The canonical suffix from here is equivalent to an already
+             explored interleaving; count it and stop descending. *)
+          stats.pruned <- stats.pruned + 1
+        else
+          walk (i + 1) (d.chosen :: rev_choices)
+            (List.filter (fun p -> independent p chosen_step) sleep)
+      end
+    in
+    (* Replaying a DFS-produced prefix is always feasible (the forced
+       choices came from actual enabled sets of a deterministic
+       execution), so the first free node sits exactly at its end. *)
+    walk (List.length prefix) (List.rev prefix) sleep0
+  in
+  (try expand [] [] with Budget -> ());
+  (stats, List.rev !failures)
+
+let seeded_runs ~seeds ~mk ~(run : runner) =
+  let stats = fresh_stats () in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let report, fail = run (mk seed) in
+      record_run stats failures report fail)
+    seeds;
+  (stats, List.rev !failures)
+
+let pct_search ~seeds ~depth ~steps ~run =
+  seeded_runs ~seeds ~mk:(fun seed -> Control.Pct { seed; depth; steps }) ~run
+
+let sweep ~seeds ~run = seeded_runs ~seeds ~mk:(fun seed -> Control.Random seed) ~run
+
+let shrink_schedule ?(fallback = `Min_id) ~(run : runner) trace =
+  Shrink.list
+    ~still_failing:(fun prefix -> snd (run (Control.Fixed { prefix; fallback })) <> None)
+    trace

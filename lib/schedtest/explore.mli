@@ -1,0 +1,55 @@
+(** Schedule-space exploration drivers.
+
+    Every entry point is generic over a [run] function mapping a
+    {!Control.strategy} to a finished report plus an optional failure
+    message; the caller's [run] must build {e fresh} state per call
+    (see {!Cscript.run}) and must be deterministic — same strategy,
+    same result.  On top of that, this module provides:
+
+    - {!dfs}: bounded exhaustive enumeration of {e all} interleavings,
+      with sleep-set pruning (Godefroid) driven by the conservative
+      step kinds recorded at each decision;
+    - {!pct_search}: one PCT run per seed (see {!Control.strategy.Pct});
+    - {!sweep}: one seeded-random run per seed — the replay scheduler
+      swept across seeds;
+    - {!shrink_schedule}: ddmin a failing decision trace, keeping it
+      failing, via {!Spr_check.Shrink.list}. *)
+
+type stats = {
+  mutable schedules : int;  (** complete runs executed *)
+  mutable pruned : int;  (** subtrees skipped as sleep-set-redundant *)
+  mutable max_depth : int;  (** longest decision trace seen *)
+  mutable truncated : bool;  (** a budget cut enumeration short *)
+}
+
+type failure = { trace : int list; message : string }
+
+type runner = Control.strategy -> Control.report * string option
+
+val independent : Control.step_info -> Control.step_info -> bool
+(** Commutation test used for sleep sets: true only for Read–Read,
+    Read–Link and Link–Read step pairs (see {!Spr_schedhook.Hook.kind}). *)
+
+val dfs : ?max_schedules:int -> run:runner -> unit -> stats * failure list
+(** Depth-first enumeration: run the canonical schedule (lowest
+    enabled id at every free decision), then for each decision point
+    recursively explore the enabled-but-not-chosen siblings outside the
+    node's sleep set, replaying the prefix via
+    [Fixed { prefix; fallback = `Min_id }].  A node whose canonical
+    choice is already in its sleep set terminates that suffix
+    (counted in [pruned]) — the interleaving is equivalent to one
+    already explored.  [max_schedules] (default 100_000) bounds the
+    run count; hitting it sets [truncated]. *)
+
+val pct_search :
+  seeds:int list -> depth:int -> steps:int -> run:runner -> stats * failure list
+
+val sweep : seeds:int list -> run:runner -> stats * failure list
+(** [Random seed] runs, one per seed. *)
+
+val shrink_schedule :
+  ?fallback:[ `Round_robin | `Min_id ] -> run:runner -> int list -> int list
+(** Minimize a failing trace: candidates are replayed as
+    [Fixed { prefix; fallback }] (default [`Min_id]) and kept only if
+    they still fail.  The result drives a failing schedule when
+    replayed the same way. *)

@@ -1,0 +1,54 @@
+type kind = Read | Link | Write
+
+type hint = Normal | Spin
+
+type controller = {
+  c_register : int -> unit;
+  c_finish : int -> unit;
+  c_yield : layer:string -> name:string -> kind:kind -> hint:hint -> unit;
+  c_blocked : Mutex.t -> unit;
+  c_released : Mutex.t -> unit;
+}
+
+(* The whole disabled-path cost is this one atomic load (a plain load
+   on x86) and a branch. *)
+let current : controller option Atomic.t = Atomic.make None
+
+let install c = Atomic.set current (Some c)
+
+let uninstall () = Atomic.set current None
+
+let enabled () = Atomic.get current <> None
+
+let yield ?(kind = Write) ?(hint = Normal) ~layer ~name () =
+  match Atomic.get current with
+  | None -> ()
+  | Some c -> c.c_yield ~layer ~name ~kind ~hint
+
+let lock ~layer ~name m =
+  match Atomic.get current with
+  | None -> Mutex.lock m
+  | Some c ->
+      (* The decision point sits before the acquisition attempt, so the
+         controller chooses the acquisition order of competing lockers;
+         acquisition itself never blocks the OS thread (the holder may
+         be parked), it parks as blocked instead. *)
+      c.c_yield ~layer ~name ~kind:Link ~hint:Normal;
+      while not (Mutex.try_lock m) do
+        c.c_blocked m
+      done
+
+let unlock m =
+  Mutex.unlock m;
+  match Atomic.get current with None -> () | Some c -> c.c_released m
+
+let locked ~layer ~name m f =
+  lock ~layer ~name m;
+  Fun.protect ~finally:(fun () -> unlock m) f
+
+let task_scope ~id f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some c ->
+      c.c_register id;
+      Fun.protect ~finally:(fun () -> c.c_finish id) f

@@ -1,0 +1,97 @@
+(** Named yield points for schedule-exploration testing.
+
+    The concurrency hot spots of the library ({!Spr_runtime.Runtime},
+    {!Spr_om.Om_concurrent}, {!Spr_om.Om_concurrent2}, the SP-hybrid
+    global-tier lock path) call {!yield} at the shared-memory
+    operations whose interleavings matter, and acquire their mutexes
+    through {!lock}/{!unlock}.  With no controller installed (the
+    default, and the only state production code ever sees) every entry
+    point is a single atomic load and a branch: [yield] is a no-op,
+    [lock] is [Mutex.lock], [task_scope] runs its body directly — the
+    compiled behavior is the current, uncontrolled one.
+
+    A schedule controller (see [Spr_schedtest.Control]) installed via
+    {!install} turns each yield point into a scheduling decision: the
+    calling task parks until the controller grants it the right to run
+    the next step.  Exactly one task runs between grants, so the
+    execution is a deterministic function of the controller's decision
+    sequence — which is what makes schedules replayable, shrinkable and
+    exhaustively enumerable.
+
+    Locks are routed through {!lock} so a task that would block on a
+    mutex held by a {e parked} task reports itself blocked instead of
+    deadlocking the harness: under a controller, [lock] loops on
+    [Mutex.try_lock], parking as blocked-on-that-mutex between
+    attempts; {!unlock} tells the controller the mutex was released so
+    blocked tasks become schedulable again. *)
+
+(** Conservative footprint of the {e step} that starts at a yield point
+    (everything the task executes from this park until its next one).
+    The DFS explorer's sleep-set pruning treats two steps of different
+    tasks as independent only when swapping them provably commutes:
+
+    - [Read]: reads query-visible shared state only (labels, stamps);
+      no writes.  Read–Read and Read–Link pairs commute.
+    - [Link]: may read query-visible state and may write shared state
+      that queries never read (list links, sizes, retry counters,
+      mutex acquisition).  Link–Link pairs do {e not} commute (two
+      acquirers of one mutex), so only Read–Link is independent.
+    - [Write]: may write query-visible state (label/stamp updates,
+      bucket splits).  Dependent with everything.
+
+    When unsure, use [Write] — it only costs pruning, never
+    soundness. *)
+type kind = Read | Link | Write
+
+(** Scheduling hint attached to a yield: [Spin] marks a point on a
+    busy-wait path (a failed steal attempt) whose task should be
+    deprioritized by priority-based controllers, so PCT does not pin a
+    spinning worker at high priority forever. *)
+type hint = Normal | Spin
+
+(** What a controller must provide.  All callbacks may assume the
+    serialization discipline: [c_yield]/[c_blocked]/[c_released] are
+    only ever invoked by the single currently-granted task, [c_register]
+    by a task entering its {!task_scope}. *)
+type controller = {
+  c_register : int -> unit;
+      (** [c_register id] announces task [id] and blocks until the
+          controller grants it the first step. *)
+  c_finish : int -> unit;  (** the task's scope ended *)
+  c_yield : layer:string -> name:string -> kind:kind -> hint:hint -> unit;
+      (** park at a named point; returns when regranted *)
+  c_blocked : Mutex.t -> unit;
+      (** [try_lock] failed: park until the mutex has been released at
+          least once and the task is regranted *)
+  c_released : Mutex.t -> unit;  (** the mutex was just unlocked *)
+}
+
+val install : controller -> unit
+(** Install a controller process-wide.  Only one can be active; the
+    caller is responsible for quiescence (no controlled code running)
+    around install/uninstall. *)
+
+val uninstall : unit -> unit
+
+val enabled : unit -> bool
+
+val yield : ?kind:kind -> ?hint:hint -> layer:string -> name:string -> unit -> unit
+(** A named yield point.  No-op without a controller.  [kind] defaults
+    to [Write] (never prunes), [hint] to [Normal]. *)
+
+val lock : layer:string -> name:string -> Mutex.t -> unit
+(** Acquire [m].  Without a controller this is exactly [Mutex.lock m].
+    Under a controller it is a decision point followed by a
+    [Mutex.try_lock] loop that parks as blocked between attempts. *)
+
+val unlock : Mutex.t -> unit
+(** Release [m] and notify the controller (if any). *)
+
+val locked : layer:string -> name:string -> Mutex.t -> (unit -> 'a) -> 'a
+(** [locked ~layer ~name m f]: {!lock}, run [f], {!unlock} in a
+    [Fun.protect] finalizer. *)
+
+val task_scope : id:int -> (unit -> 'a) -> 'a
+(** Run [f] as controlled task [id].  Without a controller this is
+    [f ()].  Under one, registers, waits for the first grant, runs [f]
+    and reports completion (also on exception). *)

@@ -1,0 +1,18 @@
+type outcome = {
+  result : Spr_runtime.Runtime.result option;
+  control : Control.outcome;
+  trace : int list;
+}
+
+let run ?max_decisions ?hooks ?seed ~workers strategy program =
+  let c = Control.create ?max_decisions ~expected:workers strategy in
+  let result = ref None in
+  (* On abort (deadlock/livelock — always a bug for this runtime) the
+     [Aborted] unwind can leave worker domains unjoined; that only
+     happens on a failing path, where the test is about to report
+     anyway. *)
+  (try
+     Control.with_installed c (fun () ->
+         result := Some (Spr_runtime.Runtime.run ?hooks ?seed ~spin:1 ~workers program))
+   with Control.Aborted -> ());
+  { result = !result; control = Control.outcome c; trace = Control.trace c }

@@ -1,0 +1,34 @@
+(** Controlled executions of the real multi-domain runtime.
+
+    {!run} installs a fresh {!Control} controller expecting one task
+    per worker (the runtime's [worker_loop] registers each worker as
+    controlled task [wid]) and executes the program under it: exactly
+    one worker advances between yield points, so the whole parallel
+    execution — steal victims, park/resume order, hook interleavings —
+    is a deterministic function of the strategy.  Same strategy, same
+    program: identical decision trace, byte for byte.
+
+    The runtime takes no locks it does not release and parks by
+    handing frames over, never by sleeping (see the lost-wakeup audit
+    in [runtime.ml]); any [Deadlock] or [Livelock] control outcome is
+    therefore a runtime bug, and the seed-sweep regression test keeps
+    it that way. *)
+
+type outcome = {
+  result : Spr_runtime.Runtime.result option;
+      (** [None] iff the controller aborted (deadlock/livelock) *)
+  control : Control.outcome;
+  trace : int list;  (** the decision trace, for digests and replay *)
+}
+
+val run :
+  ?max_decisions:int ->
+  ?hooks:Spr_sched.Sim.hooks ->
+  ?seed:int ->
+  workers:int ->
+  Control.strategy ->
+  Spr_prog.Fj_program.t ->
+  outcome
+(** [seed] feeds the runtime's victim-selection RNG (kept deterministic
+    anyway — the controller serializes everything); [spin] is pinned to
+    1 so burn loops stay cheap under serialization. *)

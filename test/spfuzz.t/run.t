@@ -24,3 +24,47 @@ insert_after) must be caught and shrunk too:
     [Insert_before 693078]
   replay: spfuzz --mode om --seed 1 --iters 1
   [1]
+
+Schedule-exploration modes (--sched) print a digest folded over every
+decision trace; running the same command twice must produce identical
+output (deterministic replayable schedules):
+
+  $ spfuzz --sched replay --smoke --quiet | tee first.out
+  spfuzz: OK — sched replay: 40 scripts x 2 structures, 400 schedules explored, 0 pruned, max depth 35, digest 332a8c95884b6978
+  $ spfuzz --sched replay --smoke --quiet | cmp - first.out
+
+PCT and bounded exhaustive DFS (with sleep-set pruning) over the same
+script generator:
+
+  $ spfuzz --sched pct --depth 3 --smoke --quiet
+  spfuzz: OK — sched pct: 40 scripts x 2 structures, 400 schedules explored, 0 pruned, max depth 29, digest 5719b120e5568e53
+  $ spfuzz --sched dfs --smoke --quiet
+  spfuzz: OK — sched dfs: 6 scripts x 2 structures, 16942 schedules explored, 1437 pruned, max depth 31 (budget-truncated), digest 2f0af8363e6d37ea
+
+A planted concurrency bug (concurrent OM query with the
+read-validation loop removed) must be caught by PCT and shrunk to a
+minimal script plus a minimal schedule:
+
+  $ spfuzz --sched pct --inject-fault om-unvalidated --smoke --quiet
+  sched divergence (pct, om-concurrent-unvalidated, iteration 1):
+    reader 1 query 1: precedes(pre.0, pre.1) = true, serial oracle says false
+  shrunk script:
+  { prelude_head = 2;
+    prelude_base = 0;
+    writer = [W_head_insert; W_head_insert];
+    readers = [[{ qx = 0; qy = 0 }; { qx = 0; qy = 1 }]] }
+  shrunk schedule (2 decisions): 1 1
+  replay: spfuzz --sched pct --depth 3 --inject-fault om-unvalidated --seed 2 --iters 1
+  [1]
+
+Unknown scheduler and fault names fail cleanly with the valid values:
+
+  $ spfuzz --sched bogus
+  spfuzz: unknown scheduler "bogus" (valid: replay, pct, dfs)
+  [1]
+  $ spfuzz --inject-fault bogus
+  spfuzz: unknown fault "bogus" (valid: none, bags-flip, om-before-after, om-unvalidated)
+  [1]
+  $ spfuzz --inject-fault om-unvalidated
+  spfuzz: fault "om-unvalidated" races a query against a relabel — it needs a controlled scheduler; combine it with --sched (valid: replay, pct, dfs)
+  [1]
