@@ -17,6 +17,17 @@ let test_fig3_query =
   Test.make ~name:"fig3/sp-order-query"
     (Staged.stage (fun () -> Spr_core.Sp_maintainer.precedes inst a b))
 
+(* Same query kernel on the DePa-style fork-path labels: a word-packed
+   xor/ctz compare against sp-order's two OM queries. *)
+let test_fig3_depa_query =
+  let tree = Spr_sptree.Tree_gen.balanced ~leaves:4096 in
+  let inst = Spr_core.Algorithms.sp_depa tree in
+  Spr_core.Driver.run tree inst;
+  let ls = Spr_sptree.Sp_tree.leaves tree in
+  let a = ls.(17) and b = ls.(4090) in
+  Test.make ~name:"fig3/sp-depa-query"
+    (Staged.stage (fun () -> Spr_core.Sp_maintainer.precedes inst a b))
+
 (* EXP-THM5 kernel: full on-the-fly SP-order construction. *)
 let test_thm5_construct =
   let tree = Spr_sptree.Tree_gen.balanced ~leaves:1024 in
@@ -74,6 +85,7 @@ let test_split =
 let all_tests =
   [
     test_fig3_query;
+    test_fig3_depa_query;
     test_thm5_construct;
     test_cor6_detect;
     test_thm10_hybrid;

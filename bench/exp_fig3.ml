@@ -1,6 +1,7 @@
 (* EXP-FIG3 — the paper's Figure 3 comparison table.
 
-   For each of the four serial SP-maintenance algorithms, on workloads
+   For each of the four serial SP-maintenance algorithms — plus the
+   post-paper DePa-style fork-path labeling as a fifth row — on workloads
    chosen to stress each row's weakness, measure:
 
      - time per thread creation (drive the whole on-the-fly walk,
@@ -12,7 +13,8 @@
      english-hebrew : query/space grow with the number of forks f
      offset-span    : query/space grow with the nesting depth d
      sp-bags        : ~alpha() per op, constant space
-     sp-order       : O(1) per op, constant space                     *)
+     sp-order       : O(1) per op, constant space
+     sp-depa        : O(1) create, query/space grow ~d/62 (word-packed) *)
 
 open Spr_sptree
 module Sm = Spr_core.Sp_maintainer
@@ -77,14 +79,14 @@ let family name trees =
             ])
         trees;
       T.add_sep tbl)
-    Spr_core.Algorithms.figure3;
+    Spr_core.Algorithms.figure3_modern;
   T.print tbl;
   Printf.printf "query-cost growth (largest/smallest param):\n";
   List.iter
     (fun (algo_name, _) ->
       let first, last = Hashtbl.find growth algo_name in
       Printf.printf "  %-16s %.1fx\n" algo_name (Bench_util.growth_factor first last))
-    Spr_core.Algorithms.figure3;
+    Spr_core.Algorithms.figure3_modern;
   print_newline ()
 
 let run () =
@@ -98,4 +100,6 @@ let run () =
     (List.map (fun n -> (n, Tree_gen.balanced ~leaves:n)) [ 1024; 8192 ]);
   Printf.printf
     "Paper shape: english-hebrew explodes with f, offset-span with d,\n\
-     sp-bags and sp-order stay flat with sp-order the cheapest per query.\n"
+     sp-bags and sp-order stay flat with sp-order the cheapest per query.\n\
+     sp-depa (post-paper) stays flat in time until d crosses a 62-level\n\
+     word boundary; its label words grow ~2d/62 instead of sp-order's O(1).\n"

@@ -118,6 +118,61 @@ let emit_json () =
         [ Append; Hammer; Random ])
     backends
 
+(* sp-depa rides in the "om" gate: its labels are the label-based
+   alternative to the OM substrate (DESIGN.md section 5), and the CI
+   perf smoke only regenerates this experiment's entries.  One warmed
+   query-cost sample set plus the deterministic label-footprint
+   counter, per tree family. *)
+let depa_query_samples = 20_000
+
+let depa_run tree =
+  let module Sm = Spr_core.Sp_maintainer in
+  let inst = Spr_core.Algorithms.sp_depa tree in
+  Spr_core.Driver.run tree inst;
+  let ls = Spr_sptree.Sp_tree.leaves tree in
+  let n = Array.length ls in
+  let rng = Spr_util.Rng.create 99 in
+  let pairs =
+    Array.init depa_query_samples (fun _ ->
+        (ls.(Spr_util.Rng.int rng n), ls.(Spr_util.Rng.int rng n)))
+  in
+  let sink = ref 0 in
+  let _, qsecs =
+    Bench_util.time (fun () ->
+        Array.iter (fun (a, b) -> if (not (a == b)) && Sm.precedes inst a b then incr sink) pairs)
+  in
+  ignore !sink;
+  (qsecs *. 1e9 /. float_of_int depa_query_samples, Sm.avg_label_words inst)
+
+let emit_json_depa () =
+  let n = Bench_json.scaled_n ~default:1_000_000 in
+  (* Label depth equals parse-tree depth, so the chain families are
+     capped: at n = 10^6 a fork-chain leaf would sit ~5*10^5 levels
+     deep and the spill copies alone would dominate.  4096 matches the
+     largest EXP-FIG3 family size. *)
+  let capped = min n 4096 in
+  let families =
+    [
+      ("fork-chain", capped, Spr_sptree.Tree_gen.fork_chain ~forks:capped);
+      ("deep-nest", capped, Spr_sptree.Tree_gen.deep_nest ~depth:capped);
+      ("balanced", n, Spr_sptree.Tree_gen.balanced ~leaves:n);
+    ]
+  in
+  List.iter
+    (fun (pat, size, tree) ->
+      ignore (depa_run tree);
+      let samples = ref [] in
+      let words = ref 0.0 in
+      for _ = 1 to 5 do
+        let q, w = depa_run tree in
+        samples := q :: !samples;
+        words := w
+      done;
+      let add = Bench_json.add ~experiment:"om" ~backend:"sp-depa" ~pattern:pat ~n:size in
+      add ~metric:"ns_per_query" ~kind:Bench_json.Time (List.rev !samples);
+      add ~metric:"avg_label_words" ~kind:Bench_json.Counter [ !words ])
+    families
+
 let run () =
   Bench_util.header "EXP-OM: order-maintenance substrate";
   (* --json-n shrinks the human-readable table too, so smoke runs (the
@@ -231,4 +286,7 @@ let run () =
   Printf.printf
     "Paper shape: the linear-universe column grows with lg n (the\n\
      Dietz-Seiferas-Zhang lower bound); order maintenance stays flat.\n";
-  if Bench_json.enabled () then emit_json ()
+  if Bench_json.enabled () then begin
+    emit_json ();
+    emit_json_depa ()
+  end

@@ -49,10 +49,9 @@ let say quiet fmt =
 
 let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
   let algos =
-    let all = Spr_core.Algorithms.all in
     match algo with
-    | None -> all
-    | Some name -> [ (name, List.assoc name all) ]
+    | None -> Spr_core.Algorithms.all
+    | Some name -> [ (name, Spr_core.Algorithms.find name) ]
   in
   let algos, om_suts =
     match inject with
@@ -63,12 +62,16 @@ let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
           @ [ ("om-broken-insert-before", Spr_check.Faulty.om_broken_insert_before) ] )
     | `None | `Om_unvalidated -> (algos, F.default_om_suts)
   in
+  (* Cross-validation pairs only make sense when both members run:
+     --algo restricts the battery to one maintainer, so drop them. *)
+  let sp_pairs = match algo with None -> F.default_sp_pairs | Some _ -> [] in
   {
     F.seed;
     iters;
     max_threads;
     schedules;
     algos;
+    sp_pairs;
     om_suts;
     om_pairs = F.default_om_pairs;
     log = (fun line -> say quiet "%s" line);
@@ -310,14 +313,18 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
         print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json m))
     | Some m ->
         Printf.printf
-          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
-          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts)
+          "spfuzz: OK — %d program iterations (%d maintainers + %d cross-checks), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
+          !sp_checked (List.length cfg.F.algos)
+          (List.length cfg.F.sp_pairs)
+          !om_checked (List.length cfg.F.om_suts)
           (List.length cfg.F.om_pairs);
         Format.printf "%a" Spr_obs.Metrics.pp m
     | None ->
         Printf.printf
-          "spfuzz: OK — %d program iterations (%d maintainers), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
-          !sp_checked (List.length cfg.F.algos) !om_checked (List.length cfg.F.om_suts)
+          "spfuzz: OK — %d program iterations (%d maintainers + %d cross-checks), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
+          !sp_checked (List.length cfg.F.algos)
+          (List.length cfg.F.sp_pairs)
+          !om_checked (List.length cfg.F.om_suts)
           (List.length cfg.F.om_pairs));
     0
   end
@@ -347,10 +354,9 @@ let schedules_arg =
 
 let algo_conv =
   let parse s =
-    if List.mem_assoc s Spr_core.Algorithms.all then Ok s
-    else
-      let names = String.concat ", " (List.map fst Spr_core.Algorithms.all) in
-      Error (`Msg (Printf.sprintf "unknown algorithm %S (have: %s)" s names))
+    match Spr_core.Algorithms.find_opt s with
+    | Some _ -> Ok s
+    | None -> Error (`Msg (Spr_core.Algorithms.unknown s))
   in
   Arg.conv (parse, Format.pp_print_string)
 

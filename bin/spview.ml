@@ -110,9 +110,9 @@ let detect_cmd_run kind size seed algo locked =
   let p = gen_workload kind size seed in
   let pt = Spr_prog.Prog_tree.of_program p in
   let make =
-    match List.assoc_opt algo Spr_core.Algorithms.all with
+    match Spr_core.Algorithms.find_opt algo with
     | Some f -> f
-    | None -> usage_error "algorithm" algo (List.map fst Spr_core.Algorithms.all)
+    | None -> raise (Usage (Spr_core.Algorithms.unknown algo))
   in
   if locked then begin
     let r = Spr_race.Drivers.detect_serial_locked pt make in

@@ -6,6 +6,7 @@ type config = {
   max_threads : int;
   schedules : int;
   algos : Sp_check.algo list;
+  sp_pairs : (Sp_check.algo * Sp_check.algo) list;
   om_suts : (string * (module Om_script.SUT)) list;
   om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list;
   log : string -> unit;
@@ -43,6 +44,17 @@ let default_om_pairs =
       ((module Spr_om.Om) : (module Om_script.SUT)) );
   ]
 
+(* SP-maintainer cross-validation pairs, same spirit: sp-depa computes
+   the relation from immutable fork-path labels, sp-order from a live
+   OM structure — totally different failure modes, so answer-for-answer
+   agreement on every executed pair is a sharp check that costs no
+   extra reference walk. *)
+let default_sp_pairs =
+  [
+    ( ("sp-depa", Spr_core.Algorithms.sp_depa),
+      ("sp-order", Spr_core.Algorithms.sp_order) );
+  ]
+
 let default ~seed ~iters =
   {
     seed;
@@ -50,6 +62,7 @@ let default ~seed ~iters =
     max_threads = 32;
     schedules = 3;
     algos = Spr_core.Algorithms.all;
+    sp_pairs = default_sp_pairs;
     om_suts = default_om_suts;
     om_pairs = default_om_pairs;
     log = ignore;
@@ -102,7 +115,8 @@ let run_sp cfg =
         List.init cfg.schedules (fun k -> (1 + ((i + k) mod 8), (i * 31) + k))
       in
       let diverges spec =
-        Sp_check.check_program ~sink:cfg.sink ~algos:cfg.algos ~unfold_seeds ~schedules:hybrid
+        Sp_check.check_program ~sink:cfg.sink ~algos:cfg.algos ~pairs:cfg.sp_pairs
+          ~unfold_seeds ~schedules:hybrid
           (Prog_spec.to_program spec)
       in
       count cfg "fuzz/sp_programs";

@@ -13,6 +13,9 @@ type config = {
   max_threads : int;  (** thread-count ceiling for generated programs *)
   schedules : int;  (** simulated hybrid schedules (procs, steal seed) per program *)
   algos : Sp_check.algo list;  (** serial maintainers under test *)
+  sp_pairs : (Sp_check.algo * Sp_check.algo) list;
+      (** maintainer cross-validation pairs run through
+          {!Sp_check.check_pair} on every generated program *)
   om_suts : (string * (module Om_script.SUT)) list;
   om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list;
       (** cross-validation pairs [(label, candidate, oracle)] replayed
@@ -35,10 +38,15 @@ val default_om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)
     structure as oracle (same algorithm, answers must agree op for
     op). *)
 
+val default_sp_pairs : (Sp_check.algo * Sp_check.algo) list
+(** [sp-depa] cross-validated against [sp-order]: immutable fork-path
+    labels vs a live OM structure, answers compared query for query on
+    the same walk. *)
+
 val default : seed:int -> iters:int -> config
-(** All maintainers ({!Spr_core.Algorithms.all}), all OM SUTs and
-    cross-validation pairs, [max_threads = 32], [schedules = 3], silent
-    log, null sink. *)
+(** All maintainers ({!Spr_core.Algorithms.all}), the [sp-depa] vs
+    [sp-order] pair, all OM SUTs and cross-validation pairs,
+    [max_threads = 32], [schedules = 3], silent log, null sink. *)
 
 type sp_failure = {
   sp_iter : int;

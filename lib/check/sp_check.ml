@@ -50,6 +50,41 @@ let check_serial tree (name, make) =
           List.iter (fun prev -> compare_pair ~algo:name ~schedule inst prev current) !executed;
           executed := current :: !executed))
 
+let check_pair tree ((name_a, make_a) : algo) ((name_b, make_b) : algo) =
+  let algo = Printf.sprintf "%s vs %s" name_a name_b in
+  let schedule = "serial pair" in
+  guard ~algo ~schedule (fun () ->
+      let a = make_a tree and b = make_b tree in
+      let fail fmt =
+        Format.kasprintf (fun detail -> raise (Diverged { algo; schedule; detail })) fmt
+      in
+      let both_directions =
+        not (Sm.requires_current_operand a || Sm.requires_current_operand b)
+      in
+      let agree x y =
+        let pa = Sm.precedes a x y and pb = Sm.precedes b x y in
+        if pa <> pb then
+          fail "precedes(u%d, u%d): %s says %b, %s says %b" x.Sp_tree.id y.Sp_tree.id name_a
+            pa name_b pb;
+        let qa = Sm.parallel a x y and qb = Sm.parallel b x y in
+        if qa <> qb then
+          fail "parallel(u%d, u%d): %s says %b, %s says %b" x.Sp_tree.id y.Sp_tree.id name_a
+            qa name_b qb
+      in
+      let executed = ref [] in
+      Sp_tree.iter_events tree (fun ev ->
+          Sm.on_event a ev;
+          Sm.on_event b ev;
+          match ev with
+          | Sp_tree.Thread current ->
+              List.iter
+                (fun prev ->
+                  agree prev current;
+                  if both_directions then agree current prev)
+                !executed;
+              executed := current :: !executed
+          | _ -> ()))
+
 let check_unfolded ~seed tree (name, make) =
   let schedule = Printf.sprintf "unfold seed=%d" seed in
   guard ~algo:name ~schedule (fun () ->
@@ -107,14 +142,17 @@ let check_hybrid ?(sink = Spr_obs.Sink.null) ~procs ~seed program =
            ~hooks:(H.hooks ~on_thread_user h)
            ~sink ~seed ~max_ticks:50_000_000 ~procs program))
 
-let check_program ?(sink = Spr_obs.Sink.null) ?algos ?(unfold_seeds = []) ?(schedules = [])
-    program =
+let check_program ?(sink = Spr_obs.Sink.null) ?algos ?(pairs = []) ?(unfold_seeds = [])
+    ?(schedules = []) program =
   let algos = match algos with Some a -> a | None -> Spr_core.Algorithms.all in
   let tree = Spr_prog.Prog_tree.tree (Spr_prog.Prog_tree.of_program program) in
   let first_some f xs =
     List.fold_left (fun acc x -> match acc with Some _ -> acc | None -> f x) None xs
   in
   match first_some (check_serial tree) algos with
+  | Some d -> Some d
+  | None -> (
+  match first_some (fun (a, b) -> check_pair tree a b) pairs with
   | Some d -> Some d
   | None -> (
       (* Out-of-order unfoldings: only SP-order advertises support. *)
@@ -126,4 +164,4 @@ let check_program ?(sink = Spr_obs.Sink.null) ?algos ?(unfold_seeds = []) ?(sche
       with
       | Some d -> Some d
       | None ->
-          first_some (fun (procs, seed) -> check_hybrid ~sink ~procs ~seed program) schedules)
+          first_some (fun (procs, seed) -> check_hybrid ~sink ~procs ~seed program) schedules))

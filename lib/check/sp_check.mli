@@ -29,6 +29,16 @@ val check_serial : Spr_sptree.Sp_tree.t -> algo -> divergence option
     ([requires_current_operand], reverse direction included when
     allowed). *)
 
+val check_pair : Spr_sptree.Sp_tree.t -> algo -> algo -> divergence option
+(** [check_pair tree a b] drives {e both} maintainers through the same
+    left-to-right walk and compares their answers to each other — no
+    reference oracle involved.  Catches a pair of algorithms that are
+    wrong {e the same way} relative to their spec drifting apart in
+    practice (the sp-depa vs sp-order cross-validation), and is cheaper
+    than two oracle checks since the reference LCA walk is skipped.
+    Reverse-direction queries are exercised only when neither side sets
+    [requires_current_operand]. *)
+
 val check_unfolded : seed:int -> Spr_sptree.Sp_tree.t -> algo -> divergence option
 (** Drive the algorithm with a random {e legal} unfolding
     ({!Spr_sptree.Unfold.random_events}) and audit all pairs of
@@ -46,11 +56,13 @@ val check_hybrid :
 val check_program :
   ?sink:Spr_obs.Sink.t ->
   ?algos:algo list ->
+  ?pairs:(algo * algo) list ->
   ?unfold_seeds:int list ->
   ?schedules:(int * int) list ->
   Spr_prog.Fj_program.t ->
   divergence option
 (** The full battery on one program: [algos] (default
-    {!Spr_core.Algorithms.all}) through {!check_serial}, each
-    [unfold_seeds] through {!check_unfolded} on SP-order, each
-    [(procs, seed)] in [schedules] through {!check_hybrid}. *)
+    {!Spr_core.Algorithms.all}) through {!check_serial}, each of
+    [pairs] through {!check_pair}, each [unfold_seeds] through
+    {!check_unfolded} on SP-order, each [(procs, seed)] in [schedules]
+    through {!check_hybrid}. *)

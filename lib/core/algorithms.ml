@@ -28,6 +28,8 @@ let english_hebrew tree =
 
 let offset_span tree = Sp_maintainer.Instance ((module Offset_span), Offset_span.create tree)
 
+let sp_depa tree = Sp_maintainer.Instance ((module Sp_depa), Sp_depa.create tree)
+
 let lca_reference tree = Sp_maintainer.Instance ((module Sp_naive), Sp_naive.create tree)
 
 let figure3 =
@@ -38,13 +40,29 @@ let figure3 =
     ("sp-order", sp_order);
   ]
 
+let figure3_modern = figure3 @ [ ("sp-depa", sp_depa) ]
+
 let all =
   figure3
   @ [
+      ("sp-depa", sp_depa);
       ("sp-order-packed", sp_order_packed);
       ("sp-order-implicit", sp_order_implicit);
       ("sp-bags-norank", sp_bags_no_compression);
       ("lca-reference", lca_reference);
     ]
 
-let find name tree = (List.assoc name all) tree
+let names = List.map fst all
+
+let find_opt name = List.assoc_opt name all
+
+let unknown name =
+  Printf.sprintf "unknown algorithm %S (valid: %s)" name (String.concat ", " names)
+
+(* The one lookup helper every CLI routes through: an unknown name is a
+   user input error with the valid names listed, never a bare
+   [Not_found] with a backtrace. *)
+let find name tree =
+  match find_opt name with
+  | Some make -> make tree
+  | None -> invalid_arg ("Algorithms.find: " ^ unknown name)

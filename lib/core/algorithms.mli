@@ -24,14 +24,35 @@ val english_hebrew : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
 
 val offset_span : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
 
+val sp_depa : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+(** DePa-style bit-packed (depth, fork-path) labels ({!Sp_depa}):
+    O(1) fork/join with no shared mutable state, lock-free queries. *)
+
 val lca_reference : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
 
 val all : (string * (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance)) list
 (** The four algorithms of Figure 3, in the paper's order, plus the
-    reference oracle and the ablation variant. *)
+    modern DePa labeling, the reference oracle and the ablation
+    variants. *)
 
 val figure3 : (string * (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance)) list
 (** Exactly the four rows of Figure 3. *)
 
+val figure3_modern : (string * (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance)) list
+(** The Figure-3 rows plus the post-paper labels-not-clocks competitor
+    ([sp-depa]) — what EXP-FIG3 actually tabulates. *)
+
+val names : string list
+(** Registered algorithm names, in [all]'s order. *)
+
+val find_opt : string -> (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance) option
+
+val unknown : string -> string
+(** [unknown name] is the canonical "unknown algorithm ... (valid:
+    ...)" message — the one string every CLI prints for a bad [--algo]
+    so the error paths cannot drift. *)
+
 val find : string -> Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
-(** Look an algorithm up by name.  @raise Not_found. *)
+(** Look an algorithm up by name.
+    @raise Invalid_argument with {!unknown}'s message on an
+    unregistered name (never a bare [Not_found]). *)

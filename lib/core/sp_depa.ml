@@ -1,0 +1,60 @@
+open Spr_sptree
+module Fp = Spr_om.Fork_path
+
+(* Each thread carries one immutable (depth, fork-path) label assigned
+   at its fork (the parent's Enter event): the bit-packed root path of
+   Spr_om.Fork_path.  Fork and join touch no shared structure — there
+   is nothing to relabel and nothing to lock — and a query compares the
+   two paths' packed words up to the LCA level.  See fork_path.mli for
+   the representation and DESIGN.md §5 for the mapping onto the
+   paper's English/Hebrew orderings. *)
+
+type t = {
+  labels : Fp.t option array;  (* per-node assignment, indexed by id *)
+  mutable total_words : int;
+  mutable threads : int;
+}
+
+let name = "sp-depa"
+
+let create tree =
+  let n = Sp_tree.node_count tree in
+  let t = { labels = Array.make n None; total_words = 0; threads = 0 } in
+  t.labels.((Sp_tree.root tree).id) <- Some Fp.root;
+  t
+
+let label t (n : Sp_tree.node) =
+  match t.labels.(n.id) with
+  | Some l -> l
+  | None -> invalid_arg "Sp_depa: node not yet discovered"
+
+let on_event t ev =
+  match ev with
+  | Sp_tree.Enter x -> begin
+      match x.shape with
+      | Leaf -> assert false
+      | Internal { kind; left; right } ->
+          let p = label t x in
+          let parallel = kind = Parallel in
+          t.labels.((left : Sp_tree.node).id) <- Some (Fp.extend p ~parallel ~right:false);
+          t.labels.((right : Sp_tree.node).id) <- Some (Fp.extend p ~parallel ~right:true)
+    end
+  | Sp_tree.Thread u ->
+      t.total_words <- t.total_words + Fp.size_words (label t u);
+      t.threads <- t.threads + 1
+  | Sp_tree.Mid _ | Sp_tree.Exit _ -> ()
+
+let precedes t x y = if x == y then false else Fp.relate (label t x) (label t y) = Fp.Before
+
+let parallel t x y = if x == y then false else Fp.relate (label t x) (label t y) = Fp.Par
+
+let requires_current_operand = false
+
+let leaves_only = true
+
+let avg_label_words t =
+  if t.threads = 0 then 0.0 else float_of_int t.total_words /. float_of_int t.threads
+
+let label_depth t n = Fp.depth (label t n)
+
+let label_words t n = Fp.size_words (label t n)

@@ -1,0 +1,24 @@
+(** DePa-style fork-path labeling (Westrick–Wang–Acar, see PAPERS.md).
+
+    Every thread gets, at fork time, one immutable label: its
+    bit-packed (depth, fork-path) pair ({!Spr_om.Fork_path}).  Fork and
+    join are O(1) (amortized at 62-level word boundaries) and touch
+    {e no shared mutable state} — no OM structure, no relabeling, no
+    global-tier lock — so SP queries are naturally lock-free: a query
+    xors the packed planes to the LCA level and reads two bits.
+
+    Versus the paper's algorithms: query cost is O(⌈lca-depth / 62⌉)
+    — one word compare for nesting up to 62, vs SP-order's O(1)-always
+    but lock-on-insert shared OM; label space is 1 + 2·⌈depth/62⌉
+    words, vs English-Hebrew's Θ(depth) components for the same
+    information.  What is given up: no deletion/reuse of labels
+    (SP-order's [release]), and queries are valid between {e leaves}
+    only. *)
+
+include Sp_maintainer.S
+
+val label_depth : t -> Spr_sptree.Sp_tree.node -> int
+(** The thread's parse-tree depth (= label bits per plane). *)
+
+val label_words : t -> Spr_sptree.Sp_tree.node -> int
+(** The thread's packed label footprint in machine words. *)

@@ -1,0 +1,132 @@
+(* Bit-packed (depth, fork-path) labels, DePa-style.
+
+   A path records, for every parse-tree level below the root, two bits:
+   the kind of the internal node left behind (S or P) and the direction
+   taken (left or right).  Level i lives at bit [i mod 62] of word
+   [i / 62]; the two youngest (possibly partial) words sit unboxed in
+   the record and full words are frozen into an immutable spill array
+   that children share with their parent, so [extend] is O(1) except at
+   a 62-level boundary, where it copies the spill (amortized O(1/62)
+   words per level).
+
+   Two distinct paths, neither an ancestor of the other, first differ
+   at the direction bit of their LCA's level; [relate] finds that bit
+   with word-sized xors, then reads the kind bit at the same position:
+   P means the paths are parallel, S means the left one comes first.
+   No comparison ever looks past the divergence word, so a query costs
+   O(lca-depth / 62) — one compare for any nesting up to 62. *)
+
+type t = {
+  depth : int;  (* bits assigned; root = 0 *)
+  kinds : int;  (* partial word: bits [0, depth mod 62); 1 = P-node *)
+  dirs : int;  (* partial word: 1 = right child *)
+  spill : int array;  (* frozen full words, interleaved: (2w) kinds, (2w+1) dirs *)
+}
+
+let bits_per_word = 62
+
+let root = { depth = 0; kinds = 0; dirs = 0; spill = [||] }
+
+let depth t = t.depth
+
+(* Occupied packed words (kind/dir pairs), partial word included. *)
+let words t = (t.depth + bits_per_word - 1) / bits_per_word
+
+(* Logical footprint in machine words: depth + the packed word pairs.
+   The "Space per node" coordinate of Figure 3. *)
+let size_words t = 1 + (2 * words t)
+
+let equal a b =
+  a.depth = b.depth && a.kinds = b.kinds && a.dirs = b.dirs
+  && (a.spill == b.spill || a.spill = b.spill)
+
+let extend t ~parallel ~right =
+  let b = t.depth mod bits_per_word in
+  let kinds = if parallel then t.kinds lor (1 lsl b) else t.kinds in
+  let dirs = if right then t.dirs lor (1 lsl b) else t.dirs in
+  let depth = t.depth + 1 in
+  if b = bits_per_word - 1 then begin
+    (* Word full: freeze it.  The only point where the 62-bit budget
+       would otherwise silently overflow — spill instead. *)
+    let nw = Array.length t.spill in
+    let spill = Array.make (nw + 2) 0 in
+    Array.blit t.spill 0 spill 0 nw;
+    spill.(nw) <- kinds;
+    spill.(nw + 1) <- dirs;
+    { depth; kinds = 0; dirs = 0; spill }
+  end
+  else { depth; kinds; dirs; spill = t.spill }
+
+let kinds_word t w = if 2 * w < Array.length t.spill then t.spill.(2 * w) else t.kinds
+
+let dirs_word t w = if 2 * w < Array.length t.spill then t.spill.((2 * w) + 1) else t.dirs
+
+(* Trailing zeros of a non-zero word (branchy binary descent — the
+   query is dominated by the word scan, not this). *)
+let ctz v =
+  let n = ref 0 and v = ref (v land -v) in
+  if !v land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    v := !v lsr 32
+  end;
+  if !v land 0xFFFF = 0 then begin
+    n := !n + 16;
+    v := !v lsr 16
+  end;
+  if !v land 0xFF = 0 then begin
+    n := !n + 8;
+    v := !v lsr 8
+  end;
+  if !v land 0xF = 0 then begin
+    n := !n + 4;
+    v := !v lsr 4
+  end;
+  if !v land 0x3 = 0 then begin
+    n := !n + 2;
+    v := !v lsr 2
+  end;
+  if !v land 0x1 = 0 then incr n;
+  !n
+
+type rel = Before | After | Par
+
+let ancestor () = invalid_arg "Fork_path.relate: one path is a prefix of the other"
+
+(* Direction bits determine the tree path, so if the dir words agree
+   through the shorter path's last bit, the shorter is an ancestor of
+   the longer — an error here (leaves have no descendants; clients
+   query leaves).  Otherwise the lowest differing dir bit is exactly
+   the LCA level: below it both words carry the identical shared
+   prefix, at it the two children split. *)
+let relate a b =
+  let min_depth = if a.depth < b.depth then a.depth else b.depth in
+  if min_depth = 0 then ancestor ();
+  let rec go w =
+    let da = dirs_word a w and db = dirs_word b w in
+    let diff = da lxor db in
+    if diff = 0 then
+      if (w + 1) * bits_per_word >= min_depth then ancestor () else go (w + 1)
+    else begin
+      let low = diff land -diff in
+      if (w * bits_per_word) + ctz diff >= min_depth then ancestor ()
+      else if kinds_word a w land low <> 0 then Par
+      else if da land low = 0 then Before
+      else After
+    end
+  in
+  go 0
+
+(* The LCA level of two divergent paths — introspection for tests. *)
+let divergence_depth a b =
+  let min_depth = if a.depth < b.depth then a.depth else b.depth in
+  if min_depth = 0 then ancestor ();
+  let rec go w =
+    let diff = dirs_word a w lxor dirs_word b w in
+    if diff = 0 then
+      if (w + 1) * bits_per_word >= min_depth then ancestor () else go (w + 1)
+    else begin
+      let k = (w * bits_per_word) + ctz diff in
+      if k >= min_depth then ancestor () else k
+    end
+  in
+  go 0

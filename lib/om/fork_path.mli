@@ -1,0 +1,56 @@
+(** Bit-packed (depth, fork-path) labels, DePa-style (Westrick, Wang,
+    Acar, "DePa: Simple, Provably Efficient, and Practical Order
+    Maintenance for Task Parallelism").
+
+    A label is a root path in a series-parallel parse tree: per level,
+    one {e kind} bit (S or P node) and one {e direction} bit (left or
+    right child), packed 62 levels to an [int] word.  Construction is
+    purely functional — a child's label extends its parent's in O(1),
+    sharing the frozen full words — so labeling needs {e no shared
+    mutable state, no relabeling, and no locks}: exactly the contrast
+    with the paper's OM-backed SP-order whose global tier serializes
+    inserts.
+
+    [relate] compares two labels up to their divergence point (the LCA
+    level) with word-sized xors: O(⌈lca-depth / 62⌉), a single compare
+    for any nesting up to 62 levels.  Past 62 levels the packed words
+    {e spill} into an immutable array rather than silently truncating
+    — depths 61/62/63 are the regression boundary (see test_om). *)
+
+type t
+
+val root : t
+(** The empty path (the parse-tree root). *)
+
+val extend : t -> parallel:bool -> right:bool -> t
+(** [extend t ~parallel ~right]: the path one level deeper, recording
+    the kind of the node being left ([parallel] = P) and the branch
+    taken.  O(1), amortized O(1) at word boundaries (spill copy every
+    62 levels). *)
+
+val depth : t -> int
+(** Levels below the root (= bits per plane). *)
+
+val words : t -> int
+(** Occupied packed words per plane, partial word included:
+    ⌈depth / 62⌉. *)
+
+val size_words : t -> int
+(** Logical label footprint in machine words: depth field + both
+    packed planes ([1 + 2 * words]). *)
+
+val equal : t -> t -> bool
+
+type rel = Before | After | Par
+
+val relate : t -> t -> rel
+(** Order of the two paths' endpoints in the series-parallel sense:
+    [Before]/[After] when their LCA is an S-node (left subtree first),
+    [Par] when it is a P-node.
+    @raise Invalid_argument if either path is a prefix of the other
+    (ancestor query — clients compare leaves, which are never related
+    by ancestry). *)
+
+val divergence_depth : t -> t -> int
+(** The LCA level of two divergent paths (introspection for tests).
+    @raise Invalid_argument on ancestor/equal paths. *)

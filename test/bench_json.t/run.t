@@ -26,6 +26,12 @@ run):
   om-packed hammer n=2000 items_moved_per_insert counter
   om-packed random n=2000 ns_per_insert time
   om-packed random n=2000 items_moved_per_insert counter
+  sp-depa fork-chain n=2000 ns_per_query time
+  sp-depa fork-chain n=2000 avg_label_words counter
+  sp-depa deep-nest n=2000 ns_per_query time
+  sp-depa deep-nest n=2000 avg_label_words counter
+  sp-depa balanced n=2000 ns_per_query time
+  sp-depa balanced n=2000 avg_label_words counter
 
 Every entry carries numeric samples and quantiles:
 
@@ -47,7 +53,7 @@ a second run reproduces them bit-for-bit, timing aside:
 The gate accepts a self-comparison:
 
   $ spr-regress out.json out.json
-  regress: OK — 12 entries within 1.50x of baseline
+  regress: OK — 18 entries within 1.50x of baseline
 
 A synthetically slowed timing entry trips it (exit 1):
 

@@ -38,6 +38,6 @@ names listed) instead of dying with a backtrace:
   [1]
 
   $ spview detect --workload dcsum --algo nope
-  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
+  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-depa, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
   [1]
 

@@ -1,7 +1,7 @@
 The bounded smoke profile (the CI configuration) must come back clean:
 
   $ spfuzz --smoke --quiet
-  spfuzz: OK — 60 program iterations (8 maintainers), 60 script iterations (6 OM structures + 1 cross-checks), 0 divergences
+  spfuzz: OK — 60 program iterations (9 maintainers + 1 cross-checks), 60 script iterations (6 OM structures + 1 cross-checks), 0 divergences
 
 A planted SP-maintenance bug (SP-bags with the bag-kind comparison
 flipped) must be caught and shrunk to a minimal replayable repro:

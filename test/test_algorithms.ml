@@ -407,6 +407,74 @@ let sp_order_release () =
     (Invalid_argument "Sp_order.release: node not discovered (or already released)") (fun () ->
       Spr_core.Sp_order.release inst ls.(0))
 
+(* ------------------------------------------------------------------ *)
+(* sp-depa: boundary depths around the 62-bit word spill, and the
+   label-footprint formula 1 + 2 * ceil(depth / 62).                    *)
+
+let sp_depa_boundary_depths () =
+  List.iter
+    (fun tree -> validate_against_reference tree (Spr_core.Algorithms.sp_depa tree))
+    [
+      Tree_gen.deep_nest ~depth:61;
+      Tree_gen.deep_nest ~depth:62;
+      Tree_gen.deep_nest ~depth:63;
+      Tree_gen.deep_nest ~depth:200;
+      Tree_gen.fork_chain ~forks:100;
+      Tree_gen.serial_chain ~leaves:130;
+    ]
+
+let sp_depa_label_words () =
+  List.iter
+    (fun d ->
+      let tree = Tree_gen.deep_nest ~depth:d in
+      let t = Spr_core.Sp_depa.create tree in
+      Sp_tree.iter_events tree (Spr_core.Sp_depa.on_event t);
+      let ls = Sp_tree.leaves tree in
+      let max_depth = ref 0 and max_words = ref 0 in
+      Array.iter
+        (fun u ->
+          max_depth := max !max_depth (Spr_core.Sp_depa.label_depth t u);
+          max_words := max !max_words (Spr_core.Sp_depa.label_words t u))
+        ls;
+      Alcotest.(check int) (Printf.sprintf "deepest label at depth %d" d) d !max_depth;
+      Alcotest.(check int)
+        (Printf.sprintf "label words at depth %d" d)
+        (1 + (2 * ((d + 61) / 62)))
+        !max_words)
+    [ 10; 61; 62; 63; 124; 200 ]
+
+let sp_depa_undiscovered_rejected () =
+  let tree = Tree_gen.balanced ~leaves:8 in
+  let inst = Spr_core.Algorithms.sp_depa tree in
+  ignore (Spr_core.Driver.feed_prefix tree inst ~events:3);
+  let ls = Sp_tree.leaves tree in
+  Alcotest.check_raises "undiscovered operand rejected"
+    (Invalid_argument "Sp_depa: node not yet discovered") (fun () ->
+      ignore (Sm.precedes inst ls.(0) ls.(7)))
+
+(* ------------------------------------------------------------------ *)
+(* Registry: the one lookup helper behind every CLI.                   *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let registry_find () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (Spr_core.Algorithms.find_opt name <> None))
+    Spr_core.Algorithms.names;
+  Alcotest.(check bool) "unknown name gives None" true
+    (Spr_core.Algorithms.find_opt "sp-nonsense" = None);
+  let msg = Spr_core.Algorithms.unknown "sp-nonsense" in
+  Alcotest.(check bool) "message names the culprit" true
+    (contains msg "\"sp-nonsense\"" && contains msg "sp-depa" && contains msg "valid:");
+  Alcotest.check_raises "find raises Invalid_argument"
+    (Invalid_argument ("Algorithms.find: " ^ msg)) (fun () ->
+      ignore (Spr_core.Algorithms.find "sp-nonsense" (Tree_gen.balanced ~leaves:2)))
+
 let () =
   let per_algo =
     List.concat_map
@@ -429,6 +497,14 @@ let () =
           Alcotest.test_case "release (deletion)" `Quick sp_order_release;
           Alcotest.test_case "undiscovered rejected" `Quick undiscovered_queries_rejected;
         ] );
+      ( "sp-depa",
+        [
+          Alcotest.test_case "spill boundary depths" `Quick sp_depa_boundary_depths;
+          Alcotest.test_case "label words formula" `Quick sp_depa_label_words;
+          Alcotest.test_case "undiscovered rejected" `Quick sp_depa_undiscovered_rejected;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "find/find_opt/unknown" `Quick registry_find ] );
       ( "harness",
         [ Alcotest.test_case "failure injection" `Quick harness_catches_broken_algorithm ] );
       ( "unfoldings",

@@ -182,6 +182,41 @@ let sp_check_catches_english_only () =
        (fun (d : Spr_check.Sp_check.divergence) -> d.Spr_check.Sp_check.detail)
        (Spr_check.Sp_check.check_serial (tree serial_prog) algo))
 
+(* ------------------------------------------------------------------ *)
+(* Maintainer cross-validation pairs (Sp_check.check_pair): the default
+   sp-depa vs sp-order pair runs clean, and the pair check alone — no
+   reference oracle — still catches a planted bug.                     *)
+
+let check_pair_default_clean =
+  QCheck2.Test.make ~count:60 ~name:"sp-depa vs sp-order pair agrees"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 50))
+    (fun (seed, leaves) ->
+      let tree =
+        Spr_sptree.Tree_gen.random_tree ~rng:(Rng.create seed) ~leaves ~p_prob:0.5
+      in
+      List.for_all
+        (fun (a, b) -> Spr_check.Sp_check.check_pair tree a b = None)
+        Fuzz.default_sp_pairs)
+
+let check_pair_catches_planted () =
+  let broken =
+    ( "broken-english-only",
+      fun tree ->
+        Spr_core.Sp_maintainer.Instance
+          ((module Broken_english_only), Broken_english_only.create tree) )
+  in
+  let tree p = Spr_prog.Prog_tree.tree (Spr_prog.Prog_tree.of_program p) in
+  let parallel_prog = tree (Spr_workloads.Progs.fib ~n:5 ()) in
+  match
+    Spr_check.Sp_check.check_pair parallel_prog broken
+      ("sp-order", Spr_core.Algorithms.sp_order)
+  with
+  | None -> Alcotest.fail "pair check missed the planted divergence"
+  | Some d ->
+      Alcotest.(check string) "pair label" "broken-english-only vs sp-order"
+        d.Spr_check.Sp_check.algo;
+      Alcotest.(check string) "schedule label" "serial pair" d.Spr_check.Sp_check.schedule
+
 let () =
   Alcotest.run "spr_check"
     [
@@ -209,5 +244,10 @@ let () =
           Alcotest.test_case "broken insert_before caught + shrunk" `Quick
             fuzz_catches_broken_insert_before;
           Alcotest.test_case "english-only maintainer caught" `Quick sp_check_catches_english_only;
+        ] );
+      ( "cross-pairs",
+        [
+          QCheck_alcotest.to_alcotest check_pair_default_clean;
+          Alcotest.test_case "pair check catches planted bug" `Quick check_pair_catches_planted;
         ] );
     ]

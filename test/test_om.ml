@@ -430,6 +430,119 @@ let file_maintenance_growth () =
     (Printf.sprintf "relabels/insert grows (%.2f -> %.2f)" small large)
     true (large > small +. 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Fork_path: bit-packed (depth, fork-path) labels (sp-depa's core).
+   Model: a path as an explicit step list, related by scanning for the
+   first differing direction.                                          *)
+
+module Fp = Spr_om.Fork_path
+
+let fp_of_steps steps =
+  List.fold_left (fun p (parallel, right) -> Fp.extend p ~parallel ~right) Fp.root steps
+
+let naive_relate a b =
+  let rec go i a b =
+    match (a, b) with
+    | (ka, da) :: ta, (kb, db) :: tb ->
+        if da = db then begin
+          assert (ka = kb);
+          go (i + 1) ta tb
+        end
+        else if ka then `Par i
+        else if not da then `Before i
+        else `After i
+    | _ -> `Ancestor
+  in
+  go 0 a b
+
+(* Random pair with a shared prefix long enough to cross the 62-bit
+   word boundary, then (usually) a divergence with matching kind. *)
+let gen_fp_pair =
+  QCheck.Gen.(
+    let step = pair bool bool in
+    let* prefix = list_size (int_bound 140) step in
+    let* diverge = bool in
+    if not diverge then
+      (* One path a strict ancestor of the other. *)
+      let* extra = list_size (int_range 1 70) step in
+      return (prefix, prefix @ extra)
+    else
+      let* kind = bool in
+      let* ta = list_size (int_bound 70) step in
+      let* tb = list_size (int_bound 70) step in
+      return (prefix @ ((kind, false) :: ta), prefix @ ((kind, true) :: tb)))
+
+let fp_qcheck_vs_model =
+  QCheck.Test.make ~count:2_000 ~name:"fork-path relate matches step-list model"
+    (QCheck.make gen_fp_pair) (fun (sa, sb) ->
+      let a = fp_of_steps sa and b = fp_of_steps sb in
+      match naive_relate sa sb with
+      | `Ancestor -> (
+          match Fp.relate a b with
+          | exception Invalid_argument _ -> true
+          | _ -> false)
+      | `Par i -> Fp.relate a b = Fp.Par && Fp.divergence_depth a b = i
+      | `Before i -> Fp.relate a b = Fp.Before && Fp.divergence_depth a b = i
+      | `After i -> Fp.relate a b = Fp.After && Fp.divergence_depth a b = i)
+
+(* The 62-level word boundary: spill must kick in without changing any
+   answer, and extending a frozen parent twice must not clobber the
+   sibling (persistence across the spill copy). *)
+let fp_boundary_depths () =
+  List.iter
+    (fun d ->
+      let spine parallel =
+        List.init d (fun _ -> (parallel, false))
+      in
+      (* Divergence at every level k below an S- and a P-node. *)
+      List.iter
+        (fun k ->
+          let prefix lst = List.filteri (fun i _ -> i < k) lst in
+          let par_a = fp_of_steps (spine true) in
+          let par_b = fp_of_steps (prefix (spine true) @ [ (true, true) ]) in
+          Alcotest.(check bool)
+            (Printf.sprintf "P divergence d=%d k=%d" d k)
+            true
+            (Fp.relate par_a par_b = Fp.Par && Fp.divergence_depth par_a par_b = k);
+          let ser_a = fp_of_steps (spine false) in
+          let ser_b = fp_of_steps (prefix (spine false) @ [ (false, true) ]) in
+          Alcotest.(check bool)
+            (Printf.sprintf "S divergence d=%d k=%d" d k)
+            true
+            (Fp.relate ser_a ser_b = Fp.Before && Fp.relate ser_b ser_a = Fp.After))
+        [ 0; d / 2; d - 1 ];
+      (* Words accounting at the boundary. *)
+      let p = fp_of_steps (spine true) in
+      Alcotest.(check int) (Printf.sprintf "depth %d" d) d (Fp.depth p);
+      Alcotest.(check int)
+        (Printf.sprintf "words at depth %d" d)
+        ((d + 61) / 62) (Fp.words p);
+      Alcotest.(check int)
+        (Printf.sprintf "size_words at depth %d" d)
+        (1 + (2 * ((d + 61) / 62)))
+        (Fp.size_words p))
+    [ 1; 61; 62; 63; 124; 125; 200 ]
+
+let fp_persistence_across_spill () =
+  (* Parent exactly at the freeze point: both children must see the
+     same frozen prefix, and relate as siblings. *)
+  List.iter
+    (fun d ->
+      let parent = fp_of_steps (List.init d (fun i -> (i mod 3 = 0, i mod 2 = 0))) in
+      let l = Fp.extend parent ~parallel:true ~right:false in
+      let r = Fp.extend parent ~parallel:true ~right:true in
+      Alcotest.(check bool)
+        (Printf.sprintf "children at depth %d are Par" (d + 1))
+        true
+        (Fp.relate l r = Fp.Par && Fp.relate r l = Fp.Par);
+      Alcotest.(check bool)
+        (Printf.sprintf "grandchildren at depth %d order" (d + 2))
+        true
+        (let ll = Fp.extend l ~parallel:false ~right:false in
+         let lr = Fp.extend l ~parallel:false ~right:true in
+         Fp.relate ll lr = Fp.Before && Fp.relate ll r = Fp.Par))
+    [ 60; 61; 62; 63; 123; 124 ]
+
 let () =
   let per_structure =
     List.concat_map
@@ -465,6 +578,12 @@ let () =
         [
           QCheck_alcotest.to_alcotest packed_free_list_reuse;
           Alcotest.test_case "use after delete rejected" `Quick packed_use_after_delete;
+        ] );
+      ( "fork-path",
+        [
+          QCheck_alcotest.to_alcotest fp_qcheck_vs_model;
+          Alcotest.test_case "spill boundary depths 61/62/63" `Quick fp_boundary_depths;
+          Alcotest.test_case "persistence across spill freeze" `Quick fp_persistence_across_spill;
         ] );
       ( "one-level",
         [ Alcotest.test_case "amortized O(lg n) relabels" `Quick one_level_amortized_bound ] );
