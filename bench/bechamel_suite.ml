@@ -73,6 +73,34 @@ let test_om_packed_insert =
   Test.make ~name:"om/packed-insert-hammer"
     (Staged.stage (fun () -> ignore (Spr_om.Om_packed.insert_after om anchor)))
 
+(* Observability kernels: what always-on instrumentation costs.  The
+   uninstalled probe span is the "one atomic load" claim (the regress
+   --probe-gate fails CI if it estimates above 5 ns); the sharded
+   counter bump is one Domain.DLS read plus an unsynchronized int-array
+   store; the typed emitter against a null sink is the price every
+   packed-OM insert pays in production. *)
+let test_probe_span =
+  let r = Spr_obs.Probe.region "bench/uninstalled" in
+  Test.make ~name:"obs/probe-span-uninstalled"
+    (Staged.stage (fun () -> Spr_obs.Probe.span r (fun () -> ())))
+
+let test_sharded_incr =
+  let c = Spr_obs.Sharded.counter Spr_obs.Sharded.default "bench/sharded_incr" in
+  Test.make ~name:"obs/sharded-counter-incr"
+    (Staged.stage (fun () -> Spr_obs.Sharded.incr c))
+
+let test_null_emit =
+  Test.make ~name:"obs/typed-emit-null-sink"
+    (Staged.stage (fun () -> Spr_obs.Sink.emit_om_relabel Spr_obs.Sink.null ~om:"b" ~moved:3))
+
+let test_flight_emit =
+  let f = Spr_obs.Flight.create ~lanes:1 ~capacity:256 () in
+  let name_id = Spr_obs.Flight.intern f "bench" in
+  Test.make ~name:"obs/flight-emit-raw"
+    (Staged.stage (fun () ->
+         Spr_obs.Flight.emit_raw f ~lane:0 ~ts:0 ~wid:0 ~tag:Spr_obs.Flight.tag_om_relabel
+           ~a:name_id ~b:3 ~c:0 ~d:0 ~e:0))
+
 (* EXP-FIG11-12 kernel: a global-tier split (5-trace multi-insert). *)
 let test_split =
   let g = Spr_hybrid.Global_tier.create () in
@@ -92,6 +120,10 @@ let all_tests =
     test_steals_sim;
     test_om_insert;
     test_om_packed_insert;
+    test_probe_span;
+    test_sharded_incr;
+    test_null_emit;
+    test_flight_emit;
     test_split;
   ]
 

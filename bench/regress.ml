@@ -1,28 +1,46 @@
-(* Benchmark regression gate.
+(* Benchmark regression gates.
 
-   Usage:
+   Three modes:
+
      regress BASELINE.json CANDIDATE.json [--threshold R]
+       Compare bench --json files (schema bench_json.ml).  Every entry
+       in the baseline must be present in the candidate, matched on
+       (experiment, backend, pattern, n, metric).  Rules:
+         - kind "time":    fail if candidate median > R x baseline
+                           median (default R = 1.5; CI uses 3.0 to
+                           absorb machine-to-machine variance);
+         - kind "counter": fail on any drift beyond float noise —
+                           counters are deterministic for the fixed
+                           seed, so a change means the algorithm
+                           changed and the baseline needs a deliberate
+                           refresh.
+       Baseline entries with no candidate match fail the run and are
+       named in the summary line; an empty baseline is an error, not a
+       silent pass.
 
-   Both files follow the schema bench_json.ml emits (`main.exe --
-   <exp> --json FILE`).  Every entry in the baseline must be present
-   in the candidate, matched on (experiment, backend, pattern, n,
-   metric).  Rules:
+     regress --alloc-gate [--plant] [--iters N]
+       Drive the sp-order-packed (Om_packed) delete/insert/relabel/
+       query steady state — with a flight-recorder-armed sink, i.e.
+       the always-on production configuration — under
+       Spr_obs.Probe.alloc_words and fail unless it allocated zero
+       minor-heap words.  --plant plants one allocation per iteration
+       so CI can check the gate actually trips.
 
-     - kind "time":    fail if candidate median > R x baseline median
-                       (default R = 1.5; CI uses 3.0 to absorb
-                       machine-to-machine variance);
-     - kind "counter": fail on any drift beyond float noise — counters
-                       are deterministic for the fixed seed, so a
-                       change means the algorithm changed and the
-                       baseline needs a deliberate refresh.
+     regress --probe-gate [--max-ns F]
+       Bechamel-measure an uninstalled Spr_obs.Probe.span and fail if
+       it estimates above F ns/span (default 5.0) — the "one atomic
+       load" claim, kept honest.
 
-   Exit codes: 0 clean, 1 regression/missing entry, 2 usage or parse
-   error.  To refresh the committed baseline after an intentional
-   change: dune exec bench/main.exe -- om --json BENCH_om.json *)
+   Exit codes: 0 clean, 1 gate failed, 2 usage or parse error.  To
+   refresh the committed baseline after an intentional change:
+   dune exec bench/main.exe -- om --json BENCH_om.json *)
 
 module J = Spr_obs.Json
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("regress: " ^ s); exit 2) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Mode 1: baseline/candidate comparison.                              *)
 
 let load path =
   let ic = try open_in path with Sys_error e -> die "%s" e in
@@ -54,35 +72,25 @@ let entry_key e =
   Printf.sprintf "%s/%s/%s/n=%d/%s" (get_string "experiment" e) (get_string "backend" e)
     (get_string "pattern" e) (get_int "n" e) (get_string "metric" e)
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse paths threshold = function
-    | "--threshold" :: v :: rest -> (
-        match float_of_string_opt v with
-        | Some r when r >= 1.0 -> parse paths r rest
-        | _ -> die "--threshold takes a ratio >= 1.0")
-    | "--threshold" :: [] -> die "--threshold takes a ratio >= 1.0"
-    | a :: rest -> parse (a :: paths) threshold rest
-    | [] -> (List.rev paths, threshold)
-  in
-  let paths, threshold = parse [] 1.5 args in
-  let base_path, cand_path =
-    match paths with
-    | [ b; c ] -> (b, c)
-    | _ -> die "usage: regress BASELINE.json CANDIDATE.json [--threshold R]"
-  in
+let compare_mode base_path cand_path threshold =
   let base = load base_path and cand = load cand_path in
+  let base_entries = entries base_path base in
+  if base_entries = [] then
+    die "%s: baseline has no entries — nothing would be checked" base_path;
   let cand_tbl = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace cand_tbl (entry_key e) e) (entries cand_path cand);
   let failures = ref 0 in
   let checked = ref 0 in
+  let missing = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL %s\n" s) fmt in
   List.iter
     (fun b ->
       let key = entry_key b in
       incr checked;
       match Hashtbl.find_opt cand_tbl key with
-      | None -> fail "%s: missing from candidate" key
+      | None ->
+          missing := key :: !missing;
+          fail "%s: missing from candidate" key
       | Some c -> (
           let bm = get_num "median" b and cm = get_num "median" c in
           match get_string "kind" b with
@@ -97,9 +105,158 @@ let () =
                       refresh the baseline if the change is intentional"
                   key cm bm
           | k -> fail "%s: unknown kind %S" key k))
-    (entries base_path base);
+    base_entries;
+  if !missing <> [] then
+    Printf.printf "regress: %d baseline entr%s missing from candidate: %s\n"
+      (List.length !missing)
+      (if List.length !missing = 1 then "y" else "ies")
+      (String.concat ", " (List.rev !missing));
   if !failures > 0 then begin
     Printf.printf "regress: %d/%d entries FAILED (threshold %.2fx)\n" !failures !checked threshold;
     exit 1
   end
   else Printf.printf "regress: OK — %d entries within %.2fx of baseline\n" !checked threshold
+
+(* ------------------------------------------------------------------ *)
+(* Mode 2: the allocation gate.                                        *)
+
+module P = Spr_om.Om_packed
+module Probe = Spr_obs.Probe
+
+(* The packed-OM steady state: a window of elements cycling through
+   delete -> insert_after (which triggers respace/rebalance relabels
+   and bucket splits against recycled slots) -> precedes queries.  All
+   index arithmetic is deterministic and allocation-free; anchors and
+   query operands are fixed elements outside the churn window. *)
+let alloc_gate ~plant ~iters () =
+  let om = P.create () in
+  (* Always-on production shape: flight recorder armed, no trace
+     buffer — the relabel/split events go through the typed no-alloc
+     emitters into plain int rings. *)
+  let flight = Spr_obs.Flight.create ~lanes:1 ~capacity:256 () in
+  let sink = Spr_obs.Sink.make ~flight () in
+  P.set_sink om sink;
+  let n_anchors = 64 and window = 4096 in
+  let anchors = Array.init n_anchors (fun _ -> P.base om) in
+  let a = ref (P.base om) in
+  for i = 0 to n_anchors - 1 do
+    a := P.insert_after om !a;
+    anchors.(i) <- !a
+  done;
+  (* Bucket-slot slack: grow past the steady population, then delete,
+     leaving recycled item and bucket slots for the churn to reuse. *)
+  let extra = Array.init (2 * window) (fun i -> ignore i; P.insert_after om anchors.(0)) in
+  Array.iter (fun e -> P.delete om e) extra;
+  let handles = Array.init window (fun i -> P.insert_after om anchors.(i mod n_anchors)) in
+  let qa = Array.init 128 (fun i -> anchors.(i mod n_anchors)) in
+  let qb = Array.init 128 (fun i -> handles.(i * 31 mod window)) in
+  let hits = ref 0 in
+  let steady k =
+    for iter = 0 to k - 1 do
+      let slot = iter * 17 mod window in
+      P.delete om handles.(slot);
+      handles.(slot) <- P.insert_after om anchors.(iter * 7 mod n_anchors);
+      let q = iter mod 128 in
+      if P.precedes om qa.(q) handles.(slot) then incr hits;
+      if P.precedes om handles.(slot) qb.(q) then incr hits;
+      if plant then ignore (Sys.opaque_identity (ref iter))
+    done
+  in
+  (* Reach steady state (slot high-water marks, bucket population)
+     before measuring: run the identical loop unmeasured first. *)
+  steady (3 * iters);
+  let slots0 = P.item_slots om and bslots0 = P.bucket_slots om in
+  (* The gate proper: measure with probes uninstalled, so the loop is
+     exactly the production configuration. *)
+  let (), words = Probe.alloc_words (fun () -> steady iters) in
+  (* Attribution pass for the report: same loop again under an
+     installed probe, with GC pauses bridged from runtime events. *)
+  Probe.install ~runtime_events:true ();
+  let region = Probe.region "sp-order-packed/steady" in
+  Probe.span region (fun () -> steady iters);
+  Probe.uninstall ();
+  Printf.printf "alloc-gate: %d iterations of sp-order-packed delete/insert/relabel/query\n"
+    iters;
+  Printf.printf "alloc-gate: minor-heap words in steady state: %d%s\n" words
+    (if plant then " (with planted allocation)" else "");
+  Printf.printf "alloc-gate: item slots %d -> %d, bucket slots %d -> %d, flight events %d\n"
+    slots0 (P.item_slots om) bslots0 (P.bucket_slots om)
+    (Spr_obs.Flight.lane_length flight 0 + Spr_obs.Flight.lane_dropped flight 0);
+  Format.printf "%a" Probe.pp_snapshot
+    (List.filter (fun (n, _) -> n = "sp-order-packed/steady") (Probe.snapshot ()));
+  ignore !hits;
+  if words > 0 then begin
+    Printf.printf "alloc-gate: FAIL — steady state allocated on the minor heap\n";
+    exit 1
+  end
+  else Printf.printf "alloc-gate: OK — steady state is allocation-free\n"
+
+(* ------------------------------------------------------------------ *)
+(* Mode 3: uninstalled-probe overhead gate.                            *)
+
+let probe_gate ~max_ns () =
+  let open Bechamel in
+  let open Toolkit in
+  assert (not (Probe.is_installed ()));
+  let r = Probe.region "probe-gate/empty" in
+  let test =
+    Test.make ~name:"probe/uninstalled-span"
+      (Staged.stage (fun () -> Probe.span r (fun () -> ())))
+  in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.5) ~stabilize:true ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ ols ->
+      match Analyze.OLS.estimates ols with Some (e :: _) -> est := e | _ -> ())
+    results;
+  if Float.is_nan !est then die "probe-gate: no estimate from bechamel";
+  Printf.printf "probe-gate: uninstalled span estimated at %.2f ns (limit %.1f ns)\n" !est max_ns;
+  if !est > max_ns then begin
+    Printf.printf "probe-gate: FAIL — uninstalled probe too expensive\n";
+    exit 1
+  end
+  else Printf.printf "probe-gate: OK\n"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse paths threshold alloc plant probe max_ns iters = function
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some r when r >= 1.0 -> parse paths r alloc plant probe max_ns iters rest
+        | _ -> die "--threshold takes a ratio >= 1.0")
+    | "--threshold" :: [] -> die "--threshold takes a ratio >= 1.0"
+    | "--alloc-gate" :: rest -> parse paths threshold true plant probe max_ns iters rest
+    | "--plant" :: rest -> parse paths threshold alloc true probe max_ns iters rest
+    | "--probe-gate" :: rest -> parse paths threshold alloc plant true max_ns iters rest
+    | "--max-ns" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f > 0.0 -> parse paths threshold alloc plant probe f iters rest
+        | _ -> die "--max-ns takes a positive float")
+    | "--max-ns" :: [] -> die "--max-ns takes a positive float"
+    | "--iters" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some i when i > 0 -> parse paths threshold alloc plant probe max_ns i rest
+        | _ -> die "--iters takes a positive int")
+    | "--iters" :: [] -> die "--iters takes a positive int"
+    | a :: rest -> parse (a :: paths) threshold alloc plant probe max_ns iters rest
+    | [] -> (List.rev paths, threshold, alloc, plant, probe, max_ns, iters)
+  in
+  let paths, threshold, alloc, plant, probe, max_ns, iters =
+    parse [] 1.5 false false false 5.0 100_000 args
+  in
+  match (alloc, probe, paths) with
+  | true, false, [] -> alloc_gate ~plant ~iters ()
+  | false, true, [] -> probe_gate ~max_ns ()
+  | false, false, [ b; c ] -> compare_mode b c threshold
+  | _ ->
+      die
+        "usage: regress BASELINE.json CANDIDATE.json [--threshold R] | regress --alloc-gate \
+         [--plant] [--iters N] | regress --probe-gate [--max-ns F]"

@@ -47,6 +47,39 @@ let with_usage f =
 let say quiet fmt =
   if quiet then Printf.ifprintf stdout fmt else Printf.printf (fmt ^^ "\n%!")
 
+(* ------------------------------------------------------------------ *)
+(* Post-mortem observability.
+
+   Metrics and the flight recorder are always on (a null-sink run
+   records nothing anyone will read, but the emit cost is a handful of
+   int stores — see the bench alloc/probe gates).  On a failing
+   execution the failure report gains the final metrics snapshot as
+   one JSON line, and the flight recorder's event tail + that same
+   snapshot are dumped to a deterministic binary [.spr-flight] file —
+   same command, byte-identical dump. *)
+
+let flight_lanes = 8
+
+let final_snapshot metrics =
+  (* Registry instruments plus the process-wide domain-sharded
+     counters (concurrent-OM query/retry, runtime steal/park); both
+     sides are sorted by key and the key spaces are disjoint. *)
+  List.merge compare
+    (Spr_obs.Metrics.snapshot metrics)
+    (Spr_obs.Sharded.metrics_snapshot Spr_obs.Sharded.default)
+
+let post_mortem ~metrics ~flight ~flight_out =
+  let snapshot = Spr_obs.Metrics.snapshot_to_json (final_snapshot metrics) in
+  Format.printf "final metrics snapshot: %s@." (Spr_obs.Json.to_string snapshot);
+  Spr_obs.Flight.write_file ~snapshot flight flight_out;
+  let recent = ref 0 and total = ref 0 in
+  for l = 0 to Spr_obs.Flight.lanes flight - 1 do
+    recent := !recent + Spr_obs.Flight.lane_length flight l;
+    total := !total + Spr_obs.Flight.lane_length flight l + Spr_obs.Flight.lane_dropped flight l
+  done;
+  Format.printf "flight recorder: %d recent events (%d recorded) dumped to %s@." !recent !total
+    flight_out
+
 let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
   let algos =
     match algo with
@@ -139,12 +172,14 @@ let replay_line ~sched ~depth ~inject ~seed =
     (if inject = `Om_unvalidated then " --inject-fault om-unvalidated" else "")
     seed
 
-let run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt =
+let run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt ~flight_out =
   (match sched with
   | "replay" | "pct" | "dfs" -> ()
   | other -> usage_error "scheduler" other [ "replay"; "pct"; "dfs" ]);
   ignore quiet;
-  let registry = match metrics_fmt with None -> None | Some _ -> Some (Spr_obs.Metrics.create ()) in
+  let metrics = Spr_obs.Metrics.create () in
+  let flight = Spr_obs.Flight.create ~lanes:flight_lanes () in
+  let sink = Spr_obs.Sink.make ~metrics ~flight () in
   let iters = if smoke then min iters (if sched = "dfs" then 6 else 40) else iters in
   let max_schedules = if smoke then 5_000 else 20_000 in
   let structures = sched_structures inject in
@@ -168,7 +203,7 @@ let run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt =
     (* Shrink the schedule of the *shrunk* script: ddmin the decision
        trace while a Fixed replay of it still fails. *)
     let runner strat =
-      let r = Cscript.run (List.assoc name structures) shrunk strat in
+      let r = Cscript.run ~sink (List.assoc name structures) shrunk strat in
       (r.Cscript.report, r.Cscript.failure)
     in
     let r, _ = runner strategy in
@@ -188,7 +223,7 @@ let run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt =
              if not !failed then
                if sched = "dfs" then begin
                  let runner strat =
-                   let r = Cscript.run m script strat in
+                   let r = Cscript.run ~sink m script strat in
                    record r.Cscript.report;
                    (r.Cscript.report, r.Cscript.failure)
                  in
@@ -213,13 +248,13 @@ let run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt =
                  for k = 0 to tries - 1 do
                    if not !failed then begin
                      let strategy = strategy_of (((seed + i) * 31) + k) in
-                     let r = Cscript.run m script strategy in
+                     let r = Cscript.run ~sink m script strategy in
                      record r.Cscript.report;
                      match r.Cscript.failure with
                      | None -> ()
                      | Some msg ->
                          let still_failing s =
-                           (Cscript.run m s strategy).Cscript.failure <> None
+                           (Cscript.run ~sink m s strategy).Cscript.failure <> None
                          in
                          let shrunk = Cscript.shrink ~still_failing script in
                          report_failure ~name ~i ~msg ~shrunk ~strategy
@@ -228,31 +263,31 @@ let run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt =
           structures
       end
   done;
-  (match registry with
-  | None -> ()
-  | Some m ->
-      Spr_obs.Metrics.add (Spr_obs.Metrics.counter m "schedtest/schedules") totals.Explore.schedules;
-      Spr_obs.Metrics.add (Spr_obs.Metrics.counter m "schedtest/pruned") totals.Explore.pruned;
-      Spr_obs.Metrics.set
-        (Spr_obs.Metrics.gauge m "schedtest/max_depth")
-        (float_of_int totals.Explore.max_depth));
-  if !failed then 1
+  Spr_obs.Metrics.add (Spr_obs.Metrics.counter metrics "schedtest/schedules") totals.Explore.schedules;
+  Spr_obs.Metrics.add (Spr_obs.Metrics.counter metrics "schedtest/pruned") totals.Explore.pruned;
+  Spr_obs.Metrics.set
+    (Spr_obs.Metrics.gauge metrics "schedtest/max_depth")
+    (float_of_int totals.Explore.max_depth);
+  if !failed then begin
+    post_mortem ~metrics ~flight ~flight_out;
+    1
+  end
   else begin
-    (match registry with
-    | Some m when metrics_fmt = Some "json" ->
-        print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json m))
-    | reg ->
+    (match metrics_fmt with
+    | Some "json" -> print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json metrics))
+    | fmt ->
         Printf.printf
           "spfuzz: OK — sched %s: %d scripts x %d structures, %d schedules explored, %d pruned, max depth %d%s, digest %016Lx\n"
           sched iters (List.length structures) totals.Explore.schedules totals.Explore.pruned
           totals.Explore.max_depth
           (if totals.Explore.truncated then " (budget-truncated)" else "")
           !digest;
-        (match reg with Some m -> Format.printf "%a" Spr_obs.Metrics.pp m | None -> ()));
+        if fmt <> None then Format.printf "%a" Spr_obs.Metrics.pp metrics);
     0
   end
 
-let run mode seed iters max_threads schedules algo inject sched depth smoke quiet metrics_fmt =
+let run mode seed iters max_threads schedules algo inject sched depth smoke quiet metrics_fmt
+    flight_out =
   with_usage @@ fun () ->
   let inject =
     match inject with
@@ -264,7 +299,7 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
         usage_error "fault" other [ "none"; "bags-flip"; "om-before-after"; "om-unvalidated" ]
   in
   match sched with
-  | Some sched -> run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt
+  | Some sched -> run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt ~flight_out
   | None ->
   if inject = `Om_unvalidated then
     raise
@@ -276,14 +311,12 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
      and several schedules. *)
   let iters = if smoke then min iters 60 else iters in
   let max_threads = if smoke then min max_threads 16 else max_threads in
-  (* With --metrics the success line is replaced by the metrics dump
-     (pure JSON on stdout for --metrics json). *)
-  let registry = match metrics_fmt with None -> None | Some _ -> Some (Spr_obs.Metrics.create ()) in
-  let sink =
-    match registry with
-    | None -> Spr_obs.Sink.null
-    | Some m -> Spr_obs.Sink.make ~metrics:m ()
-  in
+  (* Metrics and the flight recorder are always armed; --metrics only
+     controls whether the success path prints the registry (pure JSON
+     on stdout for --metrics json). *)
+  let metrics = Spr_obs.Metrics.create () in
+  let flight = Spr_obs.Flight.create ~lanes:flight_lanes () in
+  let sink = Spr_obs.Sink.make ~metrics ~flight () in
   let quiet = quiet || metrics_fmt = Some "json" in
   let cfg = config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink in
   let failed = ref false in
@@ -306,26 +339,21 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
         Format.printf "%a@." F.pp_om_failure f;
         Format.printf "replay: spfuzz --mode om --seed %d --iters %d@." cfg.F.seed (f.F.om_iter + 1)
   end;
-  if !failed then 1
+  if !failed then begin
+    post_mortem ~metrics ~flight ~flight_out;
+    1
+  end
   else begin
-    (match registry with
-    | Some m when metrics_fmt = Some "json" ->
-        print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json m))
-    | Some m ->
+    (match metrics_fmt with
+    | Some "json" -> print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json metrics))
+    | fmt ->
         Printf.printf
           "spfuzz: OK — %d program iterations (%d maintainers + %d cross-checks), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
           !sp_checked (List.length cfg.F.algos)
           (List.length cfg.F.sp_pairs)
           !om_checked (List.length cfg.F.om_suts)
           (List.length cfg.F.om_pairs);
-        Format.printf "%a" Spr_obs.Metrics.pp m
-    | None ->
-        Printf.printf
-          "spfuzz: OK — %d program iterations (%d maintainers + %d cross-checks), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
-          !sp_checked (List.length cfg.F.algos)
-          (List.length cfg.F.sp_pairs)
-          !om_checked (List.length cfg.F.om_suts)
-          (List.length cfg.F.om_pairs));
+        if fmt <> None then Format.printf "%a" Spr_obs.Metrics.pp metrics);
     0
   end
 
@@ -403,11 +431,22 @@ let metrics_arg =
           "Collect observability metrics across all checked schedules and print them on \
            success (pretty or json; json prints only the JSON object).")
 
+let flight_out_arg =
+  Arg.(
+    value
+    & opt string "spfuzz.spr-flight"
+    & info [ "flight-out" ] ~docv:"FILE"
+        ~doc:
+          "Where to write the post-mortem flight-recorder dump (binary .spr-flight: recent \
+           trace events + final metrics snapshot) when a failing execution is found.  \
+           Deterministic: the same failing command writes a byte-identical file.")
+
 let cmd =
   Cmd.v
     (Cmd.info "spfuzz" ~doc:"Differential fuzzer for SP maintenance and order maintenance")
     Term.(
       const run $ mode_arg $ seed_arg $ iters_arg $ max_threads_arg $ schedules_arg $ algo_arg
-      $ inject_arg $ sched_arg $ depth_arg $ smoke_arg $ quiet_arg $ metrics_arg)
+      $ inject_arg $ sched_arg $ depth_arg $ smoke_arg $ quiet_arg $ metrics_arg
+      $ flight_out_arg)
 
 let () = exit (Cmd.eval' cmd)

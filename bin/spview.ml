@@ -297,10 +297,101 @@ let runtime_cmd =
     Term.(const runtime_cmd_run $ workload_arg $ size_arg $ seed_arg $ procs $ spin)
 
 (* ------------------------------------------------------------------ *)
+(* stats — metrics exposition and flight-dump decoding                 *)
+
+let stats_cmd_run kind size seed procs fmt flight_file =
+  with_usage @@ fun () ->
+  (match fmt with
+  | "pretty" | "json" | "prom" -> ()
+  | other -> usage_error "stats format" other [ "pretty"; "json"; "prom" ]);
+  match flight_file with
+  | Some file ->
+      (* Post-mortem: decode a binary .spr-flight dump (written by
+         spfuzz or the bench alloc gate on a failing execution). *)
+      let d =
+        try Spr_obs.Flight.read_file file with
+        | Sys_error e -> raise (Usage e)
+        | Failure e -> raise (Usage (file ^ ": " ^ e))
+      in
+      Format.printf "%a" Spr_obs.Flight.pp_dump d;
+      (match d.Spr_obs.Flight.d_snapshot with
+      | None -> Format.printf "no metrics snapshot embedded@."
+      | Some j -> Format.printf "metrics snapshot: %s@." (Spr_obs.Json.to_string j));
+      0
+  | None ->
+      (* Live run: the same instrumented assembly as `spview trace`
+         (SP-hybrid + race detector under the simulator, all layers
+         reporting into one sink), then one merged snapshot — registry
+         instruments plus the process-wide domain-sharded counters
+         (concurrent-OM queries/retries, runtime steals/parks). *)
+      let p = gen_workload kind size seed in
+      let m = Spr_obs.Metrics.create () in
+      let flight = Spr_obs.Flight.create ~lanes:procs () in
+      let sink = Spr_obs.Sink.make ~metrics:m ~flight () in
+      let h = Spr_hybrid.Sp_hybrid.create ~sink p in
+      let precedes ~executed ~current = Spr_hybrid.Sp_hybrid.precedes h ~executed ~current in
+      let det =
+        Spr_race.Detector.create ~sink ~locs:(Spr_race.Detector.max_loc p + 1) ~precedes ()
+      in
+      let on_thread_user h ~wid:_ ~now:_ (u : Spr_prog.Fj_program.thread) =
+        let before = Spr_race.Detector.query_count det in
+        Spr_race.Detector.run_thread det u;
+        let queries = Spr_race.Detector.query_count det - before in
+        let cost = ref 0 in
+        for _ = 1 to queries do
+          cost := !cost + Spr_hybrid.Sp_hybrid.charge_query h
+        done;
+        !cost
+      in
+      ignore
+        (Spr_sched.Sim.run ~hooks:(Spr_hybrid.Sp_hybrid.hooks ~on_thread_user h) ~sink ~seed
+           ~procs p);
+      let merged =
+        List.merge compare (Spr_obs.Metrics.snapshot m)
+          (Spr_obs.Sharded.metrics_snapshot Spr_obs.Sharded.default)
+      in
+      (match fmt with
+      | "prom" -> print_string (Spr_obs.Prom.render merged)
+      | "json" ->
+          print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.snapshot_to_json merged))
+      | _ ->
+          Format.printf "stats: %s n=%d seed=%d procs=%d@." kind size seed procs;
+          Format.printf "%a" Spr_obs.Metrics.pp_snapshot merged);
+      0
+
+let stats_cmd =
+  let procs = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Workers.") in
+  let fmt =
+    Arg.(
+      value & opt string "pretty"
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:
+            "Output format: pretty (grouped table), json (flat object), prom (Prometheus \
+             text exposition 0.0.4).")
+  in
+  let flight_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Instead of running a workload, decode a binary .spr-flight post-mortem dump: \
+             per-lane event counts by kind plus the embedded final metrics snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an instrumented workload and print the merged metrics snapshot (registry + \
+          domain-sharded counters), or decode a .spr-flight dump")
+    Term.(const stats_cmd_run $ workload_arg $ size_arg $ seed_arg $ procs $ fmt $ flight_file)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
     Cmd.info "spview" ~version:"1.0.0"
       ~doc:"Explore on-the-fly series-parallel maintenance (SPAA 2004 reproduction)"
   in
-  exit (Cmd.eval' (Cmd.group info [ tree_cmd; detect_cmd; hybrid_cmd; trace_cmd; runtime_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ tree_cmd; detect_cmd; hybrid_cmd; trace_cmd; runtime_cmd; stats_cmd ]))

@@ -173,9 +173,12 @@ let run_om cfg =
       (* Uniform check list: each SUT against the naive oracle, then
          each cross-validation pair against its own oracle. *)
       let checks =
-        List.map (fun (n, sut) -> (n, fun s -> Om_script.replay sut s)) cfg.om_suts
+        List.map
+          (fun (n, sut) -> (n, fun s -> Om_script.replay ~sink:cfg.sink sut s))
+          cfg.om_suts
         @ List.map
-            (fun (n, sut, oracle) -> (n, fun s -> Om_script.replay_vs ~oracle sut s))
+            (fun (n, sut, oracle) ->
+              (n, fun s -> Om_script.replay_vs ~sink:cfg.sink ~oracle sut s))
             cfg.om_pairs
       in
       let rec first_failing = function

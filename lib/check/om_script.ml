@@ -69,9 +69,13 @@ let naive_oracle : (module SUT) =
     let check_invariants _ = ()
   end)
 
-let replay_vs ~oracle (module M : SUT) script =
+let replay_vs ?sink ~oracle (module M : SUT) script =
   let (module O : SUT) = oracle in
   let sut = M.create () in
+  (* Arm the candidate's sink (flight recorder / trace) so a failing
+     script's telemetry survives into the post-mortem dump; the oracle
+     stays silent. *)
+  (match sink with None -> () | Some s -> M.set_sink sut s);
   let model = O.create () in
   (* Live elements, as (candidate, oracle) pairs; slot 0 is the base. *)
   let live : (M.elt * O.elt) Vec.t = Vec.create () in
@@ -138,4 +142,4 @@ let replay_vs ~oracle (module M : SUT) script =
   in
   run 0 script
 
-let replay sut script = replay_vs ~oracle:naive_oracle sut script
+let replay ?sink sut script = replay_vs ?sink ~oracle:naive_oracle sut script

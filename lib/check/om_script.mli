@@ -52,7 +52,7 @@ module type SUT = sig
   val check_invariants : t -> unit
 end
 
-val replay : (module SUT) -> script -> divergence option
+val replay : ?sink:Spr_obs.Sink.t -> (module SUT) -> script -> divergence option
 (** Run the script against the {!Spr_om.Om_naive} oracle; [None] means
     the candidate agreed with the oracle throughout and every invariant
     check passed.  Exceptions raised by the candidate (including
@@ -63,7 +63,12 @@ val naive_oracle : (module SUT)
 (** {!Spr_om.Om_naive} with a vacuous self-check — the oracle
     {!replay} uses. *)
 
-val replay_vs : oracle:(module SUT) -> (module SUT) -> script -> divergence option
+val replay_vs :
+  ?sink:Spr_obs.Sink.t ->
+  oracle:(module SUT) ->
+  (module SUT) ->
+  script ->
+  divergence option
 (** [replay_vs ~oracle sut script] is {!replay} with an explicit
     oracle, for cross-validating two non-trivial structures against
     each other (e.g. the packed backend against the boxed two-level

@@ -1,0 +1,303 @@
+(* Scoped probes: wall-time + GC/allocation attribution per named
+   region.
+
+   The gate mirrors [spr_schedhook]: an uninstalled probe is one
+   atomic load and a branch, so [span] can wrap production hot paths
+   (the bench probe-gate holds this under 5 ns).  Installed, a span
+   reads [Gc.quick_stat] at entry and exit and charges the deltas —
+   minor-heap words, promoted words, direct major words, collection
+   counts — to its region, plus wall time.
+
+   Measurement subtlety: the probe's own bookkeeping allocates a small
+   constant number of minor words *inside* its measurement window
+   ([Gc.quick_stat] boxes its result after reading the counters, and
+   the wall-clock read boxes a float), so the raw delta of an empty
+   span is a nonzero constant.  [install] calibrates that constant by
+   timing empty spans and every span subtracts it; a region that
+   reports 0 minor words therefore really allocated nothing.  The same
+   calibration backs [alloc_words], which the bench alloc-gate uses to
+   prove the packed-OM steady state allocation-free.
+
+   GC pauses are attributed through the runtime's own event stream
+   ([Runtime_events], in-process cursor): minor/major collection
+   begin/end pairs are drained at every span boundary and their
+   durations charged to the region that was active when they fired —
+   i.e. to the phase the collector interrupted.  Pauses seen outside
+   any span land in the ["(unattributed)"] region. *)
+
+type region = {
+  rname : string;
+  mutable spans : int;
+  mutable wall_ns : int;
+  mutable minor_words : int;
+  mutable promoted_words : int;
+  mutable major_words : int;
+  mutable minor_gcs : int;
+  mutable major_gcs : int;
+  mutable minor_pause_ns : int;
+  mutable major_pause_ns : int;
+  mutable gc_events : int;
+}
+
+type stat = {
+  s_spans : int;
+  s_wall_ns : int;
+  s_minor_words : int;
+  s_promoted_words : int;
+  s_major_words : int;
+  s_minor_gcs : int;
+  s_major_gcs : int;
+  s_minor_pause_ns : int;
+  s_major_pause_ns : int;
+  s_gc_events : int;
+}
+
+let installed_flag = Atomic.make false
+
+let is_installed () = Atomic.get installed_flag
+
+let regions_lock = Mutex.create ()
+
+let regions : (string, region) Hashtbl.t = Hashtbl.create 16
+
+let make_region rname =
+  {
+    rname;
+    spans = 0;
+    wall_ns = 0;
+    minor_words = 0;
+    promoted_words = 0;
+    major_words = 0;
+    minor_gcs = 0;
+    major_gcs = 0;
+    minor_pause_ns = 0;
+    major_pause_ns = 0;
+    gc_events = 0;
+  }
+
+let region name =
+  Mutex.lock regions_lock;
+  let r =
+    match Hashtbl.find_opt regions name with
+    | Some r -> r
+    | None ->
+        let r = make_region name in
+        Hashtbl.add regions name r;
+        r
+  in
+  Mutex.unlock regions_lock;
+  r
+
+let unattributed = region "(unattributed)"
+
+(* The region whose span is currently open; GC pauses drained from the
+   runtime-events stream are charged to it.  Last-enter-wins across
+   domains: probes measure harness phases, which run one at a time. *)
+let current : region option ref = ref None
+
+(* --- Runtime_events bridge ------------------------------------- *)
+
+let cursor : Runtime_events.cursor option ref = ref None
+
+(* Open collection phases: (ring domain, 0=minor/1=major) -> begin ts. *)
+let open_phases : (int * int, int64) Hashtbl.t = Hashtbl.create 16
+
+let phase_tag = function
+  | Runtime_events.EV_MINOR -> 0
+  | Runtime_events.EV_MAJOR -> 1
+  | _ -> -1
+
+let callbacks =
+  lazy
+    (let on_begin ring ts phase =
+       let tag = phase_tag phase in
+       if tag >= 0 then
+         Hashtbl.replace open_phases (ring, tag)
+           (Runtime_events.Timestamp.to_int64 ts)
+     in
+     let on_end ring ts phase =
+       let tag = phase_tag phase in
+       if tag >= 0 then
+         match Hashtbl.find_opt open_phases (ring, tag) with
+         | None -> ()
+         | Some t0 ->
+             Hashtbl.remove open_phases (ring, tag);
+             let dur =
+               Int64.to_int
+                 (Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0)
+             in
+             let r = match !current with Some r -> r | None -> unattributed in
+             r.gc_events <- r.gc_events + 1;
+             if tag = 0 then r.minor_pause_ns <- r.minor_pause_ns + dur
+             else r.major_pause_ns <- r.major_pause_ns + dur
+     in
+     Runtime_events.Callbacks.create ~runtime_begin:on_begin
+       ~runtime_end:on_end ())
+
+let poll_gc_events () =
+  match !cursor with
+  | None -> ()
+  | Some c -> ignore (Runtime_events.read_poll c (Lazy.force callbacks) None)
+
+(* --- Spans ------------------------------------------------------ *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Minor words an empty span's own bookkeeping allocates inside its
+   measurement window (boxed floats from quick_stat/gettimeofday);
+   calibrated by [install], subtracted from every span's delta. *)
+let span_overhead_w = ref 0
+
+(* Minor-word deltas come from [Gc.minor_words] (which reads the
+   domain's young pointer, so it is exact at any moment), not from the
+   [quick_stat] field of the same name: on OCaml 5 the latter only
+   advances at minor collections, so short spans would read 0 and spans
+   crossing a collection would snap to whole minor-heap multiples. *)
+let leave r saved (s : Gc.stat) m0 t0 =
+  let m1 = Gc.minor_words () in
+  let t1 = now_ns () in
+  let e = Gc.quick_stat () in
+  poll_gc_events ();
+  current := saved;
+  r.spans <- r.spans + 1;
+  r.wall_ns <- r.wall_ns + (t1 - t0);
+  let minor = int_of_float (m1 -. m0) - !span_overhead_w in
+  if minor > 0 then r.minor_words <- r.minor_words + minor;
+  let promoted = int_of_float (e.promoted_words -. s.promoted_words) in
+  r.promoted_words <- r.promoted_words + promoted;
+  let major = int_of_float (e.major_words -. s.major_words) - promoted in
+  if major > 0 then r.major_words <- r.major_words + major;
+  r.minor_gcs <- r.minor_gcs + (e.minor_collections - s.minor_collections);
+  r.major_gcs <- r.major_gcs + (e.major_collections - s.major_collections)
+
+let span r f =
+  if not (Atomic.get installed_flag) then f ()
+  else begin
+    (* Drain pauses that belong to the enclosing scope, and do all of
+       our own allocation (the [Some r] cell) before the entry read so
+       it is not charged to [r]. *)
+    poll_gc_events ();
+    let saved = !current in
+    current := Some r;
+    let s = Gc.quick_stat () in
+    let m0 = Gc.minor_words () in
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+        leave r saved s m0 t0;
+        v
+    | exception exn ->
+        leave r saved s m0 t0;
+        raise exn
+  end
+
+(* [alloc_words] has its own (smaller) constant window overhead: the
+   boxed float returned by the first [Gc.minor_words] read. *)
+let alloc_overhead_w = ref (-1)
+
+let alloc_words_raw f =
+  let mw0 = Gc.minor_words () in
+  let v = f () in
+  let mw1 = Gc.minor_words () in
+  (v, int_of_float (mw1 -. mw0))
+
+let calibrate_alloc () =
+  let best = ref max_int in
+  for _ = 1 to 5 do
+    let (), w = alloc_words_raw (fun () -> ()) in
+    if w < !best then best := w
+  done;
+  alloc_overhead_w := !best
+
+let alloc_words f =
+  if !alloc_overhead_w < 0 then calibrate_alloc ();
+  let v, raw = alloc_words_raw f in
+  (v, max 0 (raw - !alloc_overhead_w))
+
+(* --- Install / calibration -------------------------------------- *)
+
+let calibrate_span () =
+  span_overhead_w := 0;
+  let scratch = make_region "(calibration)" in
+  let best = ref max_int in
+  for _ = 1 to 5 do
+    let before = scratch.minor_words in
+    span scratch (fun () -> ());
+    let w = scratch.minor_words - before in
+    if w < !best then best := w
+  done;
+  span_overhead_w := !best
+
+let install ?(runtime_events = false) () =
+  if runtime_events && !cursor = None then begin
+    Runtime_events.start ();
+    cursor := Some (Runtime_events.create_cursor None)
+  end;
+  if not (Atomic.get installed_flag) then begin
+    Atomic.set installed_flag true;
+    calibrate_span ()
+  end
+
+let uninstall () =
+  Atomic.set installed_flag false;
+  (match !cursor with
+  | None -> ()
+  | Some c ->
+      poll_gc_events ();
+      Runtime_events.free_cursor c;
+      Runtime_events.pause ();
+      cursor := None);
+  current := None
+
+(* --- Snapshots --------------------------------------------------- *)
+
+let stats (r : region) =
+  {
+    s_spans = r.spans;
+    s_wall_ns = r.wall_ns;
+    s_minor_words = r.minor_words;
+    s_promoted_words = r.promoted_words;
+    s_major_words = r.major_words;
+    s_minor_gcs = r.minor_gcs;
+    s_major_gcs = r.major_gcs;
+    s_minor_pause_ns = r.minor_pause_ns;
+    s_major_pause_ns = r.major_pause_ns;
+    s_gc_events = r.gc_events;
+  }
+
+let snapshot () =
+  Mutex.lock regions_lock;
+  let rs = Hashtbl.fold (fun name r acc -> (name, stats r) :: acc) regions [] in
+  Mutex.unlock regions_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (List.filter (fun (_, s) -> s.s_spans > 0 || s.s_gc_events > 0) rs)
+
+let reset () =
+  Mutex.lock regions_lock;
+  Hashtbl.iter
+    (fun _ r ->
+      r.spans <- 0;
+      r.wall_ns <- 0;
+      r.minor_words <- 0;
+      r.promoted_words <- 0;
+      r.major_words <- 0;
+      r.minor_gcs <- 0;
+      r.major_gcs <- 0;
+      r.minor_pause_ns <- 0;
+      r.major_pause_ns <- 0;
+      r.gc_events <- 0)
+    regions;
+  Mutex.unlock regions_lock
+
+let pp_snapshot ppf snap =
+  Format.fprintf ppf "%-28s %8s %12s %10s %10s %6s %6s %10s@."
+    "region" "spans" "wall ns" "minor w" "promoted" "minGC" "majGC" "pause ns";
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "%-28s %8d %12d %10d %10d %6d %6d %10d@."
+        name s.s_spans s.s_wall_ns s.s_minor_words s.s_promoted_words
+        s.s_minor_gcs s.s_major_gcs
+        (s.s_minor_pause_ns + s.s_major_pause_ns))
+    snap
+
+let pp ppf () = pp_snapshot ppf (snapshot ())

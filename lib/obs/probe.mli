@@ -1,0 +1,72 @@
+(** Scoped probes: per-region wall-time and GC/allocation attribution.
+
+    A probe {!span} wraps a named phase of the computation (a region).
+    Uninstalled — the default — a span costs one atomic load and a
+    branch, mirroring [spr_schedhook], so hot paths can stay
+    instrumented permanently.  After {!install}, each span charges its
+    region with wall time and the [Gc.quick_stat] deltas: minor-heap
+    words, promoted words, words allocated directly on the major heap,
+    and minor/major collection counts.
+
+    The probe's own bookkeeping allocates a small constant inside its
+    measurement window; {!install} calibrates that constant with empty
+    spans and every span subtracts it, so a reported 0 is a true zero.
+    This backs the bench [--alloc-gate].
+
+    With [install ~runtime_events:true], the runtime's event stream is
+    read through an in-process cursor and minor/major collection
+    pauses are attributed (duration in ns) to the region whose span
+    the collector interrupted; pauses outside any span accrue to the
+    ["(unattributed)"] region. *)
+
+type region
+
+type stat = {
+  s_spans : int;
+  s_wall_ns : int;
+  s_minor_words : int;  (** words allocated on the minor heap *)
+  s_promoted_words : int;
+  s_major_words : int;  (** words allocated directly on the major heap *)
+  s_minor_gcs : int;
+  s_major_gcs : int;
+  s_minor_pause_ns : int;
+  s_major_pause_ns : int;
+  s_gc_events : int;  (** collection pauses attributed via runtime events *)
+}
+
+val region : string -> region
+(** Find or register the region named [name].  Resolve once, span
+    many. *)
+
+val span : region -> (unit -> 'a) -> 'a
+(** Run the thunk inside the region.  One atomic load when probes are
+    uninstalled; exceptions propagate after the region is charged. *)
+
+val alloc_words : (unit -> 'a) -> 'a * int
+(** [(f (), minor-heap words f allocated)], with the measurement's own
+    constant overhead calibrated out — 0 means allocation-free.
+    Independent of {!install}. *)
+
+val install : ?runtime_events:bool -> unit -> unit
+(** Arm probes (idempotent) and calibrate the span overhead.  With
+    [~runtime_events:true] (default false), also start the runtime
+    event ring and attribute GC pauses to regions. *)
+
+val uninstall : unit -> unit
+
+val is_installed : unit -> bool
+
+val poll_gc_events : unit -> unit
+(** Drain pending runtime events now (spans do this at entry/exit). *)
+
+val stats : region -> stat
+
+val snapshot : unit -> (string * stat) list
+(** Regions with activity, sorted by name. *)
+
+val reset : unit -> unit
+
+val pp_snapshot : Format.formatter -> (string * stat) list -> unit
+
+val pp : Format.formatter -> unit -> unit
+(** [pp_snapshot] of the current {!snapshot}. *)

@@ -1,0 +1,64 @@
+(* Prometheus text exposition (format 0.0.4) of a metrics snapshot.
+
+   Keys like "om/relabel/items_moved" become "spr_om_relabel_items_moved":
+   a configurable prefix, '/' and every other non-[a-zA-Z0-9_] byte
+   mapped to '_'.  Counters and gauges render as single samples; the
+   log-scale histograms render as cumulative `le` buckets (bucket [i]
+   holds samples with floor(lg v) = i, so its inclusive upper bound is
+   2^(i+1)-1) plus `_sum` and `_count`.  Output order follows the
+   snapshot (sorted by key), so rendering is deterministic. *)
+
+let sanitize ~prefix key =
+  let b = Buffer.create (String.length key + String.length prefix + 1) in
+  if prefix <> "" then begin
+    Buffer.add_string b prefix;
+    Buffer.add_char b '_'
+  end;
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b ch
+      | _ -> Buffer.add_char b '_')
+    key;
+  let s = Buffer.contents b in
+  match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let render_to ?(prefix = "spr") buf (snap : Metrics.snapshot) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (key, datum) ->
+      let name = sanitize ~prefix key in
+      match (datum : Metrics.datum) with
+      | Metrics.C v ->
+          line "# TYPE %s counter" name;
+          line "%s %d" name v
+      | Metrics.G v ->
+          line "# TYPE %s gauge" name;
+          line "%s %s" name (float_str v)
+      | Metrics.H h ->
+          line "# TYPE %s histogram" name;
+          let n = Array.length h.Metrics.buckets in
+          (* Last bucket with samples; everything above is implied by
+             +Inf. *)
+          let last = ref (-1) in
+          Array.iteri (fun i c -> if c > 0 then last := i) h.Metrics.buckets;
+          let cum = ref 0 in
+          for i = 0 to !last do
+            cum := !cum + h.Metrics.buckets.(i);
+            let le = if i >= 62 || i >= n then max_int else (1 lsl (i + 1)) - 1 in
+            line "%s_bucket{le=\"%d\"} %d" name le !cum
+          done;
+          line "%s_bucket{le=\"+Inf\"} %d" name h.Metrics.count;
+          line "%s_sum %d" name h.Metrics.sum;
+          line "%s_count %d" name h.Metrics.count)
+    snap
+
+let render ?prefix snap =
+  let buf = Buffer.create 1024 in
+  render_to ?prefix buf snap;
+  Buffer.contents buf

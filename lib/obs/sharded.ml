@@ -1,0 +1,120 @@
+(* Domain-sharded counters.
+
+   The serial [Metrics] registry is a single set of mutable cells: one
+   plain [int ref] per counter.  Bumping those cells from several
+   OCaml 5 domains at once is a data race — increments are lost and,
+   worse, every domain fights over the same cache line.  This module
+   keeps the bump-path a single unsynchronized store while making
+   cross-domain totals exact: each domain owns a private block of
+   cells (one cache line per instrument, see [stride]) and a snapshot
+   sums the per-domain blocks.
+
+   Layout.  Instrument ids are allocated from one process-wide atomic
+   counter so an id means the same slot in every domain's block.  A
+   block is a plain [int array] indexed by [id * stride]; [stride] is
+   8 words = 64 bytes, so two instruments never share a cache line and
+   a bump never invalidates another domain's line (the array tag word
+   puts cell 0 off the block's first line, which only matters for the
+   neighbouring allocation — false sharing between instruments is what
+   costs, and that is gone).
+
+   Memory model.  A cell has exactly one writer (its owning domain);
+   readers sum the cells with plain loads.  A concurrent read may miss
+   the very latest bumps — that is inherent to any sharded counter —
+   but no update is ever lost: after the writing domains have been
+   joined (or any other happens-before edge), a snapshot is exact.
+   Blocks are registered once under a mutex and kept alive after their
+   domain dies, so totals survive domain termination.
+
+   One global [Domain.DLS] key serves every registry: DLS keys are
+   never reclaimed in OCaml 5.1, so a key per registry (of which the
+   fuzzer makes thousands of short-lived ones) would leak.  Instrument
+   names live in per-registry tables, ids in the one global space. *)
+
+(* Cells per instrument: 8 words = 64 bytes = one cache line. *)
+let stride = 8
+
+type block = { mutable cells : int array }
+
+let blocks_lock = Mutex.create ()
+
+(* Every domain's block, living as long as the process so that counts
+   from terminated domains keep contributing to totals. *)
+let blocks : block list ref = ref []
+
+let next_id = Atomic.make 0
+
+let key : block Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { cells = Array.make (stride * 64) 0 } in
+      Mutex.lock blocks_lock;
+      blocks := b :: !blocks;
+      Mutex.unlock blocks_lock;
+      b)
+
+type counter = int
+
+(* Grow-on-demand, owner-only: copy the old cells, store the pending
+   bump, then publish.  A concurrent reader sees either array; the old
+   one merely lacks this bump, which plain-load readers may miss
+   anyway. *)
+let grow_and_add (b : block) (slot : int) (n : int) =
+  let old = b.cells in
+  let cap = max (2 * Array.length old) (slot + stride) in
+  let bigger = Array.make cap 0 in
+  Array.blit old 0 bigger 0 (Array.length old);
+  bigger.(slot) <- bigger.(slot) + n;
+  b.cells <- bigger
+
+let add (c : counter) n =
+  let b = Domain.DLS.get key in
+  let slot = c * stride in
+  let cells = b.cells in
+  if slot < Array.length cells then cells.(slot) <- cells.(slot) + n
+  else grow_and_add b slot n
+
+let incr (c : counter) = add c 1
+
+let read (c : counter) =
+  let slot = c * stride in
+  Mutex.lock blocks_lock;
+  let bs = !blocks in
+  Mutex.unlock blocks_lock;
+  List.fold_left
+    (fun acc b ->
+      let cells = b.cells in
+      if slot < Array.length cells then acc + cells.(slot) else acc)
+    0 bs
+
+(* Registries: a name -> id table.  Only naming is per-registry; the
+   cells behind the ids are global (see the DLS note above). *)
+
+type t = { mutable names : (string * counter) list; lock : Mutex.t }
+
+let create () = { names = []; lock = Mutex.create () }
+
+let default = create ()
+
+let counter t name =
+  Mutex.lock t.lock;
+  let id =
+    match List.assoc_opt name t.names with
+    | Some id -> id
+    | None ->
+        let id = Atomic.fetch_and_add next_id 1 in
+        t.names <- (name, id) :: t.names;
+        id
+  in
+  Mutex.unlock t.lock;
+  id
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let names = t.names in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (List.map (fun (name, id) -> (name, read id)) names)
+
+let metrics_snapshot t : Metrics.snapshot =
+  List.map (fun (name, v) -> (name, Metrics.C v)) (snapshot t)

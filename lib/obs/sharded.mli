@@ -1,0 +1,48 @@
+(** Domain-sharded counters: exact cross-domain totals with a
+    plain-store bump path.
+
+    Each instrument owns one cache-line-padded cell per domain; {!add}
+    is a [Domain.DLS] lookup plus a single unsynchronized store into
+    the calling domain's cell, so concurrent bumps neither race nor
+    contend.  {!read} and {!snapshot} sum the per-domain cells; after
+    the writing domains have been joined (any happens-before edge), the
+    total is exact — no lost updates, unlike bumping a shared
+    [Metrics] cell from several domains.
+
+    Cells persist after their domain terminates, so totals include
+    work done by joined domains.  Reads that run concurrently with
+    writers may miss in-flight bumps (they use plain loads by design);
+    they never observe torn or decreasing values from a single
+    domain's cell. *)
+
+type t
+(** A registry: a name -> instrument table.  Instrument cells live in
+    one process-wide space shared by all registries (DLS keys are never
+    reclaimed, so registries must not own per-domain state). *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry, mirroring {!Metrics.default}. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find or register the counter named [key] (conventionally
+    ["subsystem/name"], like {!Metrics}).  Resolve once, bump many:
+    resolution takes the registry lock, bumps never do. *)
+
+val add : counter -> int -> unit
+(** One DLS lookup + one plain store into this domain's cell. *)
+
+val incr : counter -> unit
+
+val read : counter -> int
+(** Sum of the counter's cells across all domains, live and joined. *)
+
+val snapshot : t -> (string * int) list
+(** Every registered counter, sorted by name. *)
+
+val metrics_snapshot : t -> Metrics.snapshot
+(** {!snapshot} in {!Metrics.snapshot} form (every entry a
+    {!Metrics.C}), for merging with registry snapshots in renderers. *)

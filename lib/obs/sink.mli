@@ -16,13 +16,15 @@ val null : t
 (** The disabled sink.  Shared and immutable: setters are no-ops on
     it. *)
 
-val make : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+val make : ?trace:Trace.t -> ?metrics:Metrics.t -> ?flight:Flight.t -> unit -> t
 
 val is_null : t -> bool
 
 val trace : t -> Trace.t option
 
 val metrics : t -> Metrics.t option
+
+val flight : t -> Flight.t option
 
 val set_context : t -> now:int -> wid:int -> unit
 
@@ -31,6 +33,23 @@ val set_now : t -> now:int -> unit
 val now : t -> int
 
 val emit : t -> Trace.kind -> unit
-(** Emit at the current context; no-op without a trace buffer. *)
+(** Emit at the current context into the trace buffer and the flight
+    recorder (flight lane = current worker id); no-op when neither is
+    attached.  Note the caller has already allocated the [Trace.kind]
+    value — hot paths that must stay allocation-free use the typed
+    emitters below instead. *)
 
 val emit_at : t -> ts:int -> wid:int -> Trace.kind -> unit
+
+(** {1 Typed emitters}
+
+    Allocation-free when the sink records nothing: arguments are
+    immediates and the event value is only built once a trace buffer
+    is attached (the flight recorder stores plain ints).  The bench
+    alloc-gate relies on these in the packed-OM steady state. *)
+
+val emit_om_insert : t -> om:string -> unit
+
+val emit_om_relabel : t -> om:string -> moved:int -> unit
+
+val emit_om_bucket_split : t -> om:string -> unit

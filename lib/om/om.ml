@@ -73,7 +73,7 @@ let check_alive ctx e = if not e.alive then invalid_arg (ctx ^ ": deleted elemen
 let top_rebalance t b =
   let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
   Om_intf.count_pass t.st count;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+  Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
   Top.spread ~lo ~width ~count first
 
 (* Fresh empty bucket placed immediately after [b] in the top order. *)
@@ -97,7 +97,7 @@ let respace t b =
   let count = b.bsize in
   if count > 0 then begin
     Om_intf.count_pass t.st count;
-    Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+    Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
     (* One store and one add per item; the cell division is hoisted. *)
     let cell = Labeling.universe / count in
     let rec assign it tag =
@@ -125,7 +125,7 @@ let split t b =
     match it.inext with Some nxt -> claim nxt | None -> ()
   in
   claim moved_first;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
+  Spr_obs.Sink.emit_om_bucket_split t.sink ~om:name;
   respace t b;
   respace t b'
 

@@ -24,11 +24,6 @@ val stats : t -> Om_intf.stats
     counts element insertions.  Total items moved per insert is O(1)
     amortized — the Theorem 5 substrate claim. *)
 
-val set_sink : t -> Spr_obs.Sink.t -> unit
-(** Install an observability sink; relabel passes and bucket splits
-    are emitted as [om]-category trace events.  Default
-    {!Spr_obs.Sink.null} (free). *)
-
 val bucket_count : t -> int
 (** Number of live buckets (introspection). *)
 

@@ -20,6 +20,14 @@ let name = "om-concurrent"
 
 let set_sink t sink = t.sink <- sink
 
+(* Process-wide query accounting, bumped from the lock-free read path:
+   domain-sharded cells, so concurrent readers neither race nor share
+   a cache line ([t.retries] stays as the per-structure count exposed
+   by [query_retries]). *)
+let queries_c = Spr_obs.Sharded.counter Spr_obs.Sharded.default "om-concurrent/queries"
+
+let retries_c = Spr_obs.Sharded.counter Spr_obs.Sharded.default "om-concurrent/retries"
+
 (* Schedule-exploration yield points (no-ops unless a controller is
    installed — see Spr_schedhook.Hook).  Placement rule: a yield sits
    *before* the shared-memory operations it names, so the footprint
@@ -62,7 +70,7 @@ let rebalance t x =
   (* Pass 1: choose the range. *)
   let first, count, lo, width = Lab.find_range ~t_param:t.t_param x in
   Om_intf.count_pass t.st count;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+  Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
   let members = Array.make count first in
   let rec collect e j =
     members.(j) <- e;
@@ -101,7 +109,7 @@ let insert_after_locked t x =
   x.next <- Some y;
   t.size <- t.size + 1;
   t.st.inserts <- t.st.inserts + 1;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
+  Spr_obs.Sink.emit_om_insert t.sink ~om:name;
   y
 
 let insert_before_locked t x =
@@ -116,7 +124,7 @@ let insert_before_locked t x =
       x.prev <- Some y;
       t.size <- t.size + 1;
       t.st.inserts <- t.st.inserts + 1;
-      Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
+      Spr_obs.Sink.emit_om_insert t.sink ~om:name;
       y
 
 let with_lock t f = Hook.locked ~layer:name ~name:"lock" t.lock f
@@ -164,6 +172,7 @@ let insert_around t x ~before ~after =
 let precedes t x y =
   check_alive "Om_concurrent.precedes" x;
   check_alive "Om_concurrent.precedes" y;
+  Spr_obs.Sharded.incr queries_c;
   let rec attempt () =
     yield ~kind:Hook.Read "q-read1";
     let xl1 = Atomic.get x.label in
@@ -179,6 +188,7 @@ let precedes t x y =
     else begin
       yield ~kind:Hook.Link "q-retry";
       Atomic.incr t.retries;
+      Spr_obs.Sharded.incr retries_c;
       attempt ()
     end
   in

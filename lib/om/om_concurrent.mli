@@ -41,9 +41,5 @@ val debug_label : elt -> int
 
 val stats : t -> Om_intf.stats
 
-val set_sink : t -> Spr_obs.Sink.t -> unit
-(** Route structural events (inserts, relabel passes) to an
-    observability sink.  The default is {!Spr_obs.Sink.null}. *)
-
 val check_invariants : t -> unit
 (** Verify label monotonicity along the list (takes the lock; O(n)). *)

@@ -35,6 +35,15 @@ let name = "om-concurrent-2level"
 
 let set_sink t sink = t.sink <- sink
 
+(* Process-wide query accounting from the lock-free path: sharded
+   cells, one per domain, so bumps are plain stores (see
+   Om_concurrent). *)
+let queries_c =
+  Spr_obs.Sharded.counter Spr_obs.Sharded.default "om-concurrent-2level/queries"
+
+let retries_c =
+  Spr_obs.Sharded.counter Spr_obs.Sharded.default "om-concurrent-2level/retries"
+
 (* Schedule-exploration yield points; no-ops without a controller.
    Mutation steps are Write (they change query-visible labels, stamps,
    or bucket assignments); query read rounds are Read; retries are
@@ -121,7 +130,7 @@ let respace t b =
   iter_items b dirty_item;
   let count = b.bsize in
   Om_intf.count_pass t.st count;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+  Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
   let cell = Labeling.universe / (count + 1) in
   let j = ref 0 in
   iter_items b (fun it ->
@@ -136,7 +145,7 @@ let respace t b =
 let top_rebalance t b =
   let first, count, lo, width = Top.find_range ~t_param:t.t_param b in
   Om_intf.count_pass t.st count;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+  Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
   let members = Array.make count first in
   let rec collect bk j =
     members.(j) <- bk;
@@ -176,7 +185,7 @@ let new_bucket_after t b =
    All items of the old bucket are marked dirty for the duration, so
    queries that touch them retry rather than observe the move. *)
 let split t b =
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
+  Spr_obs.Sink.emit_om_bucket_split t.sink ~om:name;
   yield "split-dirty";
   iter_items b dirty_item;
   let b' = new_bucket_after t b in
@@ -234,7 +243,7 @@ let insert_after_locked t x =
   b.bsize <- b.bsize + 1;
   t.size <- t.size + 1;
   t.st.inserts <- t.st.inserts + 1;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
+  Spr_obs.Sink.emit_om_insert t.sink ~om:name;
   y
 
 let insert_before_locked t x =
@@ -253,7 +262,7 @@ let insert_before_locked t x =
       b.bsize <- b.bsize + 1;
       t.size <- t.size + 1;
       t.st.inserts <- t.st.inserts + 1;
-      Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_insert { om = name });
+      Spr_obs.Sink.emit_om_insert t.sink ~om:name;
       y
 
 let with_lock t f = Hook.locked ~layer:name ~name:"lock" t.lock f
@@ -313,6 +322,7 @@ let stable a b =
 let precedes t x y =
   check_alive "Om_concurrent2.precedes" x;
   check_alive "Om_concurrent2.precedes" y;
+  Spr_obs.Sharded.incr queries_c;
   let rec attempt () =
     yield ~kind:Hook.Read "q-read1";
     let x1 = read_view x in
@@ -325,6 +335,7 @@ let precedes t x y =
     else begin
       yield ~kind:Hook.Link "q-retry";
       Atomic.incr t.retries;
+      Spr_obs.Sharded.incr retries_c;
       attempt ()
     end
   in

@@ -151,3 +151,7 @@ let tag _t e = e.tag
 let stats t = t.st
 
 let rebuilds t = t.rebuilds
+
+(* No structural events to report; accept and ignore the sink so the
+   module satisfies Om_intf.S. *)
+let set_sink _ _ = ()

@@ -53,6 +53,13 @@ module type S = sig
 
   val size : t -> int
   (** Number of live elements. *)
+
+  val set_sink : t -> Spr_obs.Sink.t -> unit
+  (** Install an observability sink: inserts, relabel passes and bucket
+      splits are emitted as trace/flight events (stamped with the
+      sink's current virtual-time context).  Default
+      {!Spr_obs.Sink.null}; implementations with nothing to report
+      accept and ignore it. *)
 end
 
 (** Operation counters exported by every OM implementation so the
@@ -95,9 +102,4 @@ module type CONCURRENT = sig
   val query_retries : t -> int
 
   val check_invariants : t -> unit
-
-  val set_sink : t -> Spr_obs.Sink.t -> unit
-  (** Install an observability sink: inserts, relabel passes and bucket
-      splits are emitted as trace events (stamped with the sink's
-      current virtual-time context).  Default {!Spr_obs.Sink.null}. *)
 end

@@ -93,3 +93,7 @@ let size t = t.size
 let tag _t e = e.tag
 
 let stats t = t.st
+
+(* No structural events to report; accept and ignore the sink so the
+   module satisfies Om_intf.S. *)
+let set_sink _ _ = ()

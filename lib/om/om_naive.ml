@@ -80,3 +80,7 @@ let size t = t.size
 let rank _t e = e.rank
 
 let stats t = t.st
+
+(* No structural events to report; accept and ignore the sink so the
+   module satisfies Om_intf.S. *)
+let set_sink _ _ = ()

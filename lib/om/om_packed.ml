@@ -148,45 +148,57 @@ let alloc_bucket t =
 (* Smallest aligned enclosing range of some width 2^i around bucket [b]
    that is sparse enough to relabel — the same Bender et al. search as
    {!Labeling.find_range}, inlined over the packed arrays. *)
-let top_find_range t b =
-  let ratio = 2.0 /. t_param in
-  let btag = t.b_tag and bprev = t.b_prev and bnext = t.b_next in
-  let rec search i threshold =
-    if i > Labeling.universe_bits then failwith "Om_packed: tag universe exhausted"
-    else begin
-      let width = 1 lsl i in
-      let lo = btag.(b) land lnot (width - 1) in
-      let hi = lo + width in
-      let first = ref b in
-      let p = ref bprev.(b) in
-      while !p <> nil && btag.(!p) >= lo do
-        first := !p;
-        p := bprev.(!p)
-      done;
-      let count = ref 1 in
-      let nx = ref bnext.(!first) in
-      while !nx <> nil && btag.(!nx) < hi do
-        incr count;
-        nx := bnext.(!nx)
-      done;
-      if float_of_int !count <= threshold && width >= 8 * !count then (!first, !count, lo, width)
-      else search (i + 1) (threshold *. ratio)
-    end
-  in
-  search 1 ratio
+(* Density thresholds (2/T)^i per range width 2^i, precomputed so the
+   range search below never passes a float between calls — a boxed
+   float argument per recursion step was the one minor-heap allocation
+   left on the relabel path, and the alloc-gate forbids it. *)
+let top_thresholds =
+  Array.init (Labeling.universe_bits + 1) (fun i ->
+      (2.0 /. t_param) ** float_of_int i)
 
+(* The search and the relabel are one function: returning the found
+   range would build a tuple, and the relabel path must not touch the
+   minor heap (alloc-gate).  Local refs stay register-allocated. *)
 let top_rebalance t b =
-  let first, count, lo, width = top_find_range t b in
-  Om_intf.count_pass t.st count;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
-  let cell = width / count in
-  let btag = t.b_tag and bnext = t.b_next in
-  let bk = ref first in
-  let tag = ref (lo + (cell / 2)) in
-  for _ = 1 to count do
-    btag.(!bk) <- !tag;
-    tag := !tag + cell;
-    bk := bnext.(!bk)
+  let btag = t.b_tag and bprev = t.b_prev and bnext = t.b_next in
+  (* Iterative (a local recursive function would allocate its closure;
+     the refs below stay register-allocated): widen the aligned range
+     around [b] until its density passes the threshold, then relabel
+     it in place. *)
+  let i = ref 1 in
+  let done_ = ref false in
+  while not !done_ do
+    if !i > Labeling.universe_bits then failwith "Om_packed: tag universe exhausted";
+    let width = 1 lsl !i in
+    let lo = btag.(b) land lnot (width - 1) in
+    let hi = lo + width in
+    let first = ref b in
+    let p = ref bprev.(b) in
+    while !p <> nil && btag.(!p) >= lo do
+      first := !p;
+      p := bprev.(!p)
+    done;
+    let count = ref 1 in
+    let nx = ref bnext.(!first) in
+    while !nx <> nil && btag.(!nx) < hi do
+      incr count;
+      nx := bnext.(!nx)
+    done;
+    if float_of_int !count <= top_thresholds.(!i) && width >= 8 * !count then begin
+      let count = !count in
+      Om_intf.count_pass t.st count;
+      Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
+      let cell = width / count in
+      let bk = ref !first in
+      let tag = ref (lo + (cell / 2)) in
+      for _ = 1 to count do
+        btag.(!bk) <- !tag;
+        tag := !tag + cell;
+        bk := bnext.(!bk)
+      done;
+      done_ := true
+    end
+    else incr i
   done
 
 let top_gap_after t b =
@@ -218,7 +230,7 @@ let respace t b =
   let count = t.b_size.(b) in
   if count > 0 then begin
     Om_intf.count_pass t.st count;
-    Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_relabel { om = name; moved = count });
+    Spr_obs.Sink.emit_om_relabel t.sink ~om:name ~moved:count;
     let cell = universe / count in
     let itag = t.i_tag and inext = t.i_next in
     let it = ref t.b_first.(b) in
@@ -250,7 +262,7 @@ let split t b =
     t.i_bkt.(!it) <- b';
     it := t.i_next.(!it)
   done;
-  Spr_obs.Sink.emit t.sink (Spr_obs.Trace.Om_bucket_split { om = name });
+  Spr_obs.Sink.emit_om_bucket_split t.sink ~om:name;
   respace t b;
   respace t b'
 

@@ -23,11 +23,6 @@ val stats : t -> Om_intf.stats
 (** Relabel accounting across both levels, same convention as
     {!Om.stats}. *)
 
-val set_sink : t -> Spr_obs.Sink.t -> unit
-(** Install an observability sink; relabel passes and bucket splits are
-    emitted as [om]-category trace events.  Default
-    {!Spr_obs.Sink.null} (free). *)
-
 val bucket_count : t -> int
 (** Number of live buckets (introspection). *)
 

@@ -5,9 +5,27 @@ type result = {
   steals : int;
   steal_attempts : int;
   threads_run : int;
+  parks : int;
   frames : int;
   elapsed_s : float;
 }
+
+(* Scheduler accounting lives in process-wide domain-sharded counters:
+   a bump is one plain store into the bumping domain's own cache line
+   (no contended [Atomic.incr] on the steal path), and the totals are
+   exact once the workers are joined.  [run] reads the counters before
+   and after and reports the difference; [Spr_obs.Sharded.default]
+   keeps the running process-wide totals for `spview stats` /
+   Prometheus exposition. *)
+let steals_c = Spr_obs.Sharded.counter Spr_obs.Sharded.default "runtime/steals"
+
+let steal_attempts_c =
+  Spr_obs.Sharded.counter Spr_obs.Sharded.default "runtime/steal_attempts"
+
+let threads_run_c =
+  Spr_obs.Sharded.counter Spr_obs.Sharded.default "runtime/threads_run"
+
+let parks_c = Spr_obs.Sharded.counter Spr_obs.Sharded.default "runtime/parks"
 
 type worker = {
   wid : int;
@@ -27,9 +45,6 @@ type state = {
   proto : Mutex.t;
   done_flag : bool Atomic.t;
   next_fid : int Atomic.t;
-  steals : int Atomic.t;
-  steal_attempts : int Atomic.t;
-  threads_run : int Atomic.t;
   spin : int;
 }
 
@@ -116,7 +131,10 @@ let step st w (f : Sim.frame) =
           end
           else false)
     in
-    if parked then w.current <- None
+    if parked then begin
+      Spr_obs.Sharded.incr parks_c;
+      w.current <- None
+    end
     else begin
       ignore (st.hooks.Sim.on_block_end ~wid:w.wid ~now:0 f);
       f.Sim.block <- f.Sim.block + 1;
@@ -129,7 +147,7 @@ let step st w (f : Sim.frame) =
     | Fj_program.Run u ->
         f.Sim.item <- f.Sim.item + 1;
         ignore (st.hooks.Sim.on_thread ~wid:w.wid ~now:0 f u);
-        Atomic.incr st.threads_run;
+        Spr_obs.Sharded.incr threads_run_c;
         burn st u.Fj_program.cost
     | Fj_program.Spawn g ->
         f.Sim.item <- f.Sim.item + 1;
@@ -147,7 +165,7 @@ let step st w (f : Sim.frame) =
 let try_steal st w =
   let p = Array.length st.workers in
   if p > 1 then begin
-    Atomic.incr st.steal_attempts;
+    Spr_obs.Sharded.incr steal_attempts_c;
     let victim_id =
       let v = Spr_util.Rng.int w.rng (p - 1) in
       if v >= w.wid then v + 1 else v
@@ -164,7 +182,7 @@ let try_steal st w =
       with_lock ~name:"dlock" victim.dlock (fun () ->
           match Spr_util.Deque.pop_top victim.deque with
           | Some f ->
-              Atomic.incr st.steals;
+              Spr_obs.Sharded.incr steals_c;
               ignore (st.hooks.Sim.on_steal ~thief:w.wid ~victim:victim_id ~now:0 f);
               Some f
           | None -> None)
@@ -208,14 +226,15 @@ let run ?(hooks = Sim.no_hooks) ?(seed = 1) ?(spin = 200) ~workers program =
       proto = Mutex.create ();
       done_flag = Atomic.make false;
       next_fid = Atomic.make 0;
-      steals = Atomic.make 0;
-      steal_attempts = Atomic.make 0;
-      threads_run = Atomic.make 0;
       spin;
     }
   in
   let root = new_frame st (Fj_program.main program) None in
   st.workers.(0).current <- Some root;
+  let steals0 = Spr_obs.Sharded.read steals_c in
+  let attempts0 = Spr_obs.Sharded.read steal_attempts_c in
+  let threads0 = Spr_obs.Sharded.read threads_run_c in
+  let parks0 = Spr_obs.Sharded.read parks_c in
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init (workers - 1) (fun i ->
@@ -224,10 +243,12 @@ let run ?(hooks = Sim.no_hooks) ?(seed = 1) ?(spin = 200) ~workers program =
   worker_loop st st.workers.(0);
   Array.iter Domain.join domains;
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* The workers are joined, so the sharded totals are exact. *)
   {
-    steals = Atomic.get st.steals;
-    steal_attempts = Atomic.get st.steal_attempts;
-    threads_run = Atomic.get st.threads_run;
+    steals = Spr_obs.Sharded.read steals_c - steals0;
+    steal_attempts = Spr_obs.Sharded.read steal_attempts_c - attempts0;
+    threads_run = Spr_obs.Sharded.read threads_run_c - threads0;
+    parks = Spr_obs.Sharded.read parks_c - parks0;
     frames = Atomic.get st.next_fid;
     elapsed_s;
   }

@@ -35,6 +35,7 @@ type result = {
   steals : int;
   steal_attempts : int;
   threads_run : int;
+  parks : int;  (** workers parked at a sync with children outstanding *)
   frames : int;
   elapsed_s : float;
 }

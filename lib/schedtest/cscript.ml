@@ -100,12 +100,13 @@ let writer_replay (type s e) ~(insert_after : s -> e -> e)
     ops;
   List.rev_map (fun cell -> !cell) !created
 
-let run (module M : Spr_om.Om_intf.CONCURRENT) (s : t) strategy =
+let run ?(sink = Spr_obs.Sink.null) (module M : Spr_om.Om_intf.CONCURRENT) (s : t) strategy =
   let n = n_prelude s in
   let sut, pre, sut_head =
     build_prelude ~create:M.create ~base:M.base ~insert_after:M.insert_after
       ~insert_before:M.insert_before s
   in
+  M.set_sink sut sink;
   let module O = Spr_om.Om in
   let ora, opre, ora_head =
     build_prelude ~create:O.create ~base:O.base ~insert_after:O.insert_after

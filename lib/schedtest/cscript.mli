@@ -72,11 +72,19 @@ type run_result = {
           of the same prelude + writer ops. *)
 }
 
-val run : (module Spr_om.Om_intf.CONCURRENT) -> t -> Control.strategy -> run_result
+val run :
+  ?sink:Spr_obs.Sink.t ->
+  (module Spr_om.Om_intf.CONCURRENT) ->
+  t ->
+  Control.strategy ->
+  run_result
 (** Build a fresh structure, run the script's tasks under a fresh
-    controller with the given strategy, and validate.  Deterministic:
-    same script + same strategy reproduces the same report (and the
-    same failure) byte for byte. *)
+    controller with the given strategy, and validate.  [sink] (default
+    {!Spr_obs.Sink.null}) is installed on the structure under test, so
+    a flight recorder armed there captures the insert/relabel event
+    tail of a failing interleaving.  Deterministic: same script + same
+    strategy reproduces the same report (and the same failure) byte
+    for byte. *)
 
 val shrink : still_failing:(t -> bool) -> t -> t
 (** Minimize a failing script: ddmin the writer, then each reader,

@@ -12,6 +12,8 @@ flipped) must be caught and shrunk to a minimal replayable repro:
   shrunk repro (2 threads), as Prog_spec.t:
     [[T 1; T 1]]
   replay: spfuzz --mode sp --seed 1 --iters 1
+  final metrics snapshot: {"fuzz/sp_programs":1,"om-concurrent-2level/queries":0,"om-concurrent-2level/retries":0,"om-concurrent/queries":0,"om-concurrent/retries":0,"sched/frames":9,"sched/hook_ticks":27,"sched/overhead_ticks":9,"sched/steal_attempts":39,"sched/steal_attempts_lock_held":0,"sched/steal_ticks":39,"sched/steals":0,"sched/time":4,"sched/work_ticks":21}
+  flight recorder: 27 recent events (27 recorded) dumped to spfuzz.spr-flight
   [1]
 
 A planted order-maintenance bug (insert_before aliased to
@@ -23,6 +25,8 @@ insert_after) must be caught and shrunk too:
   shrunk script, as Om_script.script:
     [Insert_before 693078]
   replay: spfuzz --mode om --seed 1 --iters 1
+  final metrics snapshot: {"fuzz/om_scripts":1,"om-concurrent-2level/queries":1910,"om-concurrent-2level/retries":0,"om-concurrent/queries":1910,"om-concurrent/retries":0}
+  flight recorder: 159 recent events (159 recorded) dumped to spfuzz.spr-flight
   [1]
 
 Schedule-exploration modes (--sched) print a digest folded over every
@@ -55,6 +59,8 @@ minimal script plus a minimal schedule:
     readers = [[{ qx = 0; qy = 0 }; { qx = 0; qy = 1 }]] }
   shrunk schedule (2 decisions): 1 1
   replay: spfuzz --sched pct --depth 3 --inject-fault om-unvalidated --seed 2 --iters 1
+  final metrics snapshot: {"om-concurrent-2level/queries":580,"om-concurrent-2level/retries":0,"om-concurrent/queries":580,"om-concurrent/retries":1,"schedtest/max_depth":29,"schedtest/pruned":0,"schedtest/schedules":27}
+  flight recorder: 156 recent events (156 recorded) dumped to spfuzz.spr-flight
   [1]
 
 Unknown scheduler and fault names fail cleanly with the valid values:

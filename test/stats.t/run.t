@@ -1,0 +1,95 @@
+The flight recorder's post-mortem dump is deterministic: the same
+failing command writes a byte-identical .spr-flight file, so its hash
+can be pinned.  (A planted fault guarantees a failing execution.)
+
+  $ spfuzz --mode sp --inject-fault bags-flip --iters 50 --quiet --flight-out fault.spr-flight > report.txt
+  [1]
+  $ grep -c "final metrics snapshot" report.txt
+  1
+  $ sha256sum fault.spr-flight
+  7e8eb47344b931c7cda9faa3536e684f917200bac4d4657927f769ff483c4c76  fault.spr-flight
+
+spview decodes the dump: per-lane event counts by kind, drop
+accounting, and the embedded final metrics snapshot.
+
+  $ spview stats --flight fault.spr-flight
+  flight recorder: 8 lanes, capacity 512
+    lane 0: 27 events, 0 dropped — return:9, sync:9, thread_run:9
+    lane 1: 0 events, 0 dropped
+    lane 2: 0 events, 0 dropped
+    lane 3: 0 events, 0 dropped
+    lane 4: 0 events, 0 dropped
+    lane 5: 0 events, 0 dropped
+    lane 6: 0 events, 0 dropped
+    lane 7: 0 events, 0 dropped
+  metrics snapshot: {"fuzz/sp_programs":1,"om-concurrent-2level/queries":0,"om-concurrent-2level/retries":0,"om-concurrent/queries":0,"om-concurrent/retries":0,"sched/frames":9,"sched/hook_ticks":27,"sched/overhead_ticks":9,"sched/steal_attempts":39,"sched/steal_attempts_lock_held":0,"sched/steal_ticks":39,"sched/steals":0,"sched/time":4,"sched/work_ticks":21}
+
+A second run of the same failing command writes the same bytes:
+
+  $ spfuzz --mode sp --inject-fault bags-flip --iters 50 --quiet --flight-out again.spr-flight > /dev/null
+  [1]
+  $ cmp fault.spr-flight again.spr-flight
+
+The live stats subcommand runs the instrumented simulator assembly and
+merges the registry with the process-wide domain-sharded counters; the
+Prometheus text exposition is deterministic for a fixed seed:
+
+  $ spview stats --workload fib --size 6 --procs 2 --seed 1 --format prom
+  # TYPE spr_hybrid_global_insert_ticks counter
+  spr_hybrid_global_insert_ticks 32
+  # TYPE spr_hybrid_lock_wait histogram
+  spr_hybrid_lock_wait_bucket{le="1"} 4
+  spr_hybrid_lock_wait_bucket{le="+Inf"} 4
+  spr_hybrid_lock_wait_sum 0
+  spr_hybrid_lock_wait_count 4
+  # TYPE spr_hybrid_lock_wait_ticks counter
+  spr_hybrid_lock_wait_ticks 0
+  # TYPE spr_hybrid_splits counter
+  spr_hybrid_splits 4
+  # TYPE spr_om_concurrent_queries counter
+  spr_om_concurrent_queries 0
+  # TYPE spr_om_concurrent_retries counter
+  spr_om_concurrent_retries 0
+  # TYPE spr_race_accesses counter
+  spr_race_accesses 0
+  # TYPE spr_race_queries counter
+  spr_race_queries 0
+  # TYPE spr_race_queries_per_access histogram
+  spr_race_queries_per_access_bucket{le="+Inf"} 0
+  spr_race_queries_per_access_sum 0
+  spr_race_queries_per_access_count 0
+  # TYPE spr_runtime_parks counter
+  spr_runtime_parks 0
+  # TYPE spr_runtime_steal_attempts counter
+  spr_runtime_steal_attempts 0
+  # TYPE spr_runtime_steals counter
+  spr_runtime_steals 0
+  # TYPE spr_runtime_threads_run counter
+  spr_runtime_threads_run 0
+  # TYPE spr_sched_frames counter
+  spr_sched_frames 25
+  # TYPE spr_sched_hook_ticks counter
+  spr_sched_hook_ticks 175
+  # TYPE spr_sched_overhead_ticks counter
+  spr_sched_overhead_ticks 63
+  # TYPE spr_sched_steal_attempts counter
+  spr_sched_steal_attempts 38
+  # TYPE spr_sched_steal_attempts_lock_held counter
+  spr_sched_steal_attempts_lock_held 1
+  # TYPE spr_sched_steal_ticks counter
+  spr_sched_steal_ticks 38
+  # TYPE spr_sched_steals counter
+  spr_sched_steals 4
+  # TYPE spr_sched_time gauge
+  spr_sched_time 188
+  # TYPE spr_sched_work_ticks counter
+  spr_sched_work_ticks 100
+
+Bad inputs fail cleanly:
+
+  $ spview stats --flight no-such-file.spr-flight
+  spview: no-such-file.spr-flight: No such file or directory
+  [1]
+  $ spview stats --format bogus
+  spview: unknown stats format "bogus" (valid: pretty, json, prom)
+  [1]

@@ -254,6 +254,233 @@ let sink_plumbing () =
   | _ -> Alcotest.fail "expected exactly two events"
 
 (* ------------------------------------------------------------------ *)
+(* Sharded counters: exact totals, single-domain parity                *)
+
+let sharded_parity () =
+  (* A sharded registry's snapshot is bit-identical to a serial Metrics
+     registry fed the same bumps from one domain. *)
+  let s = Sharded.create () in
+  let m = Metrics.create () in
+  let pairs =
+    [ ("om/inserts", 17); ("om/relabels", 0); ("runtime/steals", 123456789) ]
+  in
+  List.iter
+    (fun (k, n) ->
+      Sharded.add (Sharded.counter s k) n;
+      Metrics.add (Metrics.counter m k) n)
+    pairs;
+  Alcotest.(check bool)
+    "snapshots bit-identical" true
+    (Sharded.metrics_snapshot s = Metrics.snapshot m);
+  (* find-or-register returns the same cell; bumps accumulate. *)
+  Sharded.incr (Sharded.counter s "om/inserts");
+  Alcotest.(check int) "accumulated" 18 (Sharded.read (Sharded.counter s "om/inserts"))
+
+let sharded_domains () =
+  (* 8 domains bump one counter concurrently with no synchronization on
+     the bump path; after join the total is exact, not approximate. *)
+  let s = Sharded.create () in
+  let c = Sharded.counter s "test/exact" in
+  let n_domains = 8 and per = 50_000 in
+  let domains =
+    Array.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per + d do
+              Sharded.incr c
+            done))
+  in
+  Array.iter Domain.join domains;
+  let expect = (n_domains * per) + (n_domains * (n_domains - 1) / 2) in
+  Alcotest.(check int) "exact cross-domain total" expect (Sharded.read c)
+
+(* ------------------------------------------------------------------ *)
+(* Probes: uninstalled passthrough, span accounting, alloc_words       *)
+
+let probe_uninstalled () =
+  Probe.reset ();
+  Alcotest.(check bool) "not installed" false (Probe.is_installed ());
+  let r = Probe.region "test/uninstalled" in
+  let v = Probe.span r (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 v;
+  let st = Probe.stats r in
+  Alcotest.(check int) "no spans charged" 0 st.Probe.s_spans;
+  Alcotest.(check int) "no words charged" 0 st.Probe.s_minor_words
+
+let probe_span_accounting () =
+  Probe.reset ();
+  Probe.install ();
+  let r = Probe.region "test/span" in
+  let n = 10_000 in
+  let v =
+    Probe.span r (fun () ->
+        (* n list conses: exactly 3 words each on the minor heap. *)
+        let l = ref [] in
+        for i = 1 to n do
+          l := i :: !l
+        done;
+        List.length !l)
+  in
+  Probe.uninstall ();
+  Alcotest.(check int) "thunk result" n v;
+  let st = Probe.stats r in
+  Alcotest.(check int) "one span" 1 st.Probe.s_spans;
+  Alcotest.(check bool) "wall time advanced" true (st.Probe.s_wall_ns > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words >= 3n (got %d)" st.Probe.s_minor_words)
+    true
+    (st.Probe.s_minor_words >= 3 * n);
+  (* Exceptions still charge the region, then propagate. *)
+  Probe.install ();
+  (try Probe.span r (fun () -> failwith "boom") with Failure _ -> ());
+  Probe.uninstall ();
+  Alcotest.(check int) "span charged on exception" 2 (Probe.stats r).Probe.s_spans;
+  (* Regions with activity appear in the sorted snapshot. *)
+  Alcotest.(check bool) "in snapshot" true (List.mem_assoc "test/span" (Probe.snapshot ()))
+
+let probe_alloc_words () =
+  (* Calibrated: an allocation-free loop reads exactly 0... *)
+  let sum = ref 0 in
+  let (), w0 =
+    Probe.alloc_words (fun () ->
+        for i = 1 to 1_000 do
+          sum := !sum + i
+        done)
+  in
+  Alcotest.(check int) "allocation-free loop is 0 words" 0 w0;
+  (* ...and n conses read exactly 3n words. *)
+  let n = 1_000 in
+  let l, w1 =
+    Probe.alloc_words (fun () ->
+        let l = ref [] in
+        for i = 1 to n do
+          l := i :: !l
+        done;
+        !l)
+  in
+  Alcotest.(check int) "list still usable" n (List.length l);
+  Alcotest.(check int) "3 words per cons" (3 * n) w1
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: wraparound, roundtrip, concurrent lanes            *)
+
+let flight_ring () =
+  let f = Flight.create ~lanes:2 ~capacity:8 () in
+  for i = 0 to 19 do
+    Flight.emit f ~lane:0 ~ts:i ~wid:0 (Trace.Sync { frame = i })
+  done;
+  Alcotest.(check int) "full lane holds capacity" 8 (Flight.lane_length f 0);
+  Alcotest.(check int) "overwritten events counted" 12 (Flight.lane_dropped f 0);
+  Alcotest.(check int) "untouched lane empty" 0 (Flight.lane_length f 1);
+  (* The ring keeps the tail of the run, oldest first. *)
+  let frames =
+    List.map
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with Trace.Sync { frame } -> frame | _ -> -1)
+      (Flight.lane_events f 0)
+  in
+  Alcotest.(check (list int)) "tail, oldest first" [ 12; 13; 14; 15; 16; 17; 18; 19 ] frames;
+  Flight.clear f;
+  Alcotest.(check int) "clear empties" 0 (Flight.lane_length f 0)
+
+let flight_roundtrip () =
+  let f = Flight.create ~lanes:3 ~capacity:16 () in
+  Flight.emit f ~lane:0 ~ts:1 ~wid:0 (Trace.Spawn { parent = 2; child = 3 });
+  Flight.emit f ~lane:0 ~ts:2 ~wid:0 (Trace.Om_relabel { om = "om-packed"; moved = 7 });
+  Flight.emit f ~lane:1 ~ts:3 ~wid:1
+    (Trace.Trace_split { victim_trace = 4; u1 = 5; u2 = 6; u4 = 7; u5 = 8 });
+  Flight.emit f ~lane:1 ~ts:4 ~wid:1 (Trace.Om_insert { om = "om-two-level" });
+  let snapshot = Json.Obj [ ("om/inserts", Json.Int 2) ] in
+  let bytes = Flight.to_bytes ~snapshot f in
+  (* Deterministic image: same state, same bytes. *)
+  Alcotest.(check string) "to_bytes deterministic" bytes (Flight.to_bytes ~snapshot f);
+  let d = Flight.of_bytes bytes in
+  Alcotest.(check int) "capacity" 16 d.Flight.d_capacity;
+  Alcotest.(check (array int)) "per-lane counts" [| 2; 2; 0 |] d.Flight.d_counts;
+  Alcotest.(check bool) "snapshot embedded" true (d.Flight.d_snapshot = Some snapshot);
+  let lane0 = d.Flight.d_events.(0) in
+  Alcotest.(check int) "lane 0 decoded" 2 (List.length lane0);
+  (match lane0 with
+  | [ a; b ] ->
+      Alcotest.(check bool) "spawn payload" true (a.Trace.kind = Trace.Spawn { parent = 2; child = 3 });
+      Alcotest.(check int) "ts survives" 1 a.Trace.ts;
+      Alcotest.(check bool)
+        "string field re-interned" true
+        (b.Trace.kind = Trace.Om_relabel { om = "om-packed"; moved = 7 })
+  | _ -> Alcotest.fail "lane 0 shape");
+  (match d.Flight.d_events.(1) with
+  | [ a; _ ] ->
+      Alcotest.(check bool)
+        "5-field payload survives" true
+        (a.Trace.kind = Trace.Trace_split { victim_trace = 4; u1 = 5; u2 = 6; u4 = 7; u5 = 8 })
+  | _ -> Alcotest.fail "lane 1 shape");
+  (* Truncation and bad magic are Failure, not crashes. *)
+  Alcotest.check_raises "bad magic" (Failure "Flight: bad magic (not a .spr-flight file)")
+    (fun () -> ignore (Flight.of_bytes "XXXXXXXXXXXXXXXX"))
+
+(* qcheck: N domains each own one lane and emit M events concurrently;
+   every decoded event is untorn (payload satisfies c = a lxor b) and
+   each lane is in its writer's program order.  Single-writer-per-lane
+   is the recorder's whole concurrency contract. *)
+let flight_concurrent_lanes =
+  QCheck.Test.make ~count:25 ~name:"flight: N domains x M events, no tearing, lane order"
+    QCheck.(pair (int_range 1 6) (int_range 1 200))
+    (fun (n_domains, m_events) ->
+      let f = Flight.create ~lanes:n_domains ~capacity:64 () in
+      let domains =
+        Array.init n_domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to m_events - 1 do
+                  Flight.emit_raw f ~lane:d ~ts:i ~wid:d ~tag:Flight.tag_spawn ~a:i
+                    ~b:(d * 1_000_003) ~c:(i lxor (d * 1_000_003)) ~d:0 ~e:0
+                done))
+      in
+      Array.iter Domain.join domains;
+      let ok = ref true in
+      for d = 0 to n_domains - 1 do
+        List.iter
+          (fun (e : Trace.event) ->
+            match e.Trace.kind with
+            | Trace.Spawn { parent; child } ->
+                (* An untorn slot satisfies parent = ts = i and
+                   child = the lane's writer constant. *)
+                if child <> d * 1_000_003 then ok := false;
+                if parent <> e.Trace.ts then ok := false
+            | _ -> ok := false)
+          (Flight.lane_events f d);
+        (* Program order within the lane: ts strictly increasing. *)
+        let tss = List.map (fun (e : Trace.event) -> e.Trace.ts) (Flight.lane_events f d) in
+        if tss <> List.sort_uniq compare tss then ok := false;
+        if Flight.lane_length f d <> min m_events 64 then ok := false;
+        if Flight.lane_dropped f d <> max 0 (m_events - 64) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let prom_render () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "om/inserts") 42;
+  Metrics.set (Metrics.gauge m "sched/time") 17.0;
+  let h = Metrics.histogram m "race/queries_per_access" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 9 ];
+  Alcotest.(check string) "pinned exposition"
+    "# TYPE spr_om_inserts counter\n\
+     spr_om_inserts 42\n\
+     # TYPE spr_race_queries_per_access histogram\n\
+     spr_race_queries_per_access_bucket{le=\"1\"} 2\n\
+     spr_race_queries_per_access_bucket{le=\"3\"} 4\n\
+     spr_race_queries_per_access_bucket{le=\"7\"} 4\n\
+     spr_race_queries_per_access_bucket{le=\"15\"} 5\n\
+     spr_race_queries_per_access_bucket{le=\"+Inf\"} 5\n\
+     spr_race_queries_per_access_sum 15\n\
+     spr_race_queries_per_access_count 5\n\
+     # TYPE spr_sched_time gauge\n\
+     spr_sched_time 17\n"
+    (Prom.render (Metrics.snapshot m));
+  Alcotest.(check string) "sanitize" "x_om_2level_q" (Prom.sanitize ~prefix:"x" "om/2level.q")
+
+(* ------------------------------------------------------------------ *)
 (* End to end: simulator + SP-hybrid under a recording sink            *)
 
 let end_to_end () =
@@ -310,5 +537,23 @@ let () =
           Alcotest.test_case "to_chrome" `Quick trace_to_chrome;
         ] );
       ("sink", [ Alcotest.test_case "plumbing" `Quick sink_plumbing ]);
+      ( "sharded",
+        [
+          Alcotest.test_case "single-domain parity" `Quick sharded_parity;
+          Alcotest.test_case "8-domain exact totals" `Quick sharded_domains;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "uninstalled passthrough" `Quick probe_uninstalled;
+          Alcotest.test_case "span accounting" `Quick probe_span_accounting;
+          Alcotest.test_case "alloc_words calibration" `Quick probe_alloc_words;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wraparound" `Quick flight_ring;
+          Alcotest.test_case "dump roundtrip" `Quick flight_roundtrip;
+          QCheck_alcotest.to_alcotest flight_concurrent_lanes;
+        ] );
+      ("prom", [ Alcotest.test_case "text exposition" `Quick prom_render ]);
       ("end-to-end", [ Alcotest.test_case "sim + hybrid" `Quick end_to_end ]);
     ]
