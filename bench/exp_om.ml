@@ -118,6 +118,107 @@ let emit_json () =
         [ Append; Hammer; Random ])
     backends
 
+(* The fused English/Hebrew backend measures per child-pair insertion
+   (its unit of work: two elements spliced into both orders at once),
+   reported per inserted element so the row is comparable with the
+   single-structure rows above — each element still lands in one order
+   apiece there, two orders here, so the fused number carries twice the
+   logical work per element.  The counter sums both planes' relabel
+   accounting; per-plane it is bit-identical to boxed [Om] (pinned by
+   test_om). *)
+let insert_run_fused pattern n =
+  let module F = Spr_om.Om_fused in
+  let t = F.create () in
+  let rng = Spr_util.Rng.create 4 in
+  let ops = n / 2 in
+  let elts = Array.make ((2 * ops) + 1) (F.base t) in
+  let len = ref 1 in
+  let _, secs =
+    Bench_util.time (fun () ->
+        for i = 1 to ops do
+          let anchor =
+            match pattern with
+            | Append -> elts.(!len - 1)
+            | Hammer -> elts.(0)
+            | Random -> elts.(Spr_util.Rng.int rng !len)
+          in
+          let l, r = F.insert_children t anchor ~parallel:(i land 1 = 0) in
+          elts.(!len) <- l;
+          elts.(!len + 1) <- r;
+          len := !len + 2
+        done)
+  in
+  let eng = F.stats_eng t and heb = F.stats_heb t in
+  let moved = eng.Spr_om.Om_intf.items_moved + heb.Spr_om.Om_intf.items_moved in
+  let inserts = eng.Spr_om.Om_intf.inserts + heb.Spr_om.Om_intf.inserts in
+  ( secs *. 1e9 /. float_of_int (2 * ops),
+    float_of_int moved /. float_of_int (max 1 inserts) )
+
+let emit_json_fused () =
+  let n = Bench_json.scaled_n ~default:1_000_000 in
+  List.iter
+    (fun pat ->
+      ignore (insert_run_fused pat n);
+      ignore (insert_run_fused pat n);
+      let samples = ref [] in
+      let counter = ref 0.0 in
+      for _ = 1 to 5 do
+        let ns, c = insert_run_fused pat n in
+        samples := ns :: !samples;
+        counter := c
+      done;
+      let add =
+        Bench_json.add ~experiment:"om" ~backend:"om-fused" ~pattern:(pattern_name pat) ~n
+      in
+      add ~metric:"ns_per_insert" ~kind:Bench_json.Time (List.rev !samples);
+      add ~metric:"items_moved_per_insert" ~kind:Bench_json.Counter [ !counter ])
+    [ Append; Hammer; Random ]
+
+(* The sp-order insert/query mix the fused backend's acceptance
+   criterion is stated over: one full fork/join walk of a balanced
+   n-leaf tree (a child-pair insertion into both orders per internal
+   node) plus a random-leaf-pair query sweep, through the uniform
+   maintainer interface — boxed sp-order vs sp-order-fused on
+   identical work. *)
+let spmix_queries = 200_000
+
+let spmix_run make tree =
+  let module Sm = Spr_core.Sp_maintainer in
+  Gc.compact ();
+  let ls = Spr_sptree.Sp_tree.leaves tree in
+  let nl = Array.length ls in
+  let rng = Spr_util.Rng.create 7 in
+  let pairs =
+    Array.init spmix_queries (fun _ ->
+        (ls.(Spr_util.Rng.int rng nl), ls.(Spr_util.Rng.int rng nl)))
+  in
+  let sink = ref 0 in
+  let _, secs =
+    Bench_util.time (fun () ->
+        let inst = make tree in
+        Spr_core.Driver.run tree inst;
+        Array.iter (fun (a, b) -> if Sm.precedes inst a b then incr sink) pairs)
+  in
+  ignore !sink;
+  secs *. 1e9 /. float_of_int (nl - 1 + spmix_queries)
+
+let emit_json_spmix () =
+  let n = Bench_json.scaled_n ~default:1_000_000 in
+  let tree = Spr_sptree.Tree_gen.balanced ~leaves:n in
+  List.iter
+    (fun (backend, make) ->
+      ignore (spmix_run make tree);
+      let samples = ref [] in
+      for _ = 1 to 5 do
+        samples := spmix_run make tree :: !samples
+      done;
+      let add = Bench_json.add ~experiment:"om" ~backend ~pattern:"spmix" ~n in
+      add ~metric:"ns_per_op" ~kind:Bench_json.Time (List.rev !samples))
+    [
+      ("sp-order", Spr_core.Algorithms.sp_order);
+      ("sp-order-fused", Spr_core.Algorithms.sp_order_fused);
+    ]
+
 (* sp-depa rides in the "om" gate: its labels are the label-based
    alternative to the OM substrate (DESIGN.md section 5), and the CI
    perf smoke only regenerates this experiment's entries.  One warmed
@@ -186,19 +287,35 @@ module Probe = Spr_obs.Probe
 let attribution structures n =
   Probe.reset ();
   Probe.install ~runtime_events:true ();
+  (* Column units are machine words (not bytes): Probe reports
+     Gc.minor_words-style word counts, divided by ops. *)
   let tbl =
     T.create
       ~title:
-        (Printf.sprintf "allocation/GC attribution (probe spans), n = %s ops/phase"
+        (Printf.sprintf
+           "allocation/GC attribution (probe spans, words = machine words), n = %s ops/phase"
            (T.fmt_int n))
       [
         ("structure", T.Left);
         ("phase", T.Left);
-        ("minor w/op", T.Right);
-        ("promoted w/op", T.Right);
+        ("minor words/op", T.Right);
+        ("promoted words/op", T.Right);
         ("minor GCs", T.Right);
         ("major GCs", T.Right);
         ("GC pause us", T.Right);
+      ]
+  in
+  let row name phase n (st : Probe.stat) =
+    T.add_row tbl
+      [
+        name;
+        phase;
+        Printf.sprintf "%.2f" (float_of_int st.Probe.s_minor_words /. float_of_int n);
+        Printf.sprintf "%.2f" (float_of_int st.Probe.s_promoted_words /. float_of_int n);
+        T.fmt_int st.Probe.s_minor_gcs;
+        T.fmt_int st.Probe.s_major_gcs;
+        Printf.sprintf "%.1f"
+          (float_of_int (st.Probe.s_minor_pause_ns + st.Probe.s_major_pause_ns) /. 1e3);
       ]
   in
   List.iter
@@ -223,23 +340,43 @@ let attribution structures n =
       Probe.span r_q (fun () ->
           Array.iter (fun (a, b) -> if M.precedes t a b then incr hits) pairs);
       ignore !hits;
-      let row phase (st : Probe.stat) =
-        T.add_row tbl
-          [
-            M.name;
-            phase;
-            Printf.sprintf "%.2f" (float_of_int st.Probe.s_minor_words /. float_of_int n);
-            Printf.sprintf "%.2f" (float_of_int st.Probe.s_promoted_words /. float_of_int n);
-            T.fmt_int st.Probe.s_minor_gcs;
-            T.fmt_int st.Probe.s_major_gcs;
-            Printf.sprintf "%.1f"
-              (float_of_int (st.Probe.s_minor_pause_ns + st.Probe.s_major_pause_ns) /. 1e3);
-          ]
-      in
-      row "insert" (Probe.stats r_ins);
-      row "query" (Probe.stats r_q);
+      row M.name "insert" n (Probe.stats r_ins);
+      row M.name "query" n (Probe.stats r_q);
       T.add_sep tbl)
     structures;
+  (* The fused English/Hebrew backend has its own (child-pair) insert
+     API, so it cannot ride the Om_intf.S loop above — hand-rolled
+     hammer/query phases, same span protocol.  Ops are counted per
+     inserted element / per sp query, same as the other rows. *)
+  begin
+    let module F = Spr_om.Om_fused in
+    Gc.compact ();
+    let t = F.create () in
+    let rng = Spr_util.Rng.create 4 in
+    let ops = n / 2 in
+    let elts = Array.make ((2 * ops) + 1) (F.base t) in
+    let len = ref 1 in
+    let r_ins = Probe.region "om/om-fused/insert" in
+    let r_q = Probe.region "om/om-fused/query" in
+    Probe.span r_ins (fun () ->
+        for i = 1 to ops do
+          let lr = F.insert_children_packed t elts.(0) ~parallel:(i land 1 = 0) in
+          elts.(!len) <- F.packed_left lr;
+          elts.(!len + 1) <- F.packed_right lr;
+          len := !len + 2
+        done);
+    let pairs =
+      Array.init n (fun _ ->
+          (elts.(Spr_util.Rng.int rng !len), elts.(Spr_util.Rng.int rng !len)))
+    in
+    let hits = ref 0 in
+    Probe.span r_q (fun () ->
+        Array.iter (fun (a, b) -> if F.sp_precedes t a b then incr hits) pairs);
+    ignore !hits;
+    row F.name "insert" (2 * ops) (Probe.stats r_ins);
+    row F.name "query" n (Probe.stats r_q);
+    T.add_sep tbl
+  end;
   Probe.uninstall ();
   T.print tbl;
   Printf.printf
@@ -364,5 +501,7 @@ let run () =
      Dietz-Seiferas-Zhang lower bound); order maintenance stays flat.\n";
   if Bench_json.enabled () then begin
     emit_json ();
+    emit_json_fused ();
+    emit_json_spmix ();
     emit_json_depa ()
   end

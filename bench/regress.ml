@@ -26,6 +26,14 @@
        minor-heap words.  --plant plants one allocation per iteration
        so CI can check the gate actually trips.
 
+     regress --alloc-gate --e2e [--plant] [--iters N]
+       The end-to-end variant: a full sp-order-fused race-detection
+       run per iteration — arena parse-tree rebuild, fused
+       English/Hebrew fork/join walk, every shadow access and SP
+       query (Spr_race.Drivers.Fused) — over a deterministic
+       race-free fork-join program, pinned at zero minor words in
+       steady state.
+
      regress --probe-gate [--max-ns F]
        Bechamel-measure an uninstalled Spr_obs.Probe.span and fail if
        it estimates above F ns/span (default 5.0) — the "one atomic
@@ -192,6 +200,83 @@ let alloc_gate ~plant ~iters () =
   else Printf.printf "alloc-gate: OK — steady state is allocation-free\n"
 
 (* ------------------------------------------------------------------ *)
+(* Mode 2b: the end-to-end allocation gate.                            *)
+
+module Fj = Spr_prog.Fj_program
+
+(* A deterministic, race-free program with real SP structure: thread
+   w0 writes the shared location in the main procedure's first sync
+   block, then a depth-[d] spawn tree runs — every leaf reads the
+   shared location (w0 precedes them all, so the reads exercise
+   writer-precedes and reader-subsumption queries without racing) and
+   writes one private location. *)
+let e2e_program ~depth =
+  let b = Fj.Builder.create () in
+  let next = ref 0 in
+  let fresh_loc () = incr next; !next in
+  let shared = 0 in
+  let worker () =
+    Fj.Builder.thread b
+      ~accesses:
+        [
+          { Fj.loc = shared; write = false; locks = [] };
+          { Fj.loc = fresh_loc (); write = true; locks = [] };
+        ]
+      ~cost:1 ()
+  in
+  let rec sub d =
+    if d = 0 then Fj.Builder.proc b [ [ Fj.Run (worker ()) ] ]
+    else
+      Fj.Builder.proc b
+        [ [ Fj.Spawn (sub (d - 1)); Fj.Spawn (sub (d - 1)); Fj.Run (worker ()) ] ]
+  in
+  let w0 =
+    Fj.Builder.thread b ~accesses:[ { Fj.loc = shared; write = true; locks = [] } ] ~cost:1 ()
+  in
+  let main =
+    Fj.Builder.proc b [ [ Fj.Run w0 ]; [ Fj.Spawn (sub depth); Fj.Run (worker ()) ] ]
+  in
+  Fj.Builder.finish b main
+
+(* One iteration = one complete detection pass, rewound in place:
+   arena tree rebuild + fused English/Hebrew fork/join walk + every
+   access and SP query.  Steady state must stay at zero minor words
+   with the boxed option/record traffic gone from tree, OM pair and
+   shadow cells alike. *)
+let alloc_gate_e2e ~plant ~iters () =
+  let program = e2e_program ~depth:7 in
+  let pipeline = Spr_race.Drivers.Fused.create program in
+  let runs k =
+    for i = 0 to k - 1 do
+      Spr_race.Drivers.Fused.run pipeline;
+      if plant then ignore (Sys.opaque_identity (ref i))
+    done
+  in
+  (* Reach steady state (arena/elt-map/stack high-water marks) before
+     measuring. *)
+  runs 3;
+  let first = Spr_race.Drivers.Fused.result pipeline in
+  if first.Spr_race.Drivers.races <> [] then
+    die "alloc-gate --e2e: the fixed program must be race-free (internal bug)";
+  let (), words = Probe.alloc_words (fun () -> runs iters) in
+  Probe.install ~runtime_events:true ();
+  let region = Probe.region "sp-order-fused/e2e" in
+  Probe.span region (fun () -> runs iters);
+  Probe.uninstall ();
+  Printf.printf
+    "alloc-gate: %d end-to-end sp-order-fused runs (%d threads, %d SP queries/run)\n" iters
+    (Fj.thread_count program) first.Spr_race.Drivers.sp_queries;
+  Printf.printf "alloc-gate: minor-heap words in steady state: %d%s\n" words
+    (if plant then " (with planted allocation)" else "");
+  Format.printf "%a" Probe.pp_snapshot
+    (List.filter (fun (n, _) -> n = "sp-order-fused/e2e") (Probe.snapshot ()));
+  if words > 0 then begin
+    Printf.printf "alloc-gate: FAIL — end-to-end steady state allocated on the minor heap\n";
+    exit 1
+  end
+  else Printf.printf "alloc-gate: OK — end-to-end steady state is allocation-free\n"
+
+(* ------------------------------------------------------------------ *)
 (* Mode 3: uninstalled-probe overhead gate.                            *)
 
 let probe_gate ~max_ns () =
@@ -227,36 +312,43 @@ let probe_gate ~max_ns () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse paths threshold alloc plant probe max_ns iters = function
+  let rec parse paths threshold alloc e2e plant probe max_ns iters = function
     | "--threshold" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some r when r >= 1.0 -> parse paths r alloc plant probe max_ns iters rest
+        | Some r when r >= 1.0 -> parse paths r alloc e2e plant probe max_ns iters rest
         | _ -> die "--threshold takes a ratio >= 1.0")
     | "--threshold" :: [] -> die "--threshold takes a ratio >= 1.0"
-    | "--alloc-gate" :: rest -> parse paths threshold true plant probe max_ns iters rest
-    | "--plant" :: rest -> parse paths threshold alloc true probe max_ns iters rest
-    | "--probe-gate" :: rest -> parse paths threshold alloc plant true max_ns iters rest
+    | "--alloc-gate" :: rest -> parse paths threshold true e2e plant probe max_ns iters rest
+    | "--e2e" :: rest -> parse paths threshold alloc true plant probe max_ns iters rest
+    | "--plant" :: rest -> parse paths threshold alloc e2e true probe max_ns iters rest
+    | "--probe-gate" :: rest -> parse paths threshold alloc e2e plant true max_ns iters rest
     | "--max-ns" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some f when f > 0.0 -> parse paths threshold alloc plant probe f iters rest
+        | Some f when f > 0.0 -> parse paths threshold alloc e2e plant probe f iters rest
         | _ -> die "--max-ns takes a positive float")
     | "--max-ns" :: [] -> die "--max-ns takes a positive float"
     | "--iters" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some i when i > 0 -> parse paths threshold alloc plant probe max_ns i rest
+        | Some i when i > 0 -> parse paths threshold alloc e2e plant probe max_ns (Some i) rest
         | _ -> die "--iters takes a positive int")
     | "--iters" :: [] -> die "--iters takes a positive int"
-    | a :: rest -> parse (a :: paths) threshold alloc plant probe max_ns iters rest
-    | [] -> (List.rev paths, threshold, alloc, plant, probe, max_ns, iters)
+    | a :: rest -> parse (a :: paths) threshold alloc e2e plant probe max_ns iters rest
+    | [] -> (List.rev paths, threshold, alloc, e2e, plant, probe, max_ns, iters)
   in
-  let paths, threshold, alloc, plant, probe, max_ns, iters =
-    parse [] 1.5 false false false 5.0 100_000 args
+  let paths, threshold, alloc, e2e, plant, probe, max_ns, iters =
+    parse [] 1.5 false false false false 5.0 None args
   in
-  match (alloc, probe, paths) with
-  | true, false, [] -> alloc_gate ~plant ~iters ()
-  | false, true, [] -> probe_gate ~max_ns ()
-  | false, false, [ b; c ] -> compare_mode b c threshold
+  match (alloc, e2e, probe, paths) with
+  (* An e2e iteration is a whole detection run (~500 fork/joins and
+     ~800 accesses), so the default iteration count is scaled down
+     from the per-operation gate's. *)
+  | true, true, false, [] ->
+      alloc_gate_e2e ~plant ~iters:(Option.value ~default:2_000 iters) ()
+  | true, false, false, [] ->
+      alloc_gate ~plant ~iters:(Option.value ~default:100_000 iters) ()
+  | false, false, true, [] -> probe_gate ~max_ns ()
+  | false, false, false, [ b; c ] -> compare_mode b c threshold
   | _ ->
       die
         "usage: regress BASELINE.json CANDIDATE.json [--threshold R] | regress --alloc-gate \
-         [--plant] [--iters N] | regress --probe-gate [--max-ns F]"
+         [--e2e] [--plant] [--iters N] | regress --probe-gate [--max-ns F]"

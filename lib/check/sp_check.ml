@@ -155,8 +155,11 @@ let check_program ?(sink = Spr_obs.Sink.null) ?algos ?(pairs = []) ?(unfold_seed
   match first_some (fun (a, b) -> check_pair tree a b) pairs with
   | Some d -> Some d
   | None -> (
-      (* Out-of-order unfoldings: only SP-order advertises support. *)
-      let sp_order = List.filter (fun (name, _) -> name = "sp-order") algos in
+      (* Out-of-order unfoldings: only the SP-order family advertises
+         support. *)
+      let sp_order =
+        List.filter (fun (name, _) -> name = "sp-order" || name = "sp-order-fused") algos
+      in
       match
         first_some
           (fun seed -> first_some (check_unfolded ~seed tree) sp_order)

@@ -30,6 +30,9 @@ let offset_span tree = Sp_maintainer.Instance ((module Offset_span), Offset_span
 
 let sp_depa tree = Sp_maintainer.Instance ((module Sp_depa), Sp_depa.create tree)
 
+let sp_order_fused tree =
+  Sp_maintainer.Instance ((module Sp_order_fused), Sp_order_fused.create tree)
+
 let lca_reference tree = Sp_maintainer.Instance ((module Sp_naive), Sp_naive.create tree)
 
 let figure3 =
@@ -40,12 +43,13 @@ let figure3 =
     ("sp-order", sp_order);
   ]
 
-let figure3_modern = figure3 @ [ ("sp-depa", sp_depa) ]
+let figure3_modern = figure3 @ [ ("sp-depa", sp_depa); ("sp-order-fused", sp_order_fused) ]
 
 let all =
   figure3
   @ [
       ("sp-depa", sp_depa);
+      ("sp-order-fused", sp_order_fused);
       ("sp-order-packed", sp_order_packed);
       ("sp-order-implicit", sp_order_implicit);
       ("sp-bags-norank", sp_bags_no_compression);

@@ -28,6 +28,12 @@ val sp_depa : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
 (** DePa-style bit-packed (depth, fork-path) labels ({!Sp_depa}):
     O(1) fork/join with no shared mutable state, lock-free queries. *)
 
+val sp_order_fused : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
+(** SP-order on the fused packed English/Hebrew structure
+    ({!Spr_om.Om_fused} via {!Sp_order_fused}): both orders in one
+    struct-of-arrays, one handle per node, allocation-free
+    fork/join/query. *)
+
 val lca_reference : Spr_sptree.Sp_tree.t -> Sp_maintainer.instance
 
 val all : (string * (Spr_sptree.Sp_tree.t -> Sp_maintainer.instance)) list

@@ -1,0 +1,98 @@
+(* Arena parse tree derived from a fork-join program.
+
+   Same canonical shape as {!Prog_tree} — a [Spawn] becomes a P-node
+   over (child procedure, block continuation), sync blocks S-compose
+   left to right, a block ending in [Spawn] gets a synthetic
+   continuation leaf — but built into an {!Spr_sptree.Sp_arena} with
+   flat int side-tables instead of boxed nodes, options and closures.
+   [build] rewinds the holder and rebuilds in place, so repeated runs
+   over same-shape programs allocate zero minor words once the arrays
+   have grown to size (the end-to-end alloc-gate drives exactly this). *)
+
+open Spr_sptree
+
+type t = {
+  arena : Sp_arena.t;
+  mutable root : int;
+  mutable leaf_of_tid : int array;  (* tid -> arena node id *)
+  mutable tid_of_leaf : int array;  (* arena node id -> tid, -1 for synthetic *)
+  mutable nthreads : int;
+  mutable synthetic : int;
+}
+
+let create () =
+  {
+    arena = Sp_arena.create ();
+    root = -1;
+    leaf_of_tid = Array.make 64 (-1);
+    tid_of_leaf = Array.make 64 (-1);
+    nthreads = 0;
+    synthetic = 0;
+  }
+
+(* Top-level recursion with explicit arguments — nested closures would
+   allocate on every build. *)
+let rec build_proc t (p : Fj_program.proc) = build_blocks t p.Fj_program.blocks 0
+
+and build_blocks t blocks bi =
+  let blk_tree = build_items t blocks.(bi) 0 in
+  if bi = Array.length blocks - 1 then blk_tree
+  else Sp_arena.series t.arena blk_tree (build_blocks t blocks (bi + 1))
+
+and build_items t blk i =
+  if i >= Array.length blk then begin
+    (* Only reached when a block ends in a Spawn: synthetic leaf. *)
+    t.synthetic <- t.synthetic + 1;
+    Sp_arena.leaf t.arena
+  end
+  else
+    match blk.(i) with
+    | Fj_program.Run u ->
+        let leaf = Sp_arena.leaf t.arena in
+        t.leaf_of_tid.(u.Fj_program.tid) <- leaf;
+        if i = Array.length blk - 1 then leaf
+        else Sp_arena.series t.arena leaf (build_items t blk (i + 1))
+    | Fj_program.Spawn f ->
+        let child = build_proc t f in
+        let cont = build_items t blk (i + 1) in
+        Sp_arena.parallel t.arena child cont
+
+let grow_to a n fill =
+  if Array.length a >= n then a
+  else Array.make (max n (2 * Array.length a)) fill
+
+let build t program =
+  Sp_arena.reset t.arena;
+  let nthreads = Fj_program.thread_count program in
+  t.leaf_of_tid <- grow_to t.leaf_of_tid nthreads (-1);
+  t.nthreads <- nthreads;
+  t.synthetic <- 0;
+  t.root <- build_proc t (Fj_program.main program);
+  let slots = Sp_arena.slots t.arena in
+  if Array.length t.tid_of_leaf < slots then
+    t.tid_of_leaf <- Array.make (max slots (2 * Array.length t.tid_of_leaf)) (-1)
+  else Array.fill t.tid_of_leaf 0 (Array.length t.tid_of_leaf) (-1);
+  for tid = 0 to nthreads - 1 do
+    t.tid_of_leaf.(t.leaf_of_tid.(tid)) <- tid
+  done
+
+let of_program program =
+  let t = create () in
+  build t program;
+  t
+
+let arena t = t.arena
+
+let root t = t.root
+
+let node_slots t = Sp_arena.slots t.arena
+
+let leaf_of_thread t tid =
+  if tid < 0 || tid >= t.nthreads then invalid_arg "Prog_arena.leaf_of_thread";
+  t.leaf_of_tid.(tid)
+
+let thread_of_leaf t n = t.tid_of_leaf.(n)
+
+let thread_count t = t.nthreads
+
+let synthetic_count t = t.synthetic

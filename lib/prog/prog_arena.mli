@@ -1,0 +1,44 @@
+(** Arena parse tree of a fork-join program — {!Prog_tree}'s canonical
+    shape ([Spawn] → P-node over child/continuation, blocks S-composed
+    left to right, synthetic continuation leaf when a block ends in a
+    spawn) built into an {!Spr_sptree.Sp_arena} with flat [int]
+    side-tables instead of boxed nodes.
+
+    {!build} rebuilds in place: the arena is rewound (O(1)) and the
+    tid↔leaf tables refilled, so steady-state rebuilds of same-shape
+    programs allocate zero minor words.  This is the front half of the
+    zero-allocation race-detection pipeline
+    ({!Spr_race.Drivers.Fused}). *)
+
+type t
+
+val create : unit -> t
+(** An empty holder; call {!build} before querying. *)
+
+val build : t -> Fj_program.t -> unit
+(** Derive the program's parse tree into the holder, reusing all
+    internal arrays (they grow monotonically across builds). *)
+
+val of_program : Fj_program.t -> t
+(** [create] + [build]. *)
+
+val arena : t -> Spr_sptree.Sp_arena.t
+
+val root : t -> int
+(** Arena id of the root node. *)
+
+val node_slots : t -> int
+(** Arena high-water mark — bounds every node id; the right size for
+    id-indexed side tables. *)
+
+val leaf_of_thread : t -> int -> int
+(** Arena leaf id of a tid.
+    @raise Invalid_argument out of range. *)
+
+val thread_of_leaf : t -> int -> int
+(** tid of an arena leaf id, or [-1] for synthetic leaves. *)
+
+val thread_count : t -> int
+
+val synthetic_count : t -> int
+(** Synthetic continuation leaves added (blocks ending in a spawn). *)

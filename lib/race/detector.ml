@@ -8,10 +8,17 @@ type race = {
   later_write : bool;
 }
 
+(* Shadow slots are packed int arrays — a slot holds the recorded tid
+   or [empty].  Boxed [int option] cells would allocate a [Some] block
+   per assignment, which is exactly the traffic the zero-allocation
+   end-to-end pipeline exists to remove; tids are >= 0 so the sentinel
+   is unambiguous. *)
+let empty = -1
+
 type t = {
-  writer : int option array;
-  reader : int option array;  (* first reader slot *)
-  reader2 : int option array;  (* second reader slot *)
+  writer : int array;
+  reader : int array;  (* first reader slot *)
+  reader2 : int array;  (* second reader slot *)
   races : race Spr_util.Vec.t;
   precedes : executed:int -> current:int -> bool;
   mutable queries : int;
@@ -23,9 +30,9 @@ type t = {
 
 let create ?on_unreferenced ?(sink = Spr_obs.Sink.null) ~locs ~precedes () =
   {
-    writer = Array.make (max 1 locs) None;
-    reader = Array.make (max 1 locs) None;
-    reader2 = Array.make (max 1 locs) None;
+    writer = Array.make (max 1 locs) empty;
+    reader = Array.make (max 1 locs) empty;
+    reader2 = Array.make (max 1 locs) empty;
     races = Spr_util.Vec.create ();
     precedes;
     queries = 0;
@@ -33,6 +40,17 @@ let create ?on_unreferenced ?(sink = Spr_obs.Sink.null) ~locs ~precedes () =
     on_unreferenced;
     sink;
   }
+
+(* Rewind to the create-time state without allocating (the Hashtbl is
+   only touched when the release protocol is armed — [Hashtbl.reset]
+   itself allocates a fresh bucket array). *)
+let reset t =
+  Array.fill t.writer 0 (Array.length t.writer) empty;
+  Array.fill t.reader 0 (Array.length t.reader) empty;
+  Array.fill t.reader2 0 (Array.length t.reader2) empty;
+  Spr_util.Vec.clear t.races;
+  t.queries <- 0;
+  if Hashtbl.length t.refs > 0 then Hashtbl.reset t.refs
 
 (* Drop one reference to [o]; notify when it leaves shadow memory. *)
 let unref t o =
@@ -50,21 +68,21 @@ let unref t o =
    and notifying when a thread drops out of shadow memory entirely. *)
 let assign t slot loc tid =
   let old = slot.(loc) in
-  if old <> Some tid then begin
+  if old <> tid then begin
     (match t.on_unreferenced with
     | None -> ()
     | Some _ ->
         Hashtbl.replace t.refs tid (1 + Option.value ~default:0 (Hashtbl.find_opt t.refs tid)));
-    slot.(loc) <- Some tid;
-    match old with None -> () | Some o -> unref t o
+    slot.(loc) <- tid;
+    if old <> empty then unref t old
   end
 
 let clear t slot loc =
-  match slot.(loc) with
-  | None -> ()
-  | Some o ->
-      slot.(loc) <- None;
-      unref t o
+  let o = slot.(loc) in
+  if o <> empty then begin
+    slot.(loc) <- empty;
+    unref t o
+  end
 
 let report t loc earlier later earlier_write later_write =
   Spr_util.Vec.push t.races { loc; earlier; later; earlier_write; later_write }
@@ -75,24 +93,29 @@ let concurrent t e ~current =
   t.queries <- t.queries + 1;
   e <> current && not (t.precedes ~executed:e ~current)
 
+(* Reader-subsumption check, hoisted to the top level: a local helper
+   closing over [t]/[current] would allocate on every read access. *)
+let subsumed t r ~current =
+  r = current
+  || begin
+       t.queries <- t.queries + 1;
+       t.precedes ~executed:r ~current
+     end
+
 let access t ~current (a : Fj_program.access) =
   let loc = a.loc in
   if a.write then begin
-    (match t.writer.(loc) with
-    | Some w when concurrent t w ~current -> report t loc w current true true
-    | _ -> ());
-    (match t.reader.(loc) with
-    | Some r when concurrent t r ~current -> report t loc r current false true
-    | _ -> ());
-    (match t.reader2.(loc) with
-    | Some r when concurrent t r ~current -> report t loc r current false true
-    | _ -> ());
+    let w = t.writer.(loc) in
+    if w <> empty && concurrent t w ~current then report t loc w current true true;
+    let r = t.reader.(loc) in
+    if r <> empty && concurrent t r ~current then report t loc r current false true;
+    let r2 = t.reader2.(loc) in
+    if r2 <> empty && concurrent t r2 ~current then report t loc r2 current false true;
     assign t t.writer loc current
   end
   else begin
-    (match t.writer.(loc) with
-    | Some w when concurrent t w ~current -> report t loc w current true false
-    | _ -> ());
+    let w = t.writer.(loc) in
+    if w <> empty && concurrent t w ~current then report t loc w current true false;
     (* Shadow-reader policy.  A recorded reader that precedes [current]
        is subsumed by it: any later access parallel to that reader would
        be parallel to [current] too (precedence is transitive and
@@ -103,14 +126,17 @@ let access t ~current (a : Fj_program.access) =
        the out-of-order observation orders a parallel schedule produces.
        With three or more pairwise-parallel recorded readers the shadow
        is still an approximation — see the .mli. *)
-    let subsumed r = r = current || (t.queries <- t.queries + 1; t.precedes ~executed:r ~current) in
-    let s1 = match t.reader.(loc) with None -> true | Some r -> subsumed r in
-    let s2 = match t.reader2.(loc) with None -> true | Some r -> subsumed r in
+    let r1 = t.reader.(loc) in
+    let s1 = r1 = empty || subsumed t r1 ~current in
     if s1 then begin
       assign t t.reader loc current;
-      if s2 then clear t t.reader2 loc
+      let r2 = t.reader2.(loc) in
+      if r2 = empty || subsumed t r2 ~current then clear t t.reader2 loc
     end
-    else if s2 then assign t t.reader2 loc current
+    else begin
+      let r2 = t.reader2.(loc) in
+      if r2 = empty || subsumed t r2 ~current then assign t t.reader2 loc current
+    end
   end
 
 let run_thread t (u : Fj_program.thread) =
@@ -129,7 +155,9 @@ let run_thread t (u : Fj_program.thread) =
       Spr_obs.Metrics.add
         (Spr_obs.Metrics.counter m "race/accesses")
         (Array.length u.Fj_program.accesses));
-  if Array.length u.Fj_program.accesses > 0 then
+  (* The event record would be constructed (allocated) before [emit]
+     could ignore it, so skip explicitly when nothing is listening. *)
+  if (not (Spr_obs.Sink.is_null t.sink)) && Array.length u.Fj_program.accesses > 0 then
     Spr_obs.Sink.emit t.sink
       (Spr_obs.Trace.Race_query { tid = u.Fj_program.tid; queries = t.queries - before })
 

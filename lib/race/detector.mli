@@ -62,8 +62,17 @@ val create :
     release it and track the live frontier instead of the full
     history — see {!Drivers.detect_serial_releasing}. *)
 
+val reset : t -> unit
+(** Rewind to the create-time state — empty shadow memory, no recorded
+    races, zero query count — reusing every internal array.  In steady
+    state (release protocol unarmed) this allocates nothing, which is
+    what lets the end-to-end pipeline re-run a program with zero minor
+    words. *)
+
 val access : t -> current:int -> Spr_prog.Fj_program.access -> unit
-(** Record one access by the currently executing thread. *)
+(** Record one access by the currently executing thread.  The shadow
+    slots are packed [int] arrays, so an access allocates only when a
+    race is recorded. *)
 
 val run_thread : t -> Spr_prog.Fj_program.thread -> unit
 (** All accesses of a thread, in order. *)

@@ -90,6 +90,102 @@ let detect_serial_releasing pt =
     released = !released;
   }
 
+(* ------------------------------------------------------------------ *)
+(* The fully packed pipeline: arena parse tree + fused English/Hebrew
+   SP-order + packed shadow cells, all pre-sized at [create] and rewound
+   in place by [run].  A steady-state [run] — rebuild the tree, replay
+   the fork/join walk, issue every access and SP query — performs zero
+   minor-heap allocation on a race-free program (recording a race
+   pushes a report record); [regress --alloc-gate --e2e] pins this. *)
+module Fused = struct
+  type t = {
+    program : Fj_program.t;
+    threads : Fj_program.thread array;
+    pa : Prog_arena.t;
+    sp : Spr_core.Sp_order_fused.t;
+    det : Detector.t;
+    (* Persistent walk stack (node ids); Sp_arena.iter allocates its
+       own scratch, which would show up in the gate. *)
+    mutable stack : int array;
+  }
+
+  let create program =
+    let pa = Prog_arena.of_program program in
+    let sp = Spr_core.Sp_order_fused.create_raw () in
+    Spr_core.Sp_order_fused.reset sp ~nodes:(Prog_arena.node_slots pa)
+      ~root:(Prog_arena.root pa);
+    let precedes ~executed ~current =
+      Spr_core.Sp_order_fused.precedes_id sp
+        (Prog_arena.leaf_of_thread pa executed)
+        (Prog_arena.leaf_of_thread pa current)
+    in
+    let det = Detector.create ~locs:(Detector.max_loc program + 1) ~precedes () in
+    {
+      program;
+      threads = Fj_program.threads program;
+      pa;
+      sp;
+      det;
+      stack = Array.make 64 0;
+    }
+
+  let run t =
+    Prog_arena.build t.pa t.program;
+    Spr_core.Sp_order_fused.reset t.sp ~nodes:(Prog_arena.node_slots t.pa)
+      ~root:(Prog_arena.root t.pa);
+    Detector.reset t.det;
+    let arena = Prog_arena.arena t.pa in
+    let sp_top = ref 0 in
+    (if Array.length t.stack = 0 then t.stack <- Array.make 64 0);
+    t.stack.(0) <- Prog_arena.root t.pa;
+    incr sp_top;
+    while !sp_top > 0 do
+      decr sp_top;
+      let n = t.stack.(!sp_top) in
+      if Spr_sptree.Sp_arena.is_leaf arena n then begin
+        let tid = Prog_arena.thread_of_leaf t.pa n in
+        if tid >= 0 then begin
+          (* Inline thread run: Detector.run_thread's sink/metrics
+             bookkeeping is dead weight here. *)
+          let u = t.threads.(tid) in
+          let accs = u.Fj_program.accesses in
+          for i = 0 to Array.length accs - 1 do
+            Detector.access t.det ~current:tid accs.(i)
+          done
+        end
+      end
+      else begin
+        let left = Spr_sptree.Sp_arena.left_of arena n in
+        let right = Spr_sptree.Sp_arena.right_of arena n in
+        Spr_core.Sp_order_fused.enter t.sp ~parent:n ~left ~right
+          ~parallel:(Spr_sptree.Sp_arena.kind_of arena n = Spr_sptree.Sp_arena.Parallel);
+        (if !sp_top + 2 > Array.length t.stack then begin
+           let b = Array.make (2 * Array.length t.stack) 0 in
+           Array.blit t.stack 0 b 0 !sp_top;
+           t.stack <- b
+         end);
+        (* left walked first: push right below it. *)
+        t.stack.(!sp_top) <- right;
+        t.stack.(!sp_top + 1) <- left;
+        sp_top := !sp_top + 2
+      end
+    done
+
+  let detector t = t.det
+
+  let result t =
+    {
+      races = Detector.races t.det;
+      racy_locs = Detector.racy_locs t.det;
+      sp_queries = Detector.query_count t.det;
+    }
+end
+
+let detect_serial_fused program =
+  let t = Fused.create program in
+  Fused.run t;
+  Fused.result t
+
 type locked_result = { lock_races : Lockset.race list; racy_locs : int list }
 
 let detect_serial_locked pt make =

@@ -38,6 +38,37 @@ val detect_serial_releasing : Spr_prog.Prog_tree.t -> releasing_result
     live frontier, not the whole execution history.  Race reports are
     identical to the non-releasing run. *)
 
+(** The fully packed serial pipeline: arena parse tree
+    ({!Spr_prog.Prog_arena}) + fused English/Hebrew SP-order
+    ({!Spr_core.Sp_order_fused}) + packed shadow cells, created once
+    and rewound in place per run.  A steady-state {!Fused.run} —
+    rebuild tree, replay the fork/join walk, issue every access and SP
+    query — allocates zero minor words on a race-free program
+    (recording a race allocates its report); [regress --alloc-gate
+    --e2e] pins this, and the test suite pins answer equality with
+    {!detect_serial}. *)
+module Fused : sig
+  type t
+
+  val create : Spr_prog.Fj_program.t -> t
+  (** Size every internal structure for the program and run the
+      pipeline's constructor-time allocations. *)
+
+  val run : t -> unit
+  (** One full detection pass, in place.  Idempotent across calls —
+      each run rewinds and replays. *)
+
+  val detector : t -> Detector.t
+
+  val result : t -> serial_result
+  (** Snapshot of the last run (allocates; call outside any probed
+      region). *)
+end
+
+val detect_serial_fused : Spr_prog.Fj_program.t -> serial_result
+(** [Fused.create] + [run] + [result] — drop-in comparison point for
+    [detect_serial pt Algorithms.sp_order]. *)
+
 type locked_result = { lock_races : Lockset.race list; racy_locs : int list }
 
 val detect_serial_locked :

@@ -1,0 +1,162 @@
+(* Arena-allocated SP parse tree.
+
+   {!Sp_tree} nodes are boxed records with [option] parent links —
+   fine for the Figure-3 harness, but every build of a tree allocates
+   O(n) blocks and every walk chases pointers the GC scattered.  The
+   arena stores a tree as indices into three parallel [int] arrays
+   (kind/left/right), so building a node is three stores, [reset]
+   rewinds the whole arena in O(1) without releasing anything, and a
+   node freed on Exit goes onto an intrusive free list for the next
+   Enter to reuse.  Steady-state rebuilds of same-shape trees allocate
+   zero minor words — the property the end-to-end alloc-gate pins. *)
+
+let nil = -1
+
+(* kind codes; free slots are marked in [kind] so use-after-release is
+   detectable. *)
+let k_leaf = 0
+
+let k_series = 1
+
+let k_parallel = 2
+
+let k_free = -2
+
+type kind = Sp_tree.kind = Series | Parallel
+
+type t = {
+  mutable kind : int array;
+  mutable left : int array;  (* doubles as the free-list link *)
+  mutable right : int array;
+  mutable top : int;  (* slots ever used (high-water mark) *)
+  mutable free : int;  (* head of the free list, threaded through [left] *)
+  mutable nfree : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  {
+    kind = Array.make capacity k_free;
+    left = Array.make capacity nil;
+    right = Array.make capacity nil;
+    top = 0;
+    free = nil;
+    nfree = 0;
+  }
+
+let reset t =
+  t.top <- 0;
+  t.free <- nil;
+  t.nfree <- 0
+
+let grow a init =
+  let n = Array.length a in
+  let b = Array.make (2 * n) init in
+  Array.blit a 0 b 0 n;
+  b
+
+let alloc t =
+  if t.free <> nil then begin
+    let s = t.free in
+    t.free <- t.left.(s);
+    t.nfree <- t.nfree - 1;
+    s
+  end
+  else begin
+    if t.top = Array.length t.kind then begin
+      t.kind <- grow t.kind k_free;
+      t.left <- grow t.left nil;
+      t.right <- grow t.right nil
+    end;
+    let s = t.top in
+    t.top <- t.top + 1;
+    s
+  end
+
+let alive t n = n >= 0 && n < t.top && t.kind.(n) <> k_free
+
+let check_alive ctx t n = if not (alive t n) then invalid_arg (ctx ^ ": released node")
+
+let leaf t =
+  let s = alloc t in
+  t.kind.(s) <- k_leaf;
+  t.left.(s) <- nil;
+  t.right.(s) <- nil;
+  s
+
+let internal ctx code t l r =
+  check_alive ctx t l;
+  check_alive ctx t r;
+  let s = alloc t in
+  t.kind.(s) <- code;
+  t.left.(s) <- l;
+  t.right.(s) <- r;
+  s
+
+let series t l r = internal "Sp_arena.series" k_series t l r
+
+let parallel t l r = internal "Sp_arena.parallel" k_parallel t l r
+
+let release t n =
+  check_alive "Sp_arena.release" t n;
+  t.kind.(n) <- k_free;
+  t.left.(n) <- t.free;
+  t.free <- n;
+  t.nfree <- t.nfree + 1
+
+let is_leaf t n =
+  check_alive "Sp_arena.is_leaf" t n;
+  t.kind.(n) = k_leaf
+
+let kind_of t n =
+  check_alive "Sp_arena.kind_of" t n;
+  match t.kind.(n) with
+  | c when c = k_series -> Series
+  | c when c = k_parallel -> Parallel
+  | _ -> invalid_arg "Sp_arena.kind_of: leaf"
+
+let left_of t n =
+  check_alive "Sp_arena.left_of" t n;
+  if t.kind.(n) = k_leaf then invalid_arg "Sp_arena.left_of: leaf";
+  t.left.(n)
+
+let right_of t n =
+  check_alive "Sp_arena.right_of" t n;
+  if t.kind.(n) = k_leaf then invalid_arg "Sp_arena.right_of: leaf";
+  t.right.(n)
+
+let slots t = t.top
+
+let free_count t = t.nfree
+
+let live t = t.top - t.nfree
+
+(* Left-to-right walk from [root] — the same unfolding order as
+   {!Sp_tree.iter_events}, restricted to the events the SP-order family
+   consumes (Enter at internals, Thread at leaves).  Uses an explicit
+   int stack so degenerate chains cannot blow the OCaml stack; the
+   stack is caller-provided scratch (a {!Spr_util.Vec} of ints would
+   allocate on push past capacity, so this takes a plain ref cell
+   protocol: grow-by-doubling int array owned by the caller).  For
+   tests and non-hot callers, [iter] below owns a local stack. *)
+let iter t root ~enter ~thread =
+  check_alive "Sp_arena.iter" t root;
+  let stack = ref (Array.make 64 0) in
+  let sp = ref 0 in
+  let push n =
+    if !sp = Array.length !stack then stack := grow !stack 0;
+    !stack.(!sp) <- n;
+    incr sp
+  in
+  push root;
+  while !sp > 0 do
+    decr sp;
+    let n = !stack.(!sp) in
+    if t.kind.(n) = k_leaf then thread n
+    else begin
+      enter n;
+      (* left is walked first: push right below it. *)
+      push t.right.(n);
+      push t.left.(n)
+    end
+  done

@@ -1,0 +1,66 @@
+(** Arena-allocated SP parse tree: nodes as [int] indices into three
+    parallel growable arrays (kind/left/right) instead of the boxed
+    {!Sp_tree.node} records.
+
+    Building a node is three array stores; {!reset} rewinds the whole
+    arena in O(1) keeping every array, so repeatedly rebuilding
+    same-shape trees allocates nothing once the arrays have grown to
+    size — the property the end-to-end alloc-gate pins.  A node
+    {!release}d (e.g. on Exit, when a detector will never query its
+    subtree again) goes onto an intrusive free list and is recycled by
+    the next allocation, keeping the arena proportional to the live
+    frontier.
+
+    Node ids are dense in allocation order, so they double as indices
+    into client side-tables ({!Spr_core.Sp_order_fused}'s id→element
+    map, tid maps). *)
+
+type kind = Sp_tree.kind = Series | Parallel
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val reset : t -> unit
+(** Forget every node, keep every array.  O(1). *)
+
+val leaf : t -> int
+(** A fresh thread node. *)
+
+val series : t -> int -> int -> int
+(** S-node over two live nodes.
+    @raise Invalid_argument on a released operand. *)
+
+val parallel : t -> int -> int -> int
+
+val release : t -> int -> unit
+(** Retire a node to the free list; its id may be reissued.
+    @raise Invalid_argument on double release. *)
+
+val is_leaf : t -> int -> bool
+
+val kind_of : t -> int -> kind
+(** @raise Invalid_argument on a leaf or released node. *)
+
+val left_of : t -> int -> int
+
+val right_of : t -> int -> int
+
+val slots : t -> int
+(** Node slots ever allocated (high-water mark); free-list reuse keeps
+    this flat across release/re-alloc churn, and it bounds every node
+    id ever issued — the right size for id-indexed side tables. *)
+
+val free_count : t -> int
+(** Slots currently on the free list. *)
+
+val live : t -> int
+(** [slots t - free_count t]. *)
+
+val iter : t -> int -> enter:(int -> unit) -> thread:(int -> unit) -> unit
+(** Left-to-right walk from the given root: [enter] fires at each
+    internal node before its subtrees (in the {!Sp_tree.iter_events}
+    Enter order), [thread] at each leaf.  Iterative — safe on
+    degenerate chains.  Allocates its own scratch stack; the
+    zero-allocation pipeline in [Spr_race.Drivers] keeps a persistent
+    stack instead. *)

@@ -389,6 +389,145 @@ let packed_use_after_delete () =
       ignore (P.precedes t (P.base t) e))
 
 (* ------------------------------------------------------------------ *)
+(* Om_fused: English and Hebrew orders interleaved in one int array.
+   The structure must behave exactly like a pair of boxed two-level
+   [Om]s driven with the SP-order link discipline — same answers *and*
+   bit-identical rebalance counters — while recycling slots like
+   Om_packed. *)
+
+(* Mirror of [Om_fused.insert_children]'s link order on a pair of boxed
+   structures: English inserts l-then-r after the anchor in both
+   planes; the Hebrew plane flips the pair at P-nodes. *)
+let fused_link_boxed eng heb x_eng x_heb ~parallel =
+  let module O = Spr_om.Om in
+  let l_eng = O.insert_after eng x_eng in
+  let r_eng = O.insert_after eng l_eng in
+  if parallel then
+    let r_heb = O.insert_after heb x_heb in
+    let l_heb = O.insert_after heb r_heb in
+    ((l_eng, l_heb), (r_eng, r_heb))
+  else
+    let l_heb = O.insert_after heb x_heb in
+    let r_heb = O.insert_after heb l_heb in
+    ((l_eng, l_heb), (r_eng, r_heb))
+
+let check_same_stats label (got : Spr_om.Om_intf.stats) (want : Spr_om.Om_intf.stats) =
+  Alcotest.(check int) (label ^ " inserts") want.inserts got.inserts;
+  Alcotest.(check int) (label ^ " relabel passes") want.relabel_passes got.relabel_passes;
+  Alcotest.(check int) (label ^ " items moved") want.items_moved got.items_moved;
+  Alcotest.(check int) (label ^ " max range") want.max_range got.max_range
+
+let fused_matches_boxed_pair =
+  QCheck2.Test.make ~count:60
+    ~name:"om-fused: counters bit-identical to boxed English+Hebrew pair"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (5 -- 120))
+    (fun (seed, rounds) ->
+      let module F = Spr_om.Om_fused in
+      let module O = Spr_om.Om in
+      let rng = Rng.create seed in
+      let f = F.create () in
+      let eng = O.create () and heb = O.create () in
+      (* live.(i) = (fused elt, boxed English elt, boxed Hebrew elt) *)
+      let live = Spr_util.Vec.create () in
+      Spr_util.Vec.push live (F.base f, O.base eng, O.base heb);
+      for _ = 1 to rounds do
+        (match Rng.int rng 4 with
+        | 3 when Spr_util.Vec.length live > 1 ->
+            let idx = 1 + Rng.int rng (Spr_util.Vec.length live - 1) in
+            let fe, be, bh = Spr_util.Vec.get live idx in
+            F.delete f fe;
+            O.delete eng be;
+            O.delete heb bh;
+            (match Spr_util.Vec.pop live with
+            | Some last -> if idx < Spr_util.Vec.length live then Spr_util.Vec.set live idx last
+            | None -> assert false)
+        | _ ->
+            let fe, be, bh = Spr_util.Vec.get live (Rng.int rng (Spr_util.Vec.length live)) in
+            let parallel = Rng.bool rng in
+            let fl, fr = F.insert_children f fe ~parallel in
+            let (le, lh), (re, rh) = fused_link_boxed eng heb be bh ~parallel in
+            Spr_util.Vec.push live (fl, le, lh);
+            Spr_util.Vec.push live (fr, re, rh));
+        F.check_invariants f
+      done;
+      check_same_stats "English" (F.stats_eng f) (O.stats eng);
+      check_same_stats "Hebrew" (F.stats_heb f) (O.stats heb);
+      (* ... and the answers agree on every sampled live pair. *)
+      let n = Spr_util.Vec.length live in
+      for _ = 1 to 200 do
+        let fa, ba, ha = Spr_util.Vec.get live (Rng.int rng n) in
+        let fb, bb, hb = Spr_util.Vec.get live (Rng.int rng n) in
+        if fa <> fb then begin
+          Alcotest.(check bool) "English precedes" (O.precedes eng ba bb) (F.precedes_eng f fa fb);
+          Alcotest.(check bool) "Hebrew precedes" (O.precedes heb ha hb) (F.precedes_heb f fa fb);
+          Alcotest.(check bool) "sp_precedes = both orders agree"
+            (O.precedes eng ba bb && O.precedes heb ha hb)
+            (F.sp_precedes f fa fb);
+          Alcotest.(check bool) "sp_parallel = orders disagree"
+            (O.precedes eng ba bb <> O.precedes heb ha hb)
+            (F.sp_parallel f fa fb)
+        end
+      done;
+      true)
+
+let fused_free_list_reuse =
+  QCheck2.Test.make ~count:100 ~name:"om-fused: delete/insert churn reuses slots"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (5 -- 120))
+    (fun (seed, pairs) ->
+      let module F = Spr_om.Om_fused in
+      let rng = Rng.create seed in
+      let t = F.create () in
+      let live = Spr_util.Vec.create () in
+      Spr_util.Vec.push live (F.base t);
+      for _ = 1 to pairs do
+        let anchor = Spr_util.Vec.get live (Rng.int rng (Spr_util.Vec.length live)) in
+        let l, r = F.insert_children t anchor ~parallel:(Rng.bool rng) in
+        Spr_util.Vec.push live l;
+        Spr_util.Vec.push live r
+      done;
+      let slots = F.item_slots t in
+      Alcotest.(check int) "slots = live + free" (F.size t + F.free_items t) slots;
+      (* Delete an even number of non-base elements (insert_children
+         consumes free slots two at a time)... *)
+      let target = 2 * (pairs / 2) in
+      let deleted = ref 0 in
+      while !deleted < target do
+        let idx = 1 + Rng.int rng (Spr_util.Vec.length live - 1) in
+        F.delete t (Spr_util.Vec.get live idx);
+        (match Spr_util.Vec.pop live with
+        | Some last -> if idx < Spr_util.Vec.length live then Spr_util.Vec.set live idx last
+        | None -> assert false);
+        incr deleted
+      done;
+      F.check_invariants t;
+      Alcotest.(check int) "every delete lands on the free list" target (F.free_items t);
+      (* ... then insert the same number back: the free list must absorb
+         every one of them without touching the high-water mark. *)
+      for _ = 1 to target / 2 do
+        ignore (F.insert_children t (F.base t) ~parallel:(Rng.bool rng))
+      done;
+      F.check_invariants t;
+      Alcotest.(check int) "item array did not grow" slots (F.item_slots t);
+      Alcotest.(check int) "free list drained" 0 (F.free_items t);
+      true)
+
+let fused_use_after_delete () =
+  let module F = Spr_om.Om_fused in
+  let t = F.create () in
+  let l, r = F.insert_children t (F.base t) ~parallel:true in
+  F.delete t r;
+  Alcotest.check_raises "use after delete rejected"
+    (Invalid_argument "Om_fused.sp_precedes: deleted element") (fun () ->
+      ignore (F.sp_precedes t l r));
+  Alcotest.check_raises "base cannot be deleted"
+    (Invalid_argument "Om_fused.delete: cannot delete base") (fun () -> F.delete t (F.base t));
+  (* reset rewinds to the one-element state and invalidates old handles *)
+  F.reset t;
+  Alcotest.(check int) "reset leaves only the base" 1 (F.size t);
+  Alcotest.check_raises "stale handle rejected after reset"
+    (Invalid_argument "Om_fused.delete: deleted element") (fun () -> F.delete t l)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_model (module M : Spr_om.Om_intf.S) =
   QCheck2.Test.make ~count:60 ~name:("model:" ^ M.name) QCheck2.Gen.(0 -- 1_000_000)
@@ -578,6 +717,12 @@ let () =
         [
           QCheck_alcotest.to_alcotest packed_free_list_reuse;
           Alcotest.test_case "use after delete rejected" `Quick packed_use_after_delete;
+        ] );
+      ( "fused",
+        [
+          QCheck_alcotest.to_alcotest fused_matches_boxed_pair;
+          QCheck_alcotest.to_alcotest fused_free_list_reuse;
+          Alcotest.test_case "use after delete / reset hygiene" `Quick fused_use_after_delete;
         ] );
       ( "fork-path",
         [

@@ -280,6 +280,48 @@ let releasing_matches_naive =
       rel.Spr_race.Drivers.result.Spr_race.Drivers.racy_locs
       = Spr_race.Naive_checker.racy_locs pt)
 
+(* ------------------------------------------------------------------ *)
+(* Fused zero-allocation pipeline (arena tree + Om_fused + packed
+   shadow cells): identical verdicts and query counts to the boxed
+   detect_serial with sp-order, including across repeated in-place
+   reruns of one pipeline instance.                                    *)
+
+let fused_matches_serial =
+  QCheck2.Test.make ~count:120 ~name:"fused pipeline = boxed detect_serial (races + queries)"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 60))
+    (fun (seed, threads) ->
+      let p =
+        W.random_prog ~rng:(Rng.create seed) ~threads ~spawn_prob:0.5 ~locs:8
+          ~accesses_per_thread:4 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let boxed = Spr_race.Drivers.detect_serial pt Spr_core.Algorithms.sp_order in
+      let fused = Spr_race.Drivers.detect_serial_fused p in
+      fused.Spr_race.Drivers.races = boxed.Spr_race.Drivers.races
+      && fused.Spr_race.Drivers.racy_locs = boxed.Spr_race.Drivers.racy_locs
+      && fused.Spr_race.Drivers.sp_queries = boxed.Spr_race.Drivers.sp_queries)
+
+let fused_rerun_deterministic () =
+  (* One pipeline instance, rewound in place: every rerun must
+     reproduce the first run exactly (reset correctness of the arena,
+     the fused OM and the packed detector). *)
+  List.iter
+    (fun buggy ->
+      let p = W.dc_sum ~buggy ~leaves:64 () in
+      let t = Spr_race.Drivers.Fused.create p in
+      Spr_race.Drivers.Fused.run t;
+      let first = Spr_race.Drivers.Fused.result t in
+      for _ = 1 to 5 do
+        Spr_race.Drivers.Fused.run t;
+        let again = Spr_race.Drivers.Fused.result t in
+        Alcotest.(check bool) "identical rerun" true (again = first)
+      done;
+      let pt = Prog_tree.of_program p in
+      let boxed = Spr_race.Drivers.detect_serial pt Spr_core.Algorithms.sp_order in
+      Alcotest.(check (list int))
+        "matches boxed" boxed.Spr_race.Drivers.racy_locs first.Spr_race.Drivers.racy_locs)
+    [ false; true ]
+
 (* Corollary 6 bookkeeping: O(1) queries per access. *)
 let query_budget () =
   let p = W.dc_sum ~leaves:64 () in
@@ -302,6 +344,8 @@ let () =
           Alcotest.test_case "applications (mergesort, matmul)" `Quick applications;
           Alcotest.test_case "query budget" `Quick query_budget;
           Alcotest.test_case "release protocol" `Quick releasing_matches_plain;
+          Alcotest.test_case "fused pipeline rerun determinism" `Quick fused_rerun_deterministic;
+          QCheck_alcotest.to_alcotest fused_matches_serial;
           QCheck_alcotest.to_alcotest random_serial_matches_naive;
           QCheck_alcotest.to_alcotest releasing_matches_naive;
         ] );
