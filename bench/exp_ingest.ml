@@ -1,0 +1,54 @@
+(* EXP-INGEST — the streaming trace-ingestion service (lib/ingest):
+   resident-server throughput over the spmix trace, single-shard and
+   address-sharded across worker domains.
+
+   The acceptance bar from the roadmap is >= 10^7 access events/sec on
+   the captured spmix trace at the full measured size; regress.exe
+   thresholds the committed BENCH_ingest.json medians, and CI reruns
+   the smoke size on every push. *)
+
+module T = Spr_util.Table
+module B = Spr_ingest.Ingest_bench
+
+let shard_counts = [ 1; 2; 4 ]
+
+let run () =
+  let events = Bench_json.scaled_n ~default:2_000_000 in
+  let trace = B.capture_spmix ~events ~seed:1 in
+  Printf.printf "EXP-INGEST: spmix trace, >= %s access events (%s bytes)\n%!"
+    (T.fmt_int events)
+    (T.fmt_int (String.length trace));
+  let table =
+    T.create ~title:"resident ingestion throughput"
+      [
+        ("shards", T.Right);
+        ("ns/access", T.Right);
+        ("events/sec", T.Right);
+        ("programs", T.Right);
+        ("accesses", T.Right);
+        ("races", T.Right);
+      ]
+  in
+  List.iter
+    (fun shards ->
+      let r = B.measure ~shards trace in
+      let med = Spr_util.Stats.median (Array.of_list r.B.samples) in
+      T.add_row table
+        [
+          string_of_int shards;
+          T.fmt_ns med;
+          T.fmt_int (int_of_float (B.events_per_sec med));
+          T.fmt_int r.B.programs;
+          T.fmt_int r.B.access_events;
+          T.fmt_int r.B.races;
+        ];
+      let backend = if shards = 1 then "serial" else Printf.sprintf "sharded-%d" shards in
+      let add = Bench_json.add ~experiment:"ingest" ~backend ~pattern:"spmix" ~n:events in
+      add ~metric:"ns_per_access" ~kind:Bench_json.Time r.B.samples;
+      add ~metric:"access_events" ~kind:Bench_json.Counter [ float_of_int r.B.access_events ];
+      add ~metric:"total_events" ~kind:Bench_json.Counter [ float_of_int r.B.total_events ];
+      add ~metric:"races" ~kind:Bench_json.Counter [ float_of_int r.B.races ];
+      add ~metric:"sp_queries" ~kind:Bench_json.Counter [ float_of_int r.B.sp_queries ];
+      add ~metric:"trace_bytes" ~kind:Bench_json.Counter [ float_of_int r.B.trace_bytes ])
+    shard_counts;
+  print_string (T.render table)

@@ -26,6 +26,7 @@ let experiments =
     ("om", "Order-maintenance substrate", Exp_om.run);
     ("fig11-12", "Subtrace split structure", Exp_traces.run);
     ("ablation", "Design-choice ablations (OM backend, path compression)", Exp_ablation.run);
+    ("ingest", "Streaming trace-ingestion service throughput", Exp_ingest.run);
     ("bechamel", "Bechamel micro-benchmarks (one per experiment)", Bechamel_suite.run);
   ]
 

@@ -34,6 +34,13 @@
        race-free fork-join program, pinned at zero minor words in
        steady state.
 
+     regress --alloc-gate --ingest [--plant] [--iters N]
+       The ingestion-service variant: one full Spr_ingest.Server.drive
+       per iteration — trace header check, every frame decoded,
+       streaming SP construction and every shadow access — over the
+       captured trace of the same race-free program, pinned at zero
+       minor words in steady state.
+
      regress --probe-gate [--max-ns F]
        Bechamel-measure an uninstalled Spr_obs.Probe.span and fail if
        it estimates above F ns/span (default 5.0) — the "one atomic
@@ -277,6 +284,52 @@ let alloc_gate_e2e ~plant ~iters () =
   else Printf.printf "alloc-gate: OK — end-to-end steady state is allocation-free\n"
 
 (* ------------------------------------------------------------------ *)
+(* Mode 2c: the ingestion-service allocation gate.                     *)
+
+module Server = Spr_ingest.Server
+
+(* One iteration = one resident-server pass over the captured trace of
+   the same race-free program the e2e gate replays: header check,
+   every frame decoded, the streaming SP walk, every shadow access and
+   SP query.  The decode loop keeps all its state in the server
+   record, so steady state must stay at zero minor words. *)
+let alloc_gate_ingest ~plant ~iters () =
+  let trace = Spr_ingest.Codec.capture [ e2e_program ~depth:7 ] in
+  let srv = Server.create () in
+  let runs k =
+    for i = 0 to k - 1 do
+      Server.drive srv trace;
+      if plant then ignore (Sys.opaque_identity (ref i))
+    done
+  in
+  (* Reach steady state (shadow width, leaf table, SP capacity). *)
+  runs 3;
+  let st = Server.stats srv in
+  if st.Server.races <> 0 then
+    die "alloc-gate --ingest: the fixed trace must be race-free (internal bug)";
+  let (), words = Probe.alloc_words (fun () -> runs iters) in
+  Probe.install ~runtime_events:true ();
+  let region = Probe.region "ingest/drive" in
+  Probe.span region (fun () -> runs iters);
+  Probe.uninstall ();
+  let st = Server.stats srv in
+  Printf.printf
+    "alloc-gate: %d resident-server drives (%d-byte trace, %d events, %d SP queries/run)\n"
+    iters (String.length trace)
+    (st.Server.events / st.Server.programs)
+    (st.Server.sp_queries / st.Server.programs);
+  Printf.printf "alloc-gate: minor-heap words in steady state: %d%s\n" words
+    (if plant then " (with planted allocation)" else "");
+  Format.printf "%a" Probe.pp_snapshot
+    (List.filter (fun (n, _) -> n = "ingest/drive") (Probe.snapshot ()));
+  Server.close srv;
+  if words > 0 then begin
+    Printf.printf "alloc-gate: FAIL — ingestion steady state allocated on the minor heap\n";
+    exit 1
+  end
+  else Printf.printf "alloc-gate: OK — ingestion steady state is allocation-free\n"
+
+(* ------------------------------------------------------------------ *)
 (* Mode 3: uninstalled-probe overhead gate.                            *)
 
 let probe_gate ~max_ns () =
@@ -312,43 +365,47 @@ let probe_gate ~max_ns () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse paths threshold alloc e2e plant probe max_ns iters = function
+  let rec parse paths threshold alloc e2e ingest plant probe max_ns iters = function
     | "--threshold" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some r when r >= 1.0 -> parse paths r alloc e2e plant probe max_ns iters rest
+        | Some r when r >= 1.0 -> parse paths r alloc e2e ingest plant probe max_ns iters rest
         | _ -> die "--threshold takes a ratio >= 1.0")
     | "--threshold" :: [] -> die "--threshold takes a ratio >= 1.0"
-    | "--alloc-gate" :: rest -> parse paths threshold true e2e plant probe max_ns iters rest
-    | "--e2e" :: rest -> parse paths threshold alloc true plant probe max_ns iters rest
-    | "--plant" :: rest -> parse paths threshold alloc e2e true probe max_ns iters rest
-    | "--probe-gate" :: rest -> parse paths threshold alloc e2e plant true max_ns iters rest
+    | "--alloc-gate" :: rest -> parse paths threshold true e2e ingest plant probe max_ns iters rest
+    | "--e2e" :: rest -> parse paths threshold alloc true ingest plant probe max_ns iters rest
+    | "--ingest" :: rest -> parse paths threshold alloc e2e true plant probe max_ns iters rest
+    | "--plant" :: rest -> parse paths threshold alloc e2e ingest true probe max_ns iters rest
+    | "--probe-gate" :: rest -> parse paths threshold alloc e2e ingest plant true max_ns iters rest
     | "--max-ns" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some f when f > 0.0 -> parse paths threshold alloc e2e plant probe f iters rest
+        | Some f when f > 0.0 -> parse paths threshold alloc e2e ingest plant probe f iters rest
         | _ -> die "--max-ns takes a positive float")
     | "--max-ns" :: [] -> die "--max-ns takes a positive float"
     | "--iters" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some i when i > 0 -> parse paths threshold alloc e2e plant probe max_ns (Some i) rest
+        | Some i when i > 0 ->
+            parse paths threshold alloc e2e ingest plant probe max_ns (Some i) rest
         | _ -> die "--iters takes a positive int")
     | "--iters" :: [] -> die "--iters takes a positive int"
-    | a :: rest -> parse (a :: paths) threshold alloc e2e plant probe max_ns iters rest
-    | [] -> (List.rev paths, threshold, alloc, e2e, plant, probe, max_ns, iters)
+    | a :: rest -> parse (a :: paths) threshold alloc e2e ingest plant probe max_ns iters rest
+    | [] -> (List.rev paths, threshold, alloc, e2e, ingest, plant, probe, max_ns, iters)
   in
-  let paths, threshold, alloc, e2e, plant, probe, max_ns, iters =
-    parse [] 1.5 false false false false 5.0 None args
+  let paths, threshold, alloc, e2e, ingest, plant, probe, max_ns, iters =
+    parse [] 1.5 false false false false false 5.0 None args
   in
-  match (alloc, e2e, probe, paths) with
-  (* An e2e iteration is a whole detection run (~500 fork/joins and
-     ~800 accesses), so the default iteration count is scaled down
-     from the per-operation gate's. *)
-  | true, true, false, [] ->
+  match (alloc, e2e, ingest, probe, paths) with
+  (* An e2e or ingest iteration is a whole detection run (~500
+     fork/joins and ~800 accesses), so the default iteration count is
+     scaled down from the per-operation gate's. *)
+  | true, true, false, false, [] ->
       alloc_gate_e2e ~plant ~iters:(Option.value ~default:2_000 iters) ()
-  | true, false, false, [] ->
+  | true, false, true, false, [] ->
+      alloc_gate_ingest ~plant ~iters:(Option.value ~default:2_000 iters) ()
+  | true, false, false, false, [] ->
       alloc_gate ~plant ~iters:(Option.value ~default:100_000 iters) ()
-  | false, false, true, [] -> probe_gate ~max_ns ()
-  | false, false, false, [ b; c ] -> compare_mode b c threshold
+  | false, false, false, true, [] -> probe_gate ~max_ns ()
+  | false, false, false, false, [ b; c ] -> compare_mode b c threshold
   | _ ->
       die
         "usage: regress BASELINE.json CANDIDATE.json [--threshold R] | regress --alloc-gate \
-         [--e2e] [--plant] [--iters N] | regress --probe-gate [--max-ns F]"
+         [--e2e | --ingest] [--plant] [--iters N] | regress --probe-gate [--max-ns F]"

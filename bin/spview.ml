@@ -87,23 +87,12 @@ let tree_cmd =
 (* ------------------------------------------------------------------ *)
 (* detect                                                              *)
 
-let workload_kinds =
-  [ "dcsum"; "dcsum-buggy"; "fib"; "deep"; "wide"; "locked"; "locked-buggy"; "random" ]
-
+(* Workloads come from the shared registry ({!Spr_workloads.Progs.named})
+   so spview, spingest and the capture/replay tests agree on names. *)
 let gen_workload kind size seed =
-  let module W = Spr_workloads.Progs in
-  match kind with
-  | "dcsum" -> W.dc_sum ~leaves:size ()
-  | "dcsum-buggy" -> W.dc_sum ~buggy:true ~leaves:size ()
-  | "fib" -> W.fib ~n:size ()
-  | "deep" -> W.deep_spawn ~depth:size ()
-  | "wide" -> W.wide ~n:size ()
-  | "locked" -> W.locked_counter ~mode:`Common_lock ~leaves:size ()
-  | "locked-buggy" -> W.locked_counter ~mode:`Distinct_locks ~leaves:size ()
-  | "random" ->
-      W.random_prog ~rng:(Spr_util.Rng.create seed) ~threads:size ~locs:8
-        ~accesses_per_thread:4 ()
-  | other -> usage_error "workload" other workload_kinds
+  match Spr_workloads.Progs.find_opt kind with
+  | Some gen -> gen ~size ~seed
+  | None -> raise (Usage (Spr_workloads.Progs.unknown kind))
 
 let detect_cmd_run kind size seed algo locked =
   with_usage @@ fun () ->

@@ -1,0 +1,78 @@
+module Fj = Spr_prog.Fj_program
+module W = Spr_workloads.Progs
+
+type result = {
+  shards : int;
+  samples : float list;
+  programs : int;
+  access_events : int;
+  total_events : int;
+  races : int;
+  sp_queries : int;
+  trace_bytes : int;
+}
+
+(* Rotation of realistic shapes: reduction tree, sort, read-mostly
+   fan-out, seeded random (the only racy one — the race counter stays
+   deterministic because the rng is).  Sizes put each program in the
+   10-30k-access range, so a full-size (2M-event) run streams a few
+   hundred programs through the resident server. *)
+let spmix ~events ~seed =
+  let rng = Spr_util.Rng.create seed in
+  let acc = ref [] in
+  let total = ref 0 in
+  let i = ref 0 in
+  while !total < events do
+    let p =
+      match !i mod 4 with
+      | 0 -> W.dc_sum ~leaves:768 ~grain:12 ()
+      | 1 -> W.mergesort ~n:1024 ~grain:32 ()
+      | 2 -> W.shared_readers ~readers:512 ~reads:24 ()
+      | _ ->
+          W.random_prog ~rng ~threads:1024 ~locs:512 ~accesses_per_thread:12 ()
+    in
+    acc := p :: !acc;
+    total := !total + Fj.access_count p;
+    incr i
+  done;
+  List.rev !acc
+
+let capture_spmix ~events ~seed = Codec.capture (spmix ~events ~seed)
+
+let events_per_sec ns_per_access = 1e9 /. ns_per_access
+
+let measure ?(repeats = 5) ?(batch = 8192) ~shards trace =
+  Gc.compact ();
+  let srv = Server.create ~shards ~batch () in
+  let counters =
+    match Server.run_string srv trace with
+    | Error e -> failwith (Format.asprintf "ingest bench: corrupt trace: %a" Codec.pp_error e)
+    | Ok results ->
+        List.fold_left
+          (fun (p, a, ev, r, q) (res : Server.program_result) ->
+            ( p + 1,
+              a + res.Server.accesses,
+              ev + res.Server.events,
+              r + List.length res.Server.races,
+              q + res.Server.sp_queries ))
+          (0, 0, 0, 0, 0) results
+  in
+  let programs, access_events, total_events, races, sp_queries = counters in
+  let samples =
+    List.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        Server.drive srv trace;
+        let t1 = Unix.gettimeofday () in
+        (t1 -. t0) *. 1e9 /. float_of_int (max 1 access_events))
+  in
+  Server.close srv;
+  {
+    shards;
+    samples;
+    programs;
+    access_events;
+    total_events;
+    races;
+    sp_queries;
+    trace_bytes = String.length trace;
+  }

@@ -1,0 +1,35 @@
+(** The ingestion throughput harness, shared by [spingest bench] and
+    [bench/exp_ingest.ml] so the CLI and the regression-gated
+    experiment measure exactly the same thing.
+
+    The workload is "spmix": a deterministic rotation of
+    divide-and-conquer reduction, mergesort, shared-reader fan-out and
+    seeded random programs, concatenated until the captured trace
+    carries at least [events] access events — many programs through
+    one resident server, the ROADMAP's "millions of users" shape. *)
+
+type result = {
+  shards : int;
+  samples : float list;  (** ns per access event, one per repeat *)
+  programs : int;
+  access_events : int;
+  total_events : int;  (** all body frames (structure + accesses) *)
+  races : int;
+  sp_queries : int;
+  trace_bytes : int;
+}
+
+val spmix : events:int -> seed:int -> Spr_prog.Fj_program.t list
+(** Deterministic program mix with >= [events] total accesses. *)
+
+val capture_spmix : events:int -> seed:int -> string
+(** {!spmix} through {!Codec.capture}. *)
+
+val measure : ?repeats:int -> ?batch:int -> shards:int -> string -> result
+(** Ingest the trace [repeats] times (default 5) in throughput mode
+    (plus one collected warm-up run that fills the deterministic
+    counters), on a fresh server with that shard count.  Fails on a
+    malformed trace. *)
+
+val events_per_sec : float -> float
+(** Convert a ns-per-access median to access events/sec. *)

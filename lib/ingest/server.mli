@@ -1,0 +1,82 @@
+(** Resident streaming race detector: many programs' traces, one
+    detector.
+
+    The server decodes a [.spr-trace] stream frame by frame and
+    maintains the SP relationships {e online}: structural frames drive
+    the fused English/Hebrew order ({!Spr_core.Sp_order_fused}) through
+    exactly the insertions the canonical parse-tree walk would make —
+    a continuation context per procedure-call frame, split at every
+    [SYNC] — so no parse tree is ever materialized, and access frames
+    are checked against shadow memory immediately (single-shard) or
+    batched into address-range shards and drained across domains
+    ({!Shard}).  A [PROG] frame rewinds everything in place (O(1)
+    {!Spr_core.Sp_order_fused.reset}, shadow/batch clears), which is
+    what makes the server resident: steady state across programs
+    allocates nothing on the decode path.
+
+    Race reports are byte-identical to
+    {!Spr_race.Drivers.detect_serial} on the original program — same
+    races in the same order, same racy locations, same SP query count
+    — for any shard count.  The test suite pins this differentially
+    over every workload generator. *)
+
+type t
+
+type runner = (unit -> unit) array -> unit
+(** How to execute one drain thunk per shard "concurrently".  The
+    default is a persistent {!Shard.Pool} of domains; tests substitute
+    [Spr_schedtest.Control.run] to schedule the hand-off
+    adversarially. *)
+
+type program_result = {
+  index : int;  (** 0-based position in the trace *)
+  threads : int;
+  accesses : int;
+  events : int;  (** body frames decoded *)
+  races : Spr_race.Detector.race list;  (** serial detection order *)
+  racy_locs : int list;
+  sp_queries : int;
+}
+
+type stats = {
+  programs : int;
+  events : int;
+  accesses : int;
+  races : int;
+  sp_queries : int;
+  flushes : int;
+}
+(** Totals since {!create}. *)
+
+val create : ?shards:int -> ?batch:int -> ?runner:runner -> unit -> t
+(** [shards] (default 1) partitions the address space across that many
+    domains ([shards - 1] worker domains are spawned unless [runner]
+    is given); [batch] (default 8192) is the per-shard batch capacity
+    in accesses.  @raise Invalid_argument if [shards] is outside
+    [1, 64] or [batch < 1]. *)
+
+val shards : t -> int
+
+val run_string : ?collect:bool -> t -> string -> (program_result list, Codec.error) result
+(** Ingest a complete trace.  With [collect:false] race lists are not
+    materialized (throughput mode; totals still accumulate in
+    {!stats}).  Any malformed input yields [Error] — never an
+    exception, never a partial result — and leaves the server ready
+    for the next trace.  Publishes [ingest/*] counters to
+    {!Spr_obs.Sharded.default}, including per-shard
+    [ingest/shard<i>/accesses]. *)
+
+val run_file : ?collect:bool -> t -> string -> (program_result list, Codec.error) result
+(** {!run_string} on a file's contents; unreadable files surface as
+    [Error] too. *)
+
+val drive : t -> string -> unit
+(** The allocation-gate entry: {!run_string} with no result
+    collection, no counter publication and no [result] boxing — a
+    steady-state call allocates zero minor words on a race-free trace.
+    @raise Codec.Corrupt on malformed input. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Join the worker domains.  Idempotent. *)

@@ -181,30 +181,15 @@ let clear t =
 
 let magic = "SPRFLIGHT1\n"
 
-let put_varint buf n =
-  let n = ref (Int64.of_int n) in
-  let fin = ref false in
-  while not !fin do
-    let b = Int64.to_int (Int64.logand !n 0x7fL) in
-    n := Int64.shift_right_logical !n 7;
-    if Int64.equal !n 0L then begin
-      Buffer.add_char buf (Char.chr b);
-      fin := true
-    end
-    else Buffer.add_char buf (Char.chr (b lor 0x80))
-  done
+(* The LEB128 primitive lives in Spr_util.Varint (shared with the
+   trace-ingestion codec); the dump format is unchanged byte for
+   byte.  Truncation is rewrapped to keep this module's historical
+   diagnostic. *)
+let put_varint = Spr_util.Varint.put
 
 let get_varint s pos =
-  let v = ref 0L and shift = ref 0 and fin = ref false in
-  while not !fin do
-    if !pos >= String.length s then failwith "Flight: truncated varint";
-    let b = Char.code s.[!pos] in
-    incr pos;
-    v := Int64.logor !v (Int64.shift_left (Int64.of_int (b land 0x7f)) !shift);
-    shift := !shift + 7;
-    if b land 0x80 = 0 then fin := true
-  done;
-  Int64.to_int !v
+  try Spr_util.Varint.get s pos
+  with Spr_util.Varint.Truncated -> failwith "Flight: truncated varint"
 
 let to_bytes ?snapshot t =
   let buf = Buffer.create 4096 in

@@ -53,6 +53,9 @@ let threads t = t.threads_arr
 
 let work t = Array.fold_left (fun acc u -> acc + u.cost) 0 t.threads_arr
 
+let access_count t =
+  Array.fold_left (fun acc u -> acc + Array.length u.accesses) 0 t.threads_arr
+
 (* Critical path: a Spawn runs in parallel with the remainder of its
    block; blocks of a procedure are serial. *)
 let rec span_proc p =

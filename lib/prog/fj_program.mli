@@ -61,6 +61,10 @@ val threads : t -> thread array
 val work : t -> int
 (** T{_1}: total instruction count of all threads. *)
 
+val access_count : t -> int
+(** Total shared-memory accesses across all threads (the event count
+    the ingestion benchmarks normalize by). *)
+
 val span : t -> int
 (** T{_∞}: critical-path instruction count (computed on the canonical
     parse tree: S adds, P maxes). *)

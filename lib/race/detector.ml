@@ -102,9 +102,8 @@ let subsumed t r ~current =
        t.precedes ~executed:r ~current
      end
 
-let access t ~current (a : Fj_program.access) =
-  let loc = a.loc in
-  if a.write then begin
+let access_raw t ~current ~loc ~write =
+  if write then begin
     let w = t.writer.(loc) in
     if w <> empty && concurrent t w ~current then report t loc w current true true;
     let r = t.reader.(loc) in
@@ -139,6 +138,9 @@ let access t ~current (a : Fj_program.access) =
     end
   end
 
+let access t ~current (a : Fj_program.access) =
+  access_raw t ~current ~loc:a.loc ~write:a.write
+
 let run_thread t (u : Fj_program.thread) =
   let before = t.queries in
   (match Spr_obs.Sink.metrics t.sink with
@@ -162,6 +164,8 @@ let run_thread t (u : Fj_program.thread) =
       (Spr_obs.Trace.Race_query { tid = u.Fj_program.tid; queries = t.queries - before })
 
 let races t = Spr_util.Vec.to_list t.races
+
+let race_count t = Spr_util.Vec.length t.races
 
 let racy_locs t =
   List.sort_uniq compare (List.map (fun r -> r.loc) (races t))

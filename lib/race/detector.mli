@@ -74,11 +74,19 @@ val access : t -> current:int -> Spr_prog.Fj_program.access -> unit
     slots are packed [int] arrays, so an access allocates only when a
     race is recorded. *)
 
+val access_raw : t -> current:int -> loc:int -> write:bool -> unit
+(** {!access} without the record: the streaming-ingestion hot path
+    decodes (loc, write) straight out of a binary frame and must not
+    box them. *)
+
 val run_thread : t -> Spr_prog.Fj_program.thread -> unit
 (** All accesses of a thread, in order. *)
 
 val races : t -> race list
 (** Every reported race, in detection order. *)
+
+val race_count : t -> int
+(** [List.length (races t)], without building the list. *)
 
 val racy_locs : t -> int list
 (** Sorted, deduplicated locations involved in reported races. *)

@@ -1,0 +1,28 @@
+(** LEB128 variable-length integers — the shared wire primitive behind
+    the flight recorder ({!Spr_obs.Flight}, [.spr-flight]) and the
+    trace-ingestion codec ([Spr_ingest.Codec], [.spr-trace]).
+
+    The encoding is the 64-bit two's-complement LEB128: an OCaml [int]
+    is sign-extended to 64 bits and emitted 7 bits per byte, low group
+    first, high bit of each byte marking continuation.  Non-negative
+    ints below 128 take one byte; negative ints always take 10 bytes.
+    Decoding truncates back to OCaml's 63-bit [int] exactly the way
+    [Int64.to_int] does (bit 62 becomes the sign), so [get] inverts
+    [put] for every [int], including [min_int]/[max_int].
+
+    Both directions are allocation-free on the hot path — [put] writes
+    into a caller-supplied [Buffer], [get] is pure [int] arithmetic
+    over an immutable [string] — which is what lets a streaming decoder
+    sustain 10^7+ events/sec without minor-heap traffic. *)
+
+exception Truncated
+(** Raised by {!get} when the string ends mid-varint (a byte with the
+    continuation bit set was the last one available). *)
+
+val put : Buffer.t -> int -> unit
+(** Append the LEB128 encoding of [n].  Byte-identical to the encoding
+    the flight recorder has always written. *)
+
+val get : string -> int ref -> int
+(** Decode one varint starting at [!pos]; advances [pos] past it.
+    Allocation-free.  @raise Truncated if the string ends first. *)

@@ -200,6 +200,21 @@ let locked_counter ~mode ~leaves () =
   in
   B.finish b (B.proc b [ children @ [ Fj_program.Run (B.thread b ~cost:1 ()) ] ])
 
+let shared_readers ?(reads = 16) ~readers () =
+  let b = B.create () in
+  let shared = 0 in
+  let read loc = { Fj_program.loc; write = false; locks = [] } in
+  let write loc = { Fj_program.loc; write = true; locks = [] } in
+  let w0 = B.thread b ~accesses:[ write shared ] ~cost:1 () in
+  let children =
+    List.init readers (fun i ->
+        let accesses = List.init reads (fun _ -> read shared) @ [ write (1 + i) ] in
+        Fj_program.Spawn
+          (B.proc b [ [ Fj_program.Run (B.thread b ~accesses ~cost:(reads + 1) ()) ] ]))
+  in
+  B.finish b
+    (B.proc b [ [ Fj_program.Run w0 ]; children @ [ Fj_program.Run (B.thread b ~cost:1 ()) ] ])
+
 let of_tree ?(cost = 1) tree =
   let b = B.create () in
   let tid_of_leaf = Array.make (Spr_sptree.Sp_tree.node_count tree) (-1) in
@@ -316,3 +331,43 @@ let random_adversarial ~rng ~threads ~shape () =
         end
       in
       B.finish b (go threads)
+
+(* ------------------------------------------------------------------ *)
+(* Named registry: one list behind every CLI (`spview --workload`,
+   `spingest capture --workload`) and the capture/replay differential
+   tests, so "every workload generator" means exactly this list. *)
+
+let named =
+  [
+    ("dcsum", fun ~size ~seed:_ -> dc_sum ~leaves:size ());
+    ("dcsum-buggy", fun ~size ~seed:_ -> dc_sum ~buggy:true ~leaves:size ());
+    ("fib", fun ~size ~seed:_ -> fib ~n:size ());
+    ("deep", fun ~size ~seed:_ -> deep_spawn ~depth:size ());
+    ("wide", fun ~size ~seed:_ -> wide ~n:size ());
+    ("locked", fun ~size ~seed:_ -> locked_counter ~mode:`Common_lock ~leaves:size ());
+    ("locked-buggy", fun ~size ~seed:_ -> locked_counter ~mode:`Distinct_locks ~leaves:size ());
+    ( "random",
+      fun ~size ~seed ->
+        random_prog ~rng:(Spr_util.Rng.create seed) ~threads:size ~locs:8
+          ~accesses_per_thread:4 () );
+    ("serial", fun ~size ~seed:_ -> serial ~n:size ());
+    ("mergesort", fun ~size ~seed:_ -> mergesort ~n:size ());
+    ("mergesort-buggy", fun ~size ~seed:_ -> mergesort ~buggy:true ~n:size ());
+    ("matmul", fun ~size ~seed:_ -> matmul ~n:size ());
+    ("matmul-buggy", fun ~size ~seed:_ -> matmul ~buggy:true ~n:size ());
+    ("shared-readers", fun ~size ~seed:_ -> shared_readers ~readers:size ());
+    ( "adversarial",
+      fun ~size ~seed ->
+        random_adversarial
+          ~rng:(Spr_util.Rng.create seed)
+          ~threads:size
+          ~shape:(match seed mod 4 with 0 -> `Uniform | 1 -> `Spawn_heavy | 2 -> `Deep_serial | _ -> `Wide)
+          () );
+  ]
+
+let names = List.map fst named
+
+let find_opt name = List.assoc_opt name named
+
+let unknown name =
+  Printf.sprintf "unknown workload %S (valid: %s)" name (String.concat ", " names)

@@ -103,3 +103,24 @@ val random_adversarial :
     handling and steal storms; [`Spawn_heavy] — [random_prog] with
     very high fork density and tiny costs; [`Uniform] — plain
     [random_prog]. *)
+
+val shared_readers : ?reads:int -> readers:int -> unit -> Spr_prog.Fj_program.t
+(** One writer thread in a first sync block, then [readers] parallel
+    threads that each read the shared cell [reads] times and write one
+    private cell — race-free, and almost all events are accesses.  The
+    access-dominated shape of the ingestion throughput benchmarks
+    (structure frames amortize to nothing). *)
+
+val named :
+  (string * (size:int -> seed:int -> Spr_prog.Fj_program.t)) list
+(** The named workload registry behind [spview]/[spingest] [--workload]
+    and the capture/replay differential tests.  Buggy variants plant
+    known races; [seed] only matters to the random shapes. *)
+
+val names : string list
+(** Registry names, in registry order. *)
+
+val find_opt : string -> (size:int -> seed:int -> Spr_prog.Fj_program.t) option
+
+val unknown : string -> string
+(** Diagnostic for an unknown workload name, listing the valid ones. *)

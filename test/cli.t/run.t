@@ -30,14 +30,14 @@ names listed) instead of dying with a backtrace:
   [1]
 
   $ spview detect --workload nope
-  spview: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random)
+  spview: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random, serial, mergesort, mergesort-buggy, matmul, matmul-buggy, shared-readers, adversarial)
   [1]
 
   $ spview hybrid --workload nope
-  spview: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random)
+  spview: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random, serial, mergesort, mergesort-buggy, matmul, matmul-buggy, shared-readers, adversarial)
   [1]
 
   $ spview detect --workload dcsum --algo nope
-  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-depa, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
+  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-depa, sp-order-fused, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
   [1]
 

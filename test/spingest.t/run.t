@@ -1,0 +1,91 @@
+The ingestion service CLI: capture a workload as a .spr-trace file,
+replay it through the resident detector server, and check that the
+decoder's totality contract holds at the command line — malformed
+input exits 1 with a byte/frame-located diagnostic, never a backtrace
+or a silent partial result.
+
+Capture and replay; a planted-bug workload reports its races:
+
+  $ spingest capture --workload dcsum-buggy --size 8 --seed 1 -o dc.spr-trace
+  captured 1 dcsum-buggy program(s) (size 8, seed 1): 205 bytes -> dc.spr-trace
+  $ spingest run dc.spr-trace
+  dc.spr-trace: 1 program(s)
+    prog 0: 4 race report(s) on locations [34; 37; 41; 44], 19 SP queries
+
+Sharding the shadow memory across domains changes nothing observable:
+
+  $ spingest run dc.spr-trace --shards 3 > sharded.out
+  $ spingest run dc.spr-trace | diff - sharded.out
+
+A race-free workload:
+
+  $ spingest capture --workload fib --size 6 --seed 1 -o fib.spr-trace
+  captured 1 fib program(s) (size 6, seed 1): 153 bytes -> fib.spr-trace
+  $ spingest run fib.spr-trace
+  fib.spr-trace: 1 program(s)
+    prog 0: 0 race report(s) on locations [], 0 SP queries
+
+Multi-program traces get per-program reports from one resident server:
+
+  $ spingest capture --workload random --size 12 --seed 7 --count 3 -o r.spr-trace
+  captured 3 random program(s) (size 12, seed 7): 265 bytes -> r.spr-trace
+  $ spingest run r.spr-trace
+  r.spr-trace: 3 program(s)
+    prog 0: 3 race report(s) on locations [3; 5; 6], 25 SP queries
+    prog 1: 2 race report(s) on locations [2], 20 SP queries
+    prog 2: 2 race report(s) on locations [1; 5], 10 SP queries
+
+Unknown workloads fail cleanly:
+
+  $ spingest capture --workload nope -o x.spr-trace
+  spingest: unknown workload "nope" (valid: dcsum, dcsum-buggy, fib, deep, wide, locked, locked-buggy, random, serial, mergesort, mergesort-buggy, matmul, matmul-buggy, shared-readers, adversarial)
+  [1]
+
+Not a trace file:
+
+  $ printf 'junk' > junk.spr-trace
+  $ spingest run junk.spr-trace
+  spingest: junk.spr-trace: offset 0 (frame 0): bad magic (not a .spr-trace file)
+  [1]
+
+Truncation is diagnosed at the cut, and decoding never yields a
+partial result — the complete programs before the cut are reported as
+an error, not silently accepted:
+
+  $ head -c 100 dc.spr-trace > cut.spr-trace
+  $ spingest run cut.spr-trace
+  spingest: cut.spr-trace: offset 100 (frame 49): truncated varint (unexpected end of trace)
+  [1]
+
+A corrupted frame tag is pinned to its offset and frame ordinal
+(byte 11 is the first PROG tag, right after the 11-byte header):
+
+  $ cp dc.spr-trace bad.spr-trace
+  $ dd if=/dev/zero of=bad.spr-trace bs=1 count=1 seek=11 conv=notrunc 2>/dev/null
+  $ spingest run bad.spr-trace
+  spingest: bad.spr-trace: offset 12 (frame 0): expected a PROG frame, got tag 0
+  [1]
+
+One bad file does not stop the others (but the exit code remembers):
+
+  $ spingest run fib.spr-trace junk.spr-trace dc.spr-trace
+  spingest: junk.spr-trace: offset 0 (frame 0): bad magic (not a .spr-trace file)
+  fib.spr-trace: 1 program(s)
+    prog 0: 0 race report(s) on locations [], 0 SP queries
+  dc.spr-trace: 1 program(s)
+    prog 0: 4 race report(s) on locations [34; 37; 41; 44], 19 SP queries
+  [1]
+
+The bench smoke emits the bench-json schema (timings vary, so only
+the deterministic shape is pinned):
+
+  $ spingest bench --smoke --shards 1,2 --seed 1 --json smoke.json > /dev/null
+  $ jq -r '.schema_version, (.experiments | join(",")), (.entries | length)' smoke.json
+  1
+  ingest
+  12
+  $ jq -r '[.entries[] | select(.kind == "counter")] | map(.metric) | unique | join(",")' smoke.json
+  access_events,races,sp_queries,total_events,trace_bytes
+  $ jq -e '[.entries[] | select(.metric == "races")] | map(.median) | unique | length == 1' smoke.json
+  true
+

@@ -1,0 +1,338 @@
+(* Ingestion-service validation: the streaming server's capture/replay
+   pipeline is pinned differentially against [Drivers.detect_serial] —
+   same races in the same order, same racy locations, same SP query
+   count — over every named workload generator, over random programs
+   on a resident reused server, and with the shadow memory sharded
+   across real worker domains or a schedtest-controlled hand-off.
+   Decoder totality: truncated or corrupted traces yield [Error] with
+   a frame-located diagnostic, never an exception, never a partial
+   result, and leave the server usable. *)
+
+open Spr_prog
+module W = Spr_workloads.Progs
+module Fj = Fj_program
+module Codec = Spr_ingest.Codec
+module Server = Spr_ingest.Server
+module Drivers = Spr_race.Drivers
+module Control = Spr_schedtest.Control
+module Rng = Spr_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Oracle and comparison plumbing.                                     *)
+
+let oracle p =
+  let pt = Prog_tree.of_program p in
+  Drivers.detect_serial pt Spr_core.Algorithms.sp_order
+
+let race_repr (r : Spr_race.Detector.race) =
+  Printf.sprintf "loc=%d %d(%c)->%d(%c)" r.loc r.earlier
+    (if r.earlier_write then 'w' else 'r')
+    r.later
+    (if r.later_write then 'w' else 'r')
+
+let check_result ctx (want : Drivers.serial_result) (got : Server.program_result) =
+  Alcotest.(check (list string))
+    (ctx ^ ": races")
+    (List.map race_repr want.Drivers.races)
+    (List.map race_repr got.Server.races);
+  Alcotest.(check (list int)) (ctx ^ ": racy locs") want.Drivers.racy_locs got.Server.racy_locs;
+  Alcotest.(check int) (ctx ^ ": sp queries") want.Drivers.sp_queries got.Server.sp_queries
+
+let run_one ?(ctx = "run") srv trace =
+  match Server.run_string srv trace with
+  | Ok [ r ] -> r
+  | Ok rs -> Alcotest.failf "%s: expected 1 program result, got %d" ctx (List.length rs)
+  | Error e -> Alcotest.failf "%s: unexpected decode error: %a" ctx Codec.pp_error e
+
+let with_server ?shards ?batch ?runner f =
+  let srv = Server.create ?shards ?batch ?runner () in
+  Fun.protect ~finally:(fun () -> Server.close srv) (fun () -> f srv)
+
+(* Per-workload sizes keeping each program in the hundreds-to-few-
+   thousand-events range (fib/matmul sizes are exponential/cubic). *)
+let size_for = function
+  | "fib" -> 8
+  | "matmul" | "matmul-buggy" -> 8
+  | "serial" -> 12
+  | "deep" | "locked" | "locked-buggy" -> 16
+  | "wide" | "shared-readers" -> 24
+  | "dcsum" | "dcsum-buggy" -> 32
+  | "random" | "adversarial" -> 60
+  | "mergesort" | "mergesort-buggy" -> 64
+  | name -> Alcotest.failf "size_for: unknown workload %s" name
+
+(* ------------------------------------------------------------------ *)
+(* 1. Capture -> replay differential over the whole registry.          *)
+
+let registry_roundtrip () =
+  with_server (fun srv ->
+      List.iter
+        (fun (name, gen) ->
+          let p = gen ~size:(size_for name) ~seed:3 in
+          let trace = Codec.capture [ p ] in
+          let got = run_one ~ctx:name srv trace in
+          check_result name (oracle p) got;
+          Alcotest.(check int) (name ^ ": accesses") (Fj.access_count p) got.Server.accesses;
+          Alcotest.(check int) (name ^ ": threads") (Fj.thread_count p) got.Server.threads)
+        W.named)
+
+(* The buggy variants must actually exercise the race path, or the
+   differential above proves nothing about reports. *)
+let buggy_variants_report () =
+  with_server (fun srv ->
+      List.iter
+        (fun name ->
+          let gen = Option.get (W.find_opt name) in
+          let p = gen ~size:(size_for name) ~seed:3 in
+          let got = run_one ~ctx:name srv (Codec.capture [ p ]) in
+          Alcotest.(check bool) (name ^ ": reports races") true (got.Server.races <> []))
+        [ "dcsum-buggy"; "mergesort-buggy"; "matmul-buggy"; "locked-buggy" ])
+
+(* ------------------------------------------------------------------ *)
+(* 2. Random programs vs the oracle, one resident server throughout.   *)
+
+let random_matches_oracle =
+  let srv = Server.create () in
+  QCheck2.Test.make ~count:80 ~name:"ingest replay matches detect_serial on random programs"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 60))
+    (fun (seed, threads) ->
+      let rng = Rng.create seed in
+      let p = W.random_prog ~rng ~threads ~locs:8 ~accesses_per_thread:4 () in
+      let want = oracle p in
+      let got = run_one srv (Codec.capture [ p ]) in
+      List.map race_repr want.Drivers.races = List.map race_repr got.Server.races
+      && want.Drivers.racy_locs = got.Server.racy_locs
+      && want.Drivers.sp_queries = got.Server.sp_queries)
+
+let adversarial_matches_oracle =
+  let srv = Server.create () in
+  QCheck2.Test.make ~count:40
+    ~name:"ingest replay matches detect_serial on adversarial shapes"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 40))
+    (fun (seed, threads) ->
+      let rng = Rng.create seed in
+      let shape =
+        match seed mod 4 with
+        | 0 -> `Uniform
+        | 1 -> `Spawn_heavy
+        | 2 -> `Deep_serial
+        | _ -> `Wide
+      in
+      let p = W.random_adversarial ~rng ~threads ~shape () in
+      let want = oracle p in
+      let got = run_one srv (Codec.capture [ p ]) in
+      List.map race_repr want.Drivers.races = List.map race_repr got.Server.races
+      && want.Drivers.racy_locs = got.Server.racy_locs)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Sharded shadow memory: real worker domains, byte-identical.      *)
+
+let sharded_matches_serial () =
+  (* A small batch forces many mid-program flushes, so the deferred
+     drain really interleaves with decoding. *)
+  with_server ~shards:3 ~batch:64 (fun srv ->
+      List.iter
+        (fun name ->
+          let gen = Option.get (W.find_opt name) in
+          let p = gen ~size:(size_for name) ~seed:11 in
+          let got = run_one ~ctx:name srv (Codec.capture [ p ]) in
+          check_result ("sharded " ^ name) (oracle p) got)
+        [
+          "dcsum-buggy";
+          "mergesort-buggy";
+          "matmul-buggy";
+          "locked";
+          "locked-buggy";
+          "shared-readers";
+          "random";
+          "adversarial";
+        ])
+
+let sharded_random_matches_serial =
+  let srv = Server.create ~shards:4 ~batch:32 () in
+  QCheck2.Test.make ~count:40 ~name:"sharded detection matches serial on random programs"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 50))
+    (fun (seed, threads) ->
+      let rng = Rng.create seed in
+      let p = W.random_prog ~rng ~threads ~locs:8 ~accesses_per_thread:4 () in
+      let want = oracle p in
+      let got = run_one srv (Codec.capture [ p ]) in
+      List.map race_repr want.Drivers.races = List.map race_repr got.Server.races
+      && want.Drivers.sp_queries = got.Server.sp_queries)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Residency: in-place reset across programs, stable answers.       *)
+
+let resident_reuse () =
+  with_server (fun srv ->
+      let a = W.mergesort ~buggy:true ~n:64 () in
+      let b = W.dc_sum ~leaves:128 () in
+      let first = run_one ~ctx:"A" srv (Codec.capture [ a ]) in
+      let _middle = run_one ~ctx:"B" srv (Codec.capture [ b ]) in
+      let again = run_one ~ctx:"A again" srv (Codec.capture [ a ]) in
+      Alcotest.(check (list string))
+        "A's races unchanged after B"
+        (List.map race_repr first.Server.races)
+        (List.map race_repr again.Server.races);
+      Alcotest.(check int) "A's queries unchanged" first.Server.sp_queries again.Server.sp_queries;
+      let st = Server.stats srv in
+      Alcotest.(check int) "3 programs ingested" 3 st.Server.programs;
+      Alcotest.(check int)
+        "accesses accumulate"
+        (2 * Fj.access_count a + Fj.access_count b)
+        st.Server.accesses)
+
+(* ------------------------------------------------------------------ *)
+(* 5. Multi-program traces: one stream, per-program results.           *)
+
+let multi_program_trace () =
+  let progs =
+    [
+      W.dc_sum ~leaves:32 ();
+      W.mergesort ~buggy:true ~n:32 ();
+      W.fib ~n:7 ();
+      W.matmul ~buggy:true ~n:6 ();
+    ]
+  in
+  let trace = Codec.capture progs in
+  with_server (fun srv ->
+      match Server.run_string srv trace with
+      | Error e -> Alcotest.failf "multi: %a" Codec.pp_error e
+      | Ok results ->
+          Alcotest.(check int) "result per program" (List.length progs) (List.length results);
+          List.iteri
+            (fun i ((p, (r : Server.program_result))) ->
+              Alcotest.(check int) "index" i r.Server.index;
+              check_result (Printf.sprintf "multi[%d]" i) (oracle p) r)
+            (List.combine progs results))
+
+let empty_trace () =
+  let buf = Buffer.create 16 in
+  Codec.write_header buf;
+  with_server (fun srv ->
+      match Server.run_string srv (Buffer.contents buf) with
+      | Ok [] -> ()
+      | Ok rs -> Alcotest.failf "header-only trace: %d results" (List.length rs)
+      | Error e -> Alcotest.failf "header-only trace: %a" Codec.pp_error e)
+
+(* ------------------------------------------------------------------ *)
+(* 6. Decoder totality on malformed input.                             *)
+
+(* The reference trace plus its only two valid cut points: a prefix
+   ending exactly after the header or after the first program is
+   itself a well-formed (shorter) trace; every other cut must fail. *)
+let reference =
+  lazy
+    (let buf = Buffer.create 1024 in
+     Codec.write_header buf;
+     let header_end = Buffer.length buf in
+     Codec.encode_program buf (W.mergesort ~buggy:true ~n:32 ());
+     let first_end = Buffer.length buf in
+     Codec.encode_program buf (W.locked_counter ~mode:`Common_lock ~leaves:8 ());
+     (Buffer.contents buf, [ header_end; first_end ]))
+
+let reference_trace = lazy (fst (Lazy.force reference))
+
+let truncation_is_an_error =
+  let srv = Server.create () in
+  QCheck2.Test.make ~count:120 ~name:"every truncation yields Error, server stays usable"
+    QCheck2.Gen.(0 -- 10_000)
+    (fun cut ->
+      let full, boundaries = Lazy.force reference in
+      let cut = cut mod String.length full in
+      let prefix = String.sub full 0 cut in
+      let truncated_ok =
+        match Server.run_string srv prefix with
+        | Error e -> (not (List.mem cut boundaries)) && e.Codec.offset <= String.length prefix
+        | Ok rs -> List.mem cut boundaries && List.length rs = (if cut = List.hd boundaries then 0 else 1)
+      in
+      (* The error must not wedge the resident server. *)
+      let recovers = match Server.run_string srv full with Ok _ -> true | Error _ -> false in
+      truncated_ok && recovers)
+
+let corruption_never_escapes =
+  let srv = Server.create () in
+  QCheck2.Test.make ~count:200 ~name:"byte corruption yields Ok or Error, never an exception"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (0 -- 255))
+    (fun (at, byte) ->
+      let full = Lazy.force reference_trace in
+      let at = at mod String.length full in
+      let b = Bytes.of_string full in
+      Bytes.set b at (Char.chr byte);
+      match Server.run_string srv (Bytes.to_string b) with
+      | Ok _ | Error _ -> (
+          (* And again: no lingering poisoned state. *)
+          match Server.run_string srv full with Ok _ -> true | Error _ -> false))
+
+let diagnostics_locate_the_frame () =
+  with_server (fun srv ->
+      (match Server.run_string srv "not a trace at all" with
+      | Error e ->
+          Alcotest.(check int) "bad magic at offset 0" 0 e.Codec.offset;
+          Alcotest.(check string) "bad magic message" "bad magic (not a .spr-trace file)" e.Codec.msg
+      | Ok _ -> Alcotest.fail "garbage accepted");
+      let full = Lazy.force reference_trace in
+      (* Flip the PROG_END trailer's event count: the last varint byte
+         of the trace. *)
+      let b = Bytes.of_string full in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 1));
+      match Server.run_string srv (Bytes.to_string b) with
+      | Error e ->
+          Alcotest.(check bool)
+            "event-count mismatch diagnosed" true
+            (String.length e.Codec.msg >= 20
+            && String.sub e.Codec.msg 0 20 = "event-count mismatch")
+      | Ok _ -> Alcotest.fail "corrupted trailer accepted")
+
+(* ------------------------------------------------------------------ *)
+(* 7. schedtest-controlled shard hand-off.                             *)
+
+let controlled_handoff () =
+  let p = W.random_prog ~rng:(Rng.create 5) ~threads:40 ~locs:8 ~accesses_per_thread:4 () in
+  let want = oracle p in
+  let trace = Codec.capture [ p ] in
+  for seed = 0 to 9 do
+    let outcomes = ref [] in
+    let runner tasks =
+      let r = Control.run (Control.Random seed) ~tasks:(Array.to_list tasks) in
+      outcomes := r.Control.outcome :: !outcomes
+    in
+    with_server ~shards:3 ~batch:16 ~runner (fun srv ->
+        let got = run_one ~ctx:(Printf.sprintf "seed %d" seed) srv trace in
+        check_result (Printf.sprintf "controlled seed %d" seed) want got;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: flushes completed" seed)
+          true
+          (!outcomes <> [] && List.for_all (fun o -> o = Control.Completed) !outcomes))
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "spr_ingest"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "registry differential" `Quick registry_roundtrip;
+          Alcotest.test_case "buggy variants report" `Quick buggy_variants_report;
+          Alcotest.test_case "multi-program trace" `Quick multi_program_trace;
+          Alcotest.test_case "header-only trace" `Quick empty_trace;
+          QCheck_alcotest.to_alcotest random_matches_oracle;
+          QCheck_alcotest.to_alcotest adversarial_matches_oracle;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "registry differential" `Quick sharded_matches_serial;
+          Alcotest.test_case "controlled hand-off" `Quick controlled_handoff;
+          QCheck_alcotest.to_alcotest sharded_random_matches_serial;
+        ] );
+      ( "resident",
+        [ Alcotest.test_case "in-place reuse" `Quick resident_reuse ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "diagnostics locate the frame" `Quick diagnostics_locate_the_frame;
+          QCheck_alcotest.to_alcotest truncation_is_an_error;
+          QCheck_alcotest.to_alcotest corruption_never_escapes;
+        ] );
+    ]

@@ -1,6 +1,7 @@
 (* Coverage for the utility substrate: growable arrays, deques, the
    seeded PRNG, statistics, and the table renderer. *)
 
+module Varint = Spr_util.Varint
 module Vec = Spr_util.Vec
 module Deque = Spr_util.Deque
 module Rng = Spr_util.Rng
@@ -241,6 +242,60 @@ let stats_fits () =
   Alcotest.(check (float 1e-6)) "constant" 2.0 c
 
 (* ------------------------------------------------------------------ *)
+(* Varint                                                              *)
+
+let varint_roundtrip_one n =
+  let buf = Buffer.create 10 in
+  Varint.put buf n;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let got = Varint.get s pos in
+  if got <> n then Alcotest.failf "varint roundtrip: put %d, got %d" n got;
+  Alcotest.(check int) "consumed whole encoding" (String.length s) !pos
+
+let varint_boundaries () =
+  List.iter varint_roundtrip_one
+    [ 0; 1; 127; 128; 16383; 16384; -1; -128; max_int; min_int; (1 lsl 62) - 1; -(1 lsl 62) ];
+  (* Negative ints are the full 64-bit two's-complement pattern: ten
+     bytes, sign group last. *)
+  let buf = Buffer.create 10 in
+  Varint.put buf (-1);
+  Alcotest.(check int) "-1 is ten bytes" 10 (String.length (Buffer.contents buf));
+  Alcotest.check_raises "empty input is truncated" Varint.Truncated (fun () ->
+      ignore (Varint.get "" (ref 0)));
+  Alcotest.check_raises "dangling continuation bit is truncated" Varint.Truncated (fun () ->
+      ignore (Varint.get "\x80" (ref 0)))
+
+let varint_model =
+  QCheck2.Test.make ~count:500 ~name:"Varint roundtrips every int"
+    QCheck2.Gen.(
+      oneof
+        [
+          int;
+          int_bound 1000;
+          map (fun (b, s) -> b lsl s) (pair (int_bound 255) (int_bound 55));
+          map Int.neg int;
+        ])
+    (fun n ->
+      let buf = Buffer.create 10 in
+      Varint.put buf n;
+      let s = Buffer.contents buf in
+      let pos = ref 0 in
+      Varint.get s pos = n && !pos = String.length s)
+
+let varint_concatenation () =
+  (* Streams decode back-to-back with one shared cursor, the way the
+     trace codec uses them. *)
+  let xs = [ 0; 300; -7; max_int; 42; min_int; 1 ] in
+  let buf = Buffer.create 64 in
+  List.iter (Varint.put buf) xs;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let got = List.map (fun _ -> Varint.get s pos) xs in
+  Alcotest.(check (list int)) "stream decodes in order" xs got;
+  Alcotest.(check int) "cursor at end" (String.length s) !pos
+
+(* ------------------------------------------------------------------ *)
 (* Table                                                               *)
 
 let contains haystack needle =
@@ -293,6 +348,12 @@ let () =
           Alcotest.test_case "quantile edges" `Quick quantile_edges;
           QCheck_alcotest.to_alcotest quantile_model;
           QCheck_alcotest.to_alcotest quantile_counts_model;
+        ] );
+      ( "varint",
+        [
+          Alcotest.test_case "boundaries" `Quick varint_boundaries;
+          Alcotest.test_case "concatenation" `Quick varint_concatenation;
+          QCheck_alcotest.to_alcotest varint_model;
         ] );
       ( "table",
         [
