@@ -93,7 +93,13 @@ let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
         ( algos,
           F.default_om_suts
           @ [ ("om-broken-insert-before", Spr_check.Faulty.om_broken_insert_before) ] )
-    | `None | `Om_unvalidated -> (algos, F.default_om_suts)
+    | `None | `Om_unvalidated | `Hb_vec_nojoin | `Hb_tree_norestore -> (algos, F.default_om_suts)
+  in
+  let hb_algos =
+    match inject with
+    | `Hb_vec_nojoin -> F.default_hb_algos @ [ Spr_check.Faulty.hb_vector_no_join ]
+    | `Hb_tree_norestore -> F.default_hb_algos @ [ Spr_check.Faulty.hb_tree_no_restore ]
+    | _ -> F.default_hb_algos
   in
   (* Cross-validation pairs only make sense when both members run:
      --algo restricts the battery to one maintainer, so drop them. *)
@@ -105,6 +111,7 @@ let config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink =
     schedules;
     algos;
     sp_pairs;
+    hb_algos;
     om_suts;
     om_pairs = F.default_om_pairs;
     log = (fun line -> say quiet "%s" line);
@@ -295,8 +302,18 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
     | "bags-flip" -> `Bags_flip
     | "om-before-after" -> `Om_before_after
     | "om-unvalidated" -> `Om_unvalidated
+    | "hb-vec-nojoin" -> `Hb_vec_nojoin
+    | "hb-tree-norestore" -> `Hb_tree_norestore
     | other ->
-        usage_error "fault" other [ "none"; "bags-flip"; "om-before-after"; "om-unvalidated" ]
+        usage_error "fault" other
+          [
+            "none";
+            "bags-flip";
+            "om-before-after";
+            "om-unvalidated";
+            "hb-vec-nojoin";
+            "hb-tree-norestore";
+          ]
   in
   match sched with
   | Some sched -> run_sched ~sched ~seed ~iters ~depth ~inject ~smoke ~quiet ~metrics_fmt ~flight_out
@@ -320,7 +337,7 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
   let quiet = quiet || metrics_fmt = Some "json" in
   let cfg = config ~seed ~iters ~max_threads ~schedules ~algo ~inject ~quiet ~sink in
   let failed = ref false in
-  let sp_checked = ref 0 and om_checked = ref 0 in
+  let sp_checked = ref 0 and hb_checked = ref 0 and om_checked = ref 0 in
   if mode = "sp" || mode = "all" then begin
     sp_checked := cfg.F.iters;
     match F.run_sp cfg with
@@ -329,6 +346,15 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
         failed := true;
         Format.printf "%a@." F.pp_sp_failure f;
         Format.printf "replay: spfuzz --mode sp --seed %d --iters %d@." cfg.F.seed (f.F.sp_iter + 1)
+  end;
+  if (not !failed) && (mode = "hb" || mode = "all") then begin
+    hb_checked := cfg.F.iters;
+    match F.run_hb cfg with
+    | None -> ()
+    | Some f ->
+        failed := true;
+        Format.printf "%a@." F.pp_hb_failure f;
+        Format.printf "replay: spfuzz --mode hb --seed %d --iters %d@." cfg.F.seed (f.F.hb_iter + 1)
   end;
   if (not !failed) && (mode = "om" || mode = "all") then begin
     om_checked := cfg.F.iters;
@@ -348,9 +374,11 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
     | Some "json" -> print_endline (Spr_obs.Json.to_string (Spr_obs.Metrics.to_json metrics))
     | fmt ->
         Printf.printf
-          "spfuzz: OK — %d program iterations (%d maintainers + %d cross-checks), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
+          "spfuzz: OK — %d program iterations (%d maintainers + %d cross-checks), %d HB triples (%d clock oracles vs sp-order-fused), %d script iterations (%d OM structures + %d cross-checks), 0 divergences\n"
           !sp_checked (List.length cfg.F.algos)
           (List.length cfg.F.sp_pairs)
+          !hb_checked
+          (List.length cfg.F.hb_algos)
           !om_checked (List.length cfg.F.om_suts)
           (List.length cfg.F.om_pairs);
         if fmt <> None then Format.printf "%a" Spr_obs.Metrics.pp metrics);
@@ -358,10 +386,13 @@ let run mode seed iters max_threads schedules algo inject sched depth smoke quie
   end
 
 let mode_arg =
-  let doc = "What to fuzz: sp (maintainers), om (order maintenance), all." in
+  let doc =
+    "What to fuzz: sp (maintainers), hb (three-way differential race oracle: sp-order-fused vs \
+     vector clocks vs tree clocks), om (order maintenance), all."
+  in
   Arg.(
     value
-    & opt (enum [ ("sp", "sp"); ("om", "om"); ("all", "all") ]) "all"
+    & opt (enum [ ("sp", "sp"); ("hb", "hb"); ("om", "om"); ("all", "all") ]) "all"
     & info [ "mode" ] ~docv:"MODE" ~doc)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
@@ -398,7 +429,9 @@ let inject_arg =
   let doc =
     "Plant a known bug and expect the fuzzer to catch it: none, bags-flip (SP-bags with the \
      bag-kind comparison flipped), om-before-after (OM insert_before aliased to insert_after), \
-     om-unvalidated (concurrent OM query without the read-validation loop; needs --sched)."
+     om-unvalidated (concurrent OM query without the read-validation loop; needs --sched), \
+     hb-vec-nojoin (vector clocks that skip the join at procedure exit), hb-tree-norestore \
+     (tree clocks that skip the snapshot restore after a spawn)."
   in
   Arg.(value & opt string "none" & info [ "inject-fault" ] ~docv:"FAULT" ~doc)
 

@@ -70,11 +70,23 @@ let capture_cmd =
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
-let run_cmd_run files shards batch =
+let parse_oracle = function
+  | "sp-order-fused" -> Server.Sp_fused
+  | "hb-vector" -> Server.Hb_vector
+  | "hb-tree" -> Server.Hb_tree
+  | s ->
+      raise
+        (Usage
+           (Printf.sprintf "unknown oracle %S (valid: sp-order-fused, hb-vector, hb-tree)" s))
+
+let run_cmd_run files shards batch oracle =
   with_usage @@ fun () ->
   if files = [] then raise (Usage "run needs at least one trace file");
+  let oracle = parse_oracle oracle in
+  if oracle <> Server.Sp_fused && shards > 1 then
+    raise (Usage "clock oracles (hb-vector, hb-tree) require --shards 1");
   let srv =
-    try Server.create ~shards ~batch ()
+    try Server.create ~shards ~batch ~oracle ()
     with Invalid_argument msg -> raise (Usage msg)
   in
   Fun.protect ~finally:(fun () -> Server.close srv) @@ fun () ->
@@ -100,9 +112,16 @@ let run_cmd_run files shards batch =
 
 let run_cmd =
   let files = Arg.(value & pos_all string [] & info [] ~docv:"FILE") in
+  let oracle =
+    Arg.(
+      value
+      & opt string "sp-order-fused"
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"SP oracle: sp-order-fused (default), hb-vector or hb-tree.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Ingest trace files through a resident detector server")
-    Term.(const run_cmd_run $ files $ shards_arg $ batch_arg)
+    Term.(const run_cmd_run $ files $ shards_arg $ batch_arg $ oracle)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)

@@ -49,3 +49,22 @@ end
 
 let om_concurrent_unvalidated : (module Spr_om.Om_intf.CONCURRENT) =
   (module Om_concurrent_unvalidated)
+
+(* The planted clock bugs: each disables exactly one maintenance step
+   of the happens-before clocks, so each of the three oracles in the
+   [Fuzz.run_hb] differential independently proves it can catch a
+   fault in the others. *)
+
+let hb_vector_no_join : Sp_check.algo =
+  ( "hb-vector-nojoin",
+    fun tree ->
+      Spr_core.Sp_maintainer.Instance
+        ( (module Spr_hb.Sp_clock.Vector_no_join),
+          Spr_hb.Sp_clock.Vector_no_join.create tree ) )
+
+let hb_tree_no_restore : Sp_check.algo =
+  ( "hb-tree-norestore",
+    fun tree ->
+      Spr_core.Sp_maintainer.Instance
+        ( (module Spr_hb.Sp_clock.Tree_no_restore),
+          Spr_hb.Sp_clock.Tree_no_restore.create tree ) )

@@ -23,3 +23,16 @@ val om_concurrent_unvalidated : (module Spr_om.Om_intf.CONCURRENT)
     om-unvalidated]) must find and shrink.  The extra yield between the
     reads is in the faulty code itself, so the controller can place a
     writer there. *)
+
+val hb_vector_no_join : Sp_check.algo
+(** The vector-clock detector with the join at every [Exit] skipped:
+    the continuation never learns what the completed subtree did, so
+    serialized accesses look concurrent — false positives on race-free
+    programs.  Caught by the three-way differential the moment a
+    spawned procedure's effects matter. *)
+
+val hb_tree_no_restore : Sp_check.algo
+(** The tree-clock detector with the snapshot restore at every [Mid]
+    skipped: the right subtree inherits the left subtree's clock, so
+    genuinely parallel accesses look ordered — false negatives on
+    planted races.  The dual failure mode to [hb_vector_no_join]. *)

@@ -7,6 +7,7 @@ type config = {
   schedules : int;
   algos : Sp_check.algo list;
   sp_pairs : (Sp_check.algo * Sp_check.algo) list;
+  hb_algos : Sp_check.algo list;
   om_suts : (string * (module Om_script.SUT)) list;
   om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list;
   log : string -> unit;
@@ -60,6 +61,16 @@ let default_sp_pairs =
       ("sp-order", Spr_core.Algorithms.sp_order) );
   ]
 
+(* The clock detectors compared against the fused baseline by the
+   three-way race differential ([run_hb]): each one replaces the SP
+   oracle under the *same* detection pipeline, so any disagreement in
+   races, racy locations or query counts is an oracle bug. *)
+let default_hb_algos : Sp_check.algo list =
+  [
+    ("hb-vector", Spr_core.Algorithms.hb_vector);
+    ("hb-tree", Spr_core.Algorithms.hb_tree);
+  ]
+
 let default ~seed ~iters =
   {
     seed;
@@ -68,6 +79,7 @@ let default ~seed ~iters =
     schedules = 3;
     algos = Spr_core.Algorithms.all;
     sp_pairs = default_sp_pairs;
+    hb_algos = default_hb_algos;
     om_suts = default_om_suts;
     om_pairs = default_om_pairs;
     log = ignore;
@@ -143,6 +155,134 @@ let run_sp cfg =
               sp_spec = shrunk;
               sp_threads = Prog_spec.thread_count shrunk;
               sp_divergence = d;
+            }
+    end
+  in
+  iterate 0
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before triples                                              *)
+
+type hb_failure = {
+  hb_iter : int;
+  hb_algo : string;
+  hb_seed : int;
+  hb_spec : Prog_spec.t;
+  hb_threads : int;
+  hb_detail : string;
+}
+
+let pp_hb_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>HB oracle divergence at iteration %d (%s vs sp-order-fused):@,\
+    \  %s@,\
+     shrunk repro (%d threads, accesses from seed %d), as Prog_spec.t:@,\
+    \  %a@]"
+    f.hb_iter f.hb_algo f.hb_detail f.hb_threads f.hb_seed Prog_spec.pp f.hb_spec
+
+(* Specs carry structure only, but the race oracle needs accesses.
+   Decorate every thread with a few seeded accesses as a pure function
+   of (seed, spec traversal order), so the shrinking predicate stays
+   deterministic: the same spec always yields the same program, and a
+   smaller spec gets a (different but fixed) smaller decoration. *)
+let decorated_program ~seed spec =
+  let module Fj = Spr_prog.Fj_program in
+  let rng = Rng.create seed in
+  let locs = 8 in
+  let b = Fj.Builder.create () in
+  let rec proc_of spec =
+    Fj.Builder.proc b
+      (List.map
+         (List.map (function
+           | Prog_spec.T cost ->
+               let accesses =
+                 List.init
+                   (1 + Rng.int rng 3)
+                   (fun _ ->
+                     { Fj.loc = Rng.int rng locs; write = Rng.int rng 2 = 0; locks = [] })
+               in
+               Fj.Run (Fj.Builder.thread b ~accesses ~cost ())
+           | Prog_spec.S p -> Fj.Spawn (proc_of p)))
+         spec)
+  in
+  Fj.Builder.finish b (proc_of (Prog_spec.normalize spec))
+
+let race_repr (r : Spr_race.Detector.race) =
+  Printf.sprintf "loc=%d %d(%c)->%d(%c)" r.Spr_race.Detector.loc r.Spr_race.Detector.earlier
+    (if r.Spr_race.Detector.earlier_write then 'w' else 'r')
+    r.Spr_race.Detector.later
+    (if r.Spr_race.Detector.later_write then 'w' else 'r')
+
+(* The three-way differential: the detection pipeline's full output
+   (race reports in order, racy locations, SP query count) must be
+   identical whichever oracle answers the SP queries. *)
+let compare_serial (want : Spr_race.Drivers.serial_result)
+    (got : Spr_race.Drivers.serial_result) =
+  let wr = List.map race_repr want.Spr_race.Drivers.races
+  and gr = List.map race_repr got.Spr_race.Drivers.races in
+  if wr <> gr then
+    Some
+      (Printf.sprintf "races differ: baseline [%s], candidate [%s]" (String.concat "; " wr)
+         (String.concat "; " gr))
+  else if want.Spr_race.Drivers.racy_locs <> got.Spr_race.Drivers.racy_locs then
+    Some
+      (Printf.sprintf "racy locs differ: baseline [%s], candidate [%s]"
+         (String.concat "; " (List.map string_of_int want.Spr_race.Drivers.racy_locs))
+         (String.concat "; " (List.map string_of_int got.Spr_race.Drivers.racy_locs)))
+  else if want.Spr_race.Drivers.sp_queries <> got.Spr_race.Drivers.sp_queries then
+    Some
+      (Printf.sprintf "SP query counts differ: baseline %d, candidate %d"
+         want.Spr_race.Drivers.sp_queries got.Spr_race.Drivers.sp_queries)
+  else None
+
+let run_hb cfg =
+  let detect make p =
+    Spr_race.Drivers.detect_serial (Spr_prog.Prog_tree.of_program p) make
+  in
+  let rec iterate i =
+    if i >= cfg.iters then None
+    else begin
+      progress cfg i "hb";
+      let rng = iter_rng cfg i in
+      let threads = 2 + Rng.int rng (max 1 (cfg.max_threads - 1)) in
+      let shape = shapes.(i mod Array.length shapes) in
+      let program = Spr_workloads.Progs.random_adversarial ~rng ~threads ~shape () in
+      let access_seed = (cfg.seed * 7_368_787) + i in
+      let diverges spec =
+        let p = decorated_program ~seed:access_seed spec in
+        let base = detect Spr_core.Algorithms.sp_order_fused p in
+        let rec first = function
+          | [] -> None
+          | (name, make) :: rest -> (
+              match compare_serial base (detect make p) with
+              | None -> first rest
+              | Some detail -> Some (name, detail))
+        in
+        first cfg.hb_algos
+      in
+      count cfg "fuzz/hb_programs";
+      let spec = Prog_spec.of_program program in
+      match diverges spec with
+      | None -> iterate (i + 1)
+      | Some (name, detail) ->
+          cfg.log
+            (Printf.sprintf "hb: divergence at iteration %d (%s: %s), shrinking..." i name detail);
+          let shrunk =
+            Shrink.fixpoint ~candidates:Prog_spec.candidates
+              ~still_failing:(fun s -> diverges s <> None)
+              spec
+          in
+          let name, detail =
+            match diverges shrunk with Some nd -> nd | None -> (name, detail)
+          in
+          Some
+            {
+              hb_iter = i;
+              hb_algo = name;
+              hb_seed = access_seed;
+              hb_spec = shrunk;
+              hb_threads = Prog_spec.thread_count shrunk;
+              hb_detail = detail;
             }
     end
   in

@@ -16,6 +16,11 @@ type config = {
   sp_pairs : (Sp_check.algo * Sp_check.algo) list;
       (** maintainer cross-validation pairs run through
           {!Sp_check.check_pair} on every generated program *)
+  hb_algos : Sp_check.algo list;
+      (** clock detectors for the three-way race differential
+          ({!run_hb}): each replaces the SP oracle inside
+          {!Spr_race.Drivers.detect_serial} and its full output is
+          compared against the sp-order-fused baseline *)
   om_suts : (string * (module Om_script.SUT)) list;
   om_pairs : (string * (module Om_script.SUT) * (module Om_script.SUT)) list;
       (** cross-validation pairs [(label, candidate, oracle)] replayed
@@ -42,6 +47,11 @@ val default_sp_pairs : (Sp_check.algo * Sp_check.algo) list
 (** [sp-depa] cross-validated against [sp-order]: immutable fork-path
     labels vs a live OM structure, answers compared query for query on
     the same walk. *)
+
+val default_hb_algos : Sp_check.algo list
+(** The two clock detectors — [hb-vector] ({!Spr_hb.Vec_clock}) and
+    [hb-tree] ({!Spr_hb.Tree_clock}) — compared against the
+    [sp-order-fused] baseline by {!run_hb}. *)
 
 val default : seed:int -> iters:int -> config
 (** All maintainers ({!Spr_core.Algorithms.all}), the [sp-depa] vs
@@ -75,6 +85,28 @@ val run_sp : config -> sp_failure option
     legal unfoldings for SP-order, [schedules] simulated work-stealing
     schedules through SP-hybrid.  The first divergence is shrunk and
     returned. *)
+
+type hb_failure = {
+  hb_iter : int;
+  hb_algo : string;  (** the clock detector that diverged *)
+  hb_seed : int;  (** access-decoration seed of the repro *)
+  hb_spec : Prog_spec.t;  (** shrunk to a local minimum *)
+  hb_threads : int;
+  hb_detail : string;  (** which field diverged, with both values *)
+}
+
+val pp_hb_failure : Format.formatter -> hb_failure -> unit
+
+val run_hb : config -> hb_failure option
+(** The three-way differential race oracle: per iteration, one random
+    program (shape cycling as in {!run_sp}) is decorated with seeded
+    shared-memory accesses and pushed through
+    {!Spr_race.Drivers.detect_serial} once per oracle — the
+    [sp-order-fused] baseline plus every entry of [hb_algos] (vector
+    clocks and tree clocks by default).  Race reports (in order), racy
+    locations and SP query counts must all be identical; the first
+    divergence is shrunk (over the spec, with the decoration held
+    fixed as a function of the seed) and returned. *)
 
 val run_om : config -> om_failure option
 (** Fuzz the OM structures: per iteration, one random script (mix

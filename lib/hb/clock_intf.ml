@@ -1,0 +1,56 @@
+(** The common interface of the happens-before clock engines.
+
+    A clock maps thread slots to logical times; the engine owns a
+    buffer pool plus the two counters the EXP-HB crossover experiment
+    is stated over:
+
+    - [copied_words]: machine words written while snapshotting a clock
+      (every fork copies the forker's knowledge);
+    - [joined_words]: machine words examined while folding one clock
+      into another (every join merges a finished branch back).
+
+    The vector engine pays Θ(width) for both; the tree engine pays
+    O(live) for copies and O(updated subtree) for joins — that gap is
+    the entire point of carrying two implementations. *)
+
+module type ENGINE = sig
+  type t
+  (** Pool + counters, shared by every clock it hands out. *)
+
+  type clock
+
+  val name : string
+
+  val create : unit -> t
+
+  val alloc : t -> clock
+  (** An empty clock (pooled: may reuse a released buffer). *)
+
+  val snapshot : t -> clock -> clock
+  (** A pooled copy; bumps [copied_words]. *)
+
+  val join : t -> into:clock -> clock -> unit
+  (** Pointwise-max merge of the second clock into [into]; bumps
+      [joined_words]. *)
+
+  val release : t -> clock -> unit
+  (** Return a clock to the pool.  The caller must not use it again. *)
+
+  val tick : t -> clock -> int -> int
+  (** [tick t c slot] advances [slot]'s component in [c] and returns
+      the new value — the slot's epoch.  In the fork-join IR every
+      thread executes exactly once, so each slot is ticked once and
+      every epoch is 1; the engines still implement the general
+      operation (futures will re-tick). *)
+
+  val get : clock -> int -> int
+  (** Component read; 0 for a slot the clock has never seen. *)
+
+  val live_words : clock -> int
+  (** Current label footprint in machine words (the Figure-3 "space
+      per node" column analog). *)
+
+  val copied_words : t -> int
+
+  val joined_words : t -> int
+end

@@ -1,0 +1,182 @@
+(* Clock oracles over the `.spr-trace` frame stream.
+
+   The ingest server normally maintains SP relationships by unfolding
+   the SP parse tree it reconstructs from frames; the clock oracles
+   skip the tree entirely and track happens-before directly on the
+   fork-join frame structure:
+
+   - SPAWN   saves a snapshot of the active clock (the continuation's
+             view) and lets the child run on the active clock;
+   - RETURN  folds the child's leftover pending joins into its final
+             clock, accumulates that final into the parent's pending
+             set, and restores the continuation snapshot;
+   - SYNC    joins the accumulated pending clocks of the current proc
+             into the active clock (Cilk semantics: sync joins every
+             spawn of the preceding block);
+   - THREAD  ticks a fresh slot for the executing thread and records
+             its epoch.
+
+   Verdict equivalence with the SP-tree path is checked byte-for-byte
+   by the cram tests and the differential fuzzer.
+
+   Strand discipline: whenever a snapshot is restored (or a program /
+   child strand begins), a fresh anonymous slot is ticked before the
+   clock can receive joins.  The tree engine needs this for its
+   single-writer invariant (only the lineage owning a slot as root may
+   advance it); the vector engine tolerates the extra slots at a small
+   constant width factor, so both engines share the discipline and the
+   vector width is O(strands) = O(threads + spawns). *)
+
+type t = {
+  name : string;
+  reset : unit -> unit;
+  spawn : unit -> unit;
+  return_ : unit -> unit;
+  sync : unit -> unit;
+  thread : int -> unit;
+  precedes : executed:int -> current:int -> bool;
+  words : unit -> int * int;  (* copied, joined — cumulative *)
+}
+
+module Make (E : Clock_intf.ENGINE) = struct
+  type state = {
+    eng : E.t;
+    mutable cur : E.clock;
+    mutable depth : int;
+    mutable snaps : E.clock option array;  (* by parent depth *)
+    mutable pending : E.clock option array;  (* by proc depth *)
+    mutable slot_of : int array;  (* tid -> slot, -1 *)
+    mutable epoch_of : int array;
+    mutable next_slot : int;
+    mutable max_tid : int;
+  }
+
+  let grow_depth s d =
+    if d >= Array.length s.snaps then begin
+      let n = max 16 (max (d + 1) (2 * Array.length s.snaps)) in
+      let g a = Array.append a (Array.make (n - Array.length a) None) in
+      s.snaps <- g s.snaps;
+      s.pending <- g s.pending
+    end
+
+  let grow_tid s tid =
+    if tid >= Array.length s.slot_of then begin
+      let n = max 16 (max (tid + 1) (2 * Array.length s.slot_of)) in
+      let g a = Array.append a (Array.make (n - Array.length a) (-1)) in
+      s.slot_of <- g s.slot_of;
+      s.epoch_of <- g s.epoch_of
+    end
+
+  let fresh_slot s =
+    let slot = s.next_slot in
+    s.next_slot <- slot + 1;
+    slot
+
+  let strand_tick s = ignore (E.tick s.eng s.cur (fresh_slot s))
+
+  let release_opt s a i =
+    match a.(i) with
+    | Some c ->
+        E.release s.eng c;
+        a.(i) <- None
+    | None -> ()
+
+  let reset s =
+    E.release s.eng s.cur;
+    for i = 0 to Array.length s.snaps - 1 do
+      release_opt s s.snaps i;
+      release_opt s s.pending i
+    done;
+    if s.max_tid >= 0 then Array.fill s.slot_of 0 (min (Array.length s.slot_of) (s.max_tid + 1)) (-1);
+    s.max_tid <- (-1);
+    s.next_slot <- 0;
+    s.depth <- 0;
+    s.cur <- E.alloc s.eng;
+    strand_tick s
+
+  let spawn s =
+    grow_depth s (s.depth + 1);
+    s.snaps.(s.depth) <- Some (E.snapshot s.eng s.cur);
+    s.depth <- s.depth + 1;
+    (* A proc's pending set is consumed by its RETURN, so the slot at
+       the child's depth is necessarily free here. *)
+    strand_tick s
+
+  let sync s =
+    match s.pending.(s.depth) with
+    | None -> ()
+    | Some p ->
+        E.join s.eng ~into:s.cur p;
+        E.release s.eng p;
+        s.pending.(s.depth) <- None
+
+  let return_ s =
+    if s.depth = 0 then invalid_arg "Stream_clock: RETURN at depth 0";
+    (* Implicit sync at proc end: unsynced grandchildren flow into the
+       child's final clock and become joinable at the parent's next
+       SYNC — matching the SP tree, where the parent's sync is serial-
+       after the child's whole subtree. *)
+    sync s;
+    let final = s.cur in
+    s.depth <- s.depth - 1;
+    (match s.pending.(s.depth) with
+    | None -> s.pending.(s.depth) <- Some final  (* steal the buffer *)
+    | Some p ->
+        E.join s.eng ~into:p final;
+        E.release s.eng final);
+    (match s.snaps.(s.depth) with
+    | Some snap ->
+        s.snaps.(s.depth) <- None;
+        s.cur <- snap
+    | None -> invalid_arg "Stream_clock: RETURN without matching SPAWN");
+    strand_tick s
+
+  let thread s tid =
+    grow_tid s tid;
+    if tid > s.max_tid then s.max_tid <- tid;
+    let slot = fresh_slot s in
+    s.slot_of.(tid) <- slot;
+    s.epoch_of.(tid) <- E.tick s.eng s.cur slot
+
+  let precedes s ~executed ~current =
+    if executed = current then true
+    else begin
+      let slot = if executed < Array.length s.slot_of then s.slot_of.(executed) else -1 in
+      if slot < 0 then invalid_arg "Stream_clock.precedes: unknown executed tid";
+      E.get s.cur slot >= s.epoch_of.(executed)
+    end
+
+  let make () =
+    let eng = E.create () in
+    let s =
+      {
+        eng;
+        cur = E.alloc eng;
+        depth = 0;
+        snaps = Array.make 16 None;
+        pending = Array.make 16 None;
+        slot_of = Array.make 64 (-1);
+        epoch_of = Array.make 64 0;
+        next_slot = 0;
+        max_tid = -1;
+      }
+    in
+    strand_tick s;
+    {
+      name = "hb-" ^ E.name;
+      reset = (fun () -> reset s);
+      spawn = (fun () -> spawn s);
+      return_ = (fun () -> return_ s);
+      sync = (fun () -> sync s);
+      thread = (fun tid -> thread s tid);
+      precedes = (fun ~executed ~current -> precedes s ~executed ~current);
+      words = (fun () -> (E.copied_words eng, E.joined_words eng));
+    }
+end
+
+module V = Make (Vec_clock)
+module T = Make (Tree_clock)
+
+let vector () = V.make ()
+
+let tree () = T.make ()

@@ -1,0 +1,23 @@
+(** Happens-before clock oracles over the `.spr-trace` frame stream.
+
+    An oracle tracks the active clock across SPAWN / RETURN / SYNC /
+    THREAD frames and answers tid-level precedence, so the ingest
+    server can swap it in for the SP-tree maintainer; verdicts must
+    stay byte-comparable.  One value per program run is cheap — the
+    closures allocate once, the clocks pool. *)
+
+type t = {
+  name : string;
+  reset : unit -> unit;  (** rewind for the next program *)
+  spawn : unit -> unit;
+  return_ : unit -> unit;
+  sync : unit -> unit;
+  thread : int -> unit;  (** the given tid executes next *)
+  precedes : executed:int -> current:int -> bool;
+      (** Must only be asked while [current] is the executing tid. *)
+  words : unit -> int * int;  (** (copied, joined) words, cumulative *)
+}
+
+val vector : unit -> t
+
+val tree : unit -> t

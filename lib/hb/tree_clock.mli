@@ -1,0 +1,7 @@
+(** Tree clocks (Mathur–Pavlogiannis–Tunç–Viswanathan): direct-tree
+    clock representation whose join examines only the updated subtree
+    plus its pruning boundary, instead of a vector's Θ(width) sweep.
+    See {!Clock_intf.ENGINE} for the operation contracts and the .ml
+    header for the single-writer discipline callers must keep. *)
+
+include Clock_intf.ENGINE

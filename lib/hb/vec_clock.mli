@@ -1,0 +1,5 @@
+(** Vector clocks over (array, valid-length) buffers: Θ(width)
+    snapshot and join, O(1) epoch queries.  See {!Clock_intf.ENGINE}
+    for the operation contracts. *)
+
+include Clock_intf.ENGINE

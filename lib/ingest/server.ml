@@ -6,6 +6,14 @@ module Sharded = Spr_obs.Sharded
 
 type runner = (unit -> unit) array -> unit
 
+(* Which happens-before oracle answers the detector's SP queries.  The
+   default drives the fused English/Hebrew order; the clock oracles
+   track happens-before directly on the frame structure
+   ({!Spr_hb.Stream_clock}) and exist to pin, byte for byte, that a
+   vector or tree clock reaches the same verdicts through a completely
+   independent code path. *)
+type oracle = Sp_fused | Hb_vector | Hb_tree
+
 type program_result = {
   index : int;
   threads : int;
@@ -37,6 +45,7 @@ type t = {
   shard_arr : Shard.t array;  (* empty when nshards = 1 *)
   tasks : (unit -> unit) array;  (* drain thunks, built once *)
   sp : Sp.t;
+  clock : Spr_hb.Stream_clock.t option;  (* Some iff a clock oracle *)
   leaf : int array ref;  (* tid -> leaf node id, -1 = not yet run *)
   precedes : executed:int -> current:int -> bool;
   mutable det : D.t;  (* the single-shard detector *)
@@ -79,16 +88,32 @@ type t = {
 
 let shards t = t.nshards
 
-let create ?(shards = 1) ?(batch = 8192) ?runner () =
+let create ?(shards = 1) ?(batch = 8192) ?(oracle = Sp_fused) ?runner () =
   if shards < 1 || shards > 64 then
     invalid_arg "Server.create: shards must be in [1, 64]";
   if batch < 1 then invalid_arg "Server.create: batch must be positive";
+  (* Sharding defers shadow queries into batch drains, but a clock
+     oracle answers against the one evolving active clock — by drain
+     time it has moved past the access.  The fused order keeps every
+     node's label live, so only it supports deferred queries. *)
+  if oracle <> Sp_fused && shards > 1 then
+    invalid_arg "Server.create: clock oracles (hb-vector, hb-tree) require shards = 1";
   let sp = Sp.create_raw () in
   Sp.reset sp ~nodes:1 ~root:0;
   let leaf = ref (Array.make 64 (-1)) in
-  let precedes ~executed ~current =
-    let l = !leaf in
-    Sp.precedes_id sp l.(executed) l.(current)
+  let clock =
+    match oracle with
+    | Sp_fused -> None
+    | Hb_vector -> Some (Spr_hb.Stream_clock.vector ())
+    | Hb_tree -> Some (Spr_hb.Stream_clock.tree ())
+  in
+  let precedes =
+    match clock with
+    | Some c -> c.Spr_hb.Stream_clock.precedes
+    | None ->
+        fun ~executed ~current ->
+          let l = !leaf in
+          Sp.precedes_id sp l.(executed) l.(current)
   in
   let shard_arr =
     if shards = 1 then [||]
@@ -112,6 +137,7 @@ let create ?(shards = 1) ?(batch = 8192) ?runner () =
     shard_arr;
     tasks = Array.map (fun sh () -> Shard.drain sh) shard_arr;
     sp;
+    clock;
     leaf;
     precedes;
     det = D.create ~locs:1 ~precedes ();
@@ -250,6 +276,7 @@ let rec body t s =
     l.(tid) <- n;
     t.ictx <- n + 1;
     t.cur_tid <- tid;
+    (match t.clock with Some c -> c.Spr_hb.Stream_clock.thread tid | None -> ());
     body t s
   end
   else if tag = Codec.tag_spawn then begin
@@ -261,6 +288,7 @@ let rec body t s =
     t.resume.(t.depth) <- n + 1;
     t.depth <- t.depth + 1;
     block_split t;
+    (match t.clock with Some c -> c.Spr_hb.Stream_clock.spawn () | None -> ());
     body t s
   end
   else if tag = Codec.tag_return then begin
@@ -269,11 +297,13 @@ let rec body t s =
     t.depth <- t.depth - 1;
     t.ictx <- t.resume.(t.depth);
     t.cur_tid <- -1;
+    (match t.clock with Some c -> c.Spr_hb.Stream_clock.return_ () | None -> ());
     body t s
   end
   else if tag = Codec.tag_sync then begin
     t.p_events <- t.p_events + 1;
     block_split t;
+    (match t.clock with Some c -> c.Spr_hb.Stream_clock.sync () | None -> ());
     body t s
   end
   else if tag = Codec.tag_read_locked || tag = Codec.tag_write_locked then begin
@@ -347,6 +377,7 @@ let start_program t s =
   t.cur_tid <- -1;
   t.p_events <- 0;
   t.p_accesses <- 0;
+  (match t.clock with Some c -> c.Spr_hb.Stream_clock.reset () | None -> ());
   block_split t
 
 (* Races/queries for the just-finished program, without materializing

@@ -48,12 +48,20 @@ type stats = {
 }
 (** Totals since {!create}. *)
 
-val create : ?shards:int -> ?batch:int -> ?runner:runner -> unit -> t
+type oracle = Sp_fused | Hb_vector | Hb_tree
+(** Which happens-before oracle answers the detector's SP queries.
+    [Sp_fused] (the default) is the fused English/Hebrew order; the
+    clock oracles ({!Spr_hb.Stream_clock}) track happens-before
+    directly on SPAWN/RETURN/SYNC/THREAD frames — an independent code
+    path whose verdicts must stay byte-identical. *)
+
+val create : ?shards:int -> ?batch:int -> ?oracle:oracle -> ?runner:runner -> unit -> t
 (** [shards] (default 1) partitions the address space across that many
     domains ([shards - 1] worker domains are spawned unless [runner]
     is given); [batch] (default 8192) is the per-shard batch capacity
     in accesses.  @raise Invalid_argument if [shards] is outside
-    [1, 64] or [batch < 1]. *)
+    [1, 64], [batch < 1], or a clock [oracle] is combined with
+    [shards > 1] (sharding defers queries past the evolving clock). *)
 
 val shards : t -> int
 

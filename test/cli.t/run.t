@@ -22,6 +22,15 @@ Detecting a planted determinacy race:
     loc 17: t0 (W) vs t1 (W)
     loc 20: t3 (W) vs t4 (W)
 
+The fused English/Hebrew backend answers the same queries the same way
+(an earlier revision noted a fused-specific breakage here; it no longer
+reproduces, so the correct output is pinned):
+
+  $ spview detect --workload dcsum-buggy --size 4 --algo sp-order-fused
+  detection (sp-order-fused): 2 race report(s) on locations [17; 20], 9 SP queries
+    loc 17: t0 (W) vs t1 (W)
+    loc 20: t3 (W) vs t4 (W)
+
 Unknown generator/workload/algorithm names fail cleanly (exit 1, valid
 names listed) instead of dying with a backtrace:
 
@@ -38,6 +47,6 @@ names listed) instead of dying with a backtrace:
   [1]
 
   $ spview detect --workload dcsum --algo nope
-  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-depa, sp-order-fused, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
+  spview: unknown algorithm "nope" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-depa, sp-order-fused, hb-vector, hb-tree, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
   [1]
 

@@ -1,7 +1,7 @@
 The bounded smoke profile (the CI configuration) must come back clean:
 
   $ spfuzz --smoke --quiet
-  spfuzz: OK — 60 program iterations (9 maintainers + 1 cross-checks), 60 script iterations (6 OM structures + 1 cross-checks), 0 divergences
+  spfuzz: OK — 60 program iterations (12 maintainers + 2 cross-checks), 60 HB triples (2 clock oracles vs sp-order-fused), 60 script iterations (6 OM structures + 1 cross-checks), 0 divergences
 
 A planted SP-maintenance bug (SP-bags with the bag-kind comparison
 flipped) must be caught and shrunk to a minimal replayable repro:
@@ -14,6 +14,36 @@ flipped) must be caught and shrunk to a minimal replayable repro:
   replay: spfuzz --mode sp --seed 1 --iters 1
   final metrics snapshot: {"fuzz/sp_programs":1,"om-concurrent-2level/queries":0,"om-concurrent-2level/retries":0,"om-concurrent/queries":0,"om-concurrent/retries":0,"sched/frames":9,"sched/hook_ticks":27,"sched/overhead_ticks":9,"sched/steal_attempts":39,"sched/steal_attempts_lock_held":0,"sched/steal_ticks":39,"sched/steals":0,"sched/time":4,"sched/work_ticks":21}
   flight recorder: 27 recent events (27 recorded) dumped to spfuzz.spr-flight
+  [1]
+
+The three-way differential race oracle (sp-order-fused vs vector
+clocks vs tree clocks, full detection output compared) must catch a
+vector clock that skips the join at procedure exit — the completed
+subtree's effects are forgotten, so a race-free program yields a
+false positive:
+
+  $ spfuzz --mode hb --inject-fault hb-vec-nojoin --iters 50 --quiet
+  HB oracle divergence at iteration 0 (hb-vector-nojoin vs sp-order-fused):
+    races differ: baseline [], candidate [loc=2 1(r)->3(w)]
+  shrunk repro (4 threads, accesses from seed 7368787), as Prog_spec.t:
+    [[S [[T 1; T 1; T 1]]]; [T 1]]
+  replay: spfuzz --mode hb --seed 1 --iters 1
+  final metrics snapshot: {"fuzz/hb_programs":1,"om-concurrent-2level/queries":0,"om-concurrent-2level/retries":0,"om-concurrent/queries":0,"om-concurrent/retries":0}
+  flight recorder: 0 recent events (0 recorded) dumped to spfuzz.spr-flight
+  [1]
+
+...and the dual fault, a tree clock that skips the snapshot restore
+after a spawn — the continuation inherits the child's clock, so a
+genuine race is missed (false negative):
+
+  $ spfuzz --mode hb --inject-fault hb-tree-norestore --iters 50 --quiet
+  HB oracle divergence at iteration 0 (hb-tree-norestore vs sp-order-fused):
+    races differ: baseline [loc=2 1(r)->3(w)], candidate []
+  shrunk repro (4 threads, accesses from seed 7368787), as Prog_spec.t:
+    [[S [[T 1; T 1]; [T 1]]; T 1]]
+  replay: spfuzz --mode hb --seed 1 --iters 1
+  final metrics snapshot: {"fuzz/hb_programs":1,"om-concurrent-2level/queries":0,"om-concurrent-2level/retries":0,"om-concurrent/queries":0,"om-concurrent/retries":0}
+  flight recorder: 0 recent events (0 recorded) dumped to spfuzz.spr-flight
   [1]
 
 A planted order-maintenance bug (insert_before aliased to
@@ -69,7 +99,7 @@ Unknown scheduler and fault names fail cleanly with the valid values:
   spfuzz: unknown scheduler "bogus" (valid: replay, pct, dfs)
   [1]
   $ spfuzz --inject-fault bogus
-  spfuzz: unknown fault "bogus" (valid: none, bags-flip, om-before-after, om-unvalidated)
+  spfuzz: unknown fault "bogus" (valid: none, bags-flip, om-before-after, om-unvalidated, hb-vec-nojoin, hb-tree-norestore)
   [1]
   $ spfuzz --inject-fault om-unvalidated
   spfuzz: fault "om-unvalidated" races a query against a relabel — it needs a controlled scheduler; combine it with --sched (valid: replay, pct, dfs)

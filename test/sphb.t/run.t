@@ -1,0 +1,55 @@
+The clock-based happens-before detectors at the command line: both
+must be registered under the names the ISSUE pins, answer detection
+queries byte-identically to the SP-order oracles, and fail cleanly on
+unknown names.
+
+Vector clocks and tree clocks report the same races, the same
+locations and the same query count as the fused SP-order baseline:
+
+  $ spview detect --workload dcsum-buggy --size 4 --algo sp-order-fused > fused.out
+  $ cat fused.out
+  detection (sp-order-fused): 2 race report(s) on locations [17; 20], 9 SP queries
+    loc 17: t0 (W) vs t1 (W)
+    loc 20: t3 (W) vs t4 (W)
+
+(the header names the detector, so normalize it before diffing)
+
+  $ spview detect --workload dcsum-buggy --size 4 --algo hb-vector \
+  >   | sed 's/hb-vector/sp-order-fused/' | diff - fused.out
+  $ spview detect --workload dcsum-buggy --size 4 --algo hb-tree
+  detection (hb-tree): 2 race report(s) on locations [17; 20], 9 SP queries
+    loc 17: t0 (W) vs t1 (W)
+    loc 20: t3 (W) vs t4 (W)
+
+An unknown detector name exits 1 listing the full registry, clock
+detectors included:
+
+  $ spview detect --workload dcsum-buggy --size 4 --algo hb-bogus
+  spview: unknown algorithm "hb-bogus" (valid: english-hebrew, offset-span, sp-bags, sp-order, sp-depa, sp-order-fused, hb-vector, hb-tree, sp-order-packed, sp-order-implicit, sp-bags-norank, lca-reference)
+  [1]
+
+The streaming ingestion service accepts the same detectors as SP
+oracles, with byte-identical reports:
+
+  $ spingest capture --workload dcsum-buggy --size 8 --seed 1 -o dc.spr-trace
+  captured 1 dcsum-buggy program(s) (size 8, seed 1): 205 bytes -> dc.spr-trace
+
+  $ spingest run dc.spr-trace --oracle sp-order-fused > fused-run.out
+  $ spingest run dc.spr-trace --oracle hb-vector | diff - fused-run.out
+  $ spingest run dc.spr-trace --oracle hb-tree | diff - fused-run.out
+  $ cat fused-run.out
+  dc.spr-trace: 1 program(s)
+    prog 0: 4 race report(s) on locations [34; 37; 41; 44], 19 SP queries
+
+Clock oracles track the evolving stream clock, so they cannot be
+combined with deferred sharded shadow batches:
+
+  $ spingest run dc.spr-trace --oracle hb-vector --shards 2
+  spingest: clock oracles (hb-vector, hb-tree) require --shards 1
+  [1]
+
+Unknown oracle names exit 1 with the valid set:
+
+  $ spingest run dc.spr-trace --oracle bogus
+  spingest: unknown oracle "bogus" (valid: sp-order-fused, hb-vector, hb-tree)
+  [1]

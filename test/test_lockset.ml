@@ -1,0 +1,221 @@
+(* Dedicated coverage for the All-Sets-style lock-aware detector
+   (lib/race/lockset.ml): the lockset algebra driven directly with a
+   hand-built SP predicate (disjointness, nesting, read/write
+   conflicts, pruning), nested-critical-section programs through the
+   full pipeline, and a qcheck differential against the naive all-pairs
+   set-model oracle with every reported race re-validated against the
+   LCA reference relation. *)
+
+open Spr_prog
+module L = Spr_race.Lockset
+module W = Spr_workloads.Progs
+module Rng = Spr_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* The lockset algebra, driven directly.  The SP predicate is under
+   the test's control, so each case isolates one clause of the
+   race condition: conflict AND disjoint locksets AND parallel. *)
+
+let all_parallel ~executed:_ ~current:_ = false
+
+let feed t accesses =
+  List.iter
+    (fun (tid, loc, write, locks) ->
+      L.access t ~current:tid { Fj_program.loc; write; locks })
+    accesses
+
+let race_repr (r : L.race) =
+  Printf.sprintf "loc=%d %d(%c)->%d(%c)" r.L.loc r.L.earlier
+    (if r.L.earlier_write then 'w' else 'r')
+    r.L.later
+    (if r.L.later_write then 'w' else 'r')
+
+let disjoint_parallel_writes () =
+  let t = L.create ~precedes:all_parallel in
+  feed t [ (0, 7, true, [ 0 ]); (1, 7, true, [ 1 ]) ];
+  Alcotest.(check (list string)) "one race, both writes" [ "loc=7 0(w)->1(w)" ]
+    (List.map race_repr (L.races t))
+
+let common_lock_suppresses () =
+  let t = L.create ~precedes:all_parallel in
+  (* Pairwise-shared locks: every pair intersects though no single
+     lock is held by all three. *)
+  feed t [ (0, 7, true, [ 0; 1 ]); (1, 7, true, [ 1; 2 ]); (2, 7, true, [ 2; 0 ]) ];
+  Alcotest.(check (list int)) "no race under shared locks" [] (L.racy_locs t)
+
+let nested_stacks () =
+  (* Nesting units: lock stacks [0], [0;1], [0;1;2] model acquiring
+     deeper nested sections around the same outer lock — every pair
+     shares lock 0, so the location stays clean.  A fourth access
+     holding only an unrelated lock races with all of them. *)
+  let t = L.create ~precedes:all_parallel in
+  feed t [ (0, 3, true, [ 0 ]); (1, 3, true, [ 0; 1 ]); (2, 3, true, [ 0; 1; 2 ]) ];
+  Alcotest.(check (list int)) "nested stacks share the outer lock" [] (L.racy_locs t);
+  feed t [ (3, 3, true, [ 9 ]) ];
+  (* History records are kept newest-first, so races surface against
+     the most recent nesting level first. *)
+  Alcotest.(check (list string)) "unrelated lock races with every nesting level"
+    [ "loc=3 2(w)->3(w)"; "loc=3 1(w)->3(w)"; "loc=3 0(w)->3(w)" ]
+    (List.map race_repr (L.races t))
+
+let unsorted_duplicate_locks () =
+  (* Lock lists arrive as held-lock multisets; the detector must
+     normalize them before the disjointness test. *)
+  let t = L.create ~precedes:all_parallel in
+  feed t [ (0, 1, true, [ 2; 1; 1 ]); (1, 1, true, [ 1 ]) ];
+  Alcotest.(check (list int)) "duplicate/unsorted locksets still intersect" [] (L.racy_locs t)
+
+let reads_never_race () =
+  let t = L.create ~precedes:all_parallel in
+  feed t [ (0, 4, false, []); (1, 4, false, []) ];
+  Alcotest.(check (list int)) "read/read is not a conflict" [] (L.racy_locs t);
+  feed t [ (2, 4, true, []) ];
+  Alcotest.(check (list string)) "a write conflicts with both reads"
+    [ "loc=4 1(r)->2(w)"; "loc=4 0(r)->2(w)" ]
+    (List.map race_repr (L.races t))
+
+let ordered_threads_never_race () =
+  let t = L.create ~precedes:(fun ~executed ~current -> executed < current) in
+  feed t [ (0, 2, true, []); (1, 2, true, []); (2, 2, false, []) ];
+  Alcotest.(check (list int)) "serialized accesses are clean" [] (L.racy_locs t)
+
+let pruning_bounds_history () =
+  (* Under a total order with identical locksets every new write
+     subsumes the whole history, so the per-location record list never
+     grows (the interface's pruning argument, observable through
+     [max_history]). *)
+  let t = L.create ~precedes:(fun ~executed ~current -> executed < current) in
+  for tid = 0 to 99 do
+    L.access t ~current:tid { Fj_program.loc = 0; write = true; locks = [] }
+  done;
+  Alcotest.(check (list int)) "still clean" [] (L.racy_locs t);
+  Alcotest.(check bool) "history stays at one record" true (L.max_history t = 1);
+  (* A read does NOT subsume an earlier write: dropping the write
+     would lose the conflict with a later read. *)
+  let t = L.create ~precedes:(fun ~executed ~current -> executed < current) in
+  feed t [ (0, 0, true, []); (1, 0, false, []) ];
+  Alcotest.(check bool) "write survives a serialized read" true (L.max_history t = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Nested critical sections through the full pipeline.                 *)
+
+let nested_sections_program () =
+  (* Two parallel threads whose accesses to loc 5 are wrapped in
+     nested critical sections: sharing the inner lock keeps the
+     location clean even though the outer locks differ; replacing the
+     sharer with a foreign lockset exposes the race.  Cross-checked
+     against the naive all-pairs oracle both ways. *)
+  let build locks_b =
+    let b = Fj_program.Builder.create () in
+    let thread locks =
+      Fj_program.Run
+        (Fj_program.Builder.thread b
+           ~accesses:[ { Fj_program.loc = 5; write = true; locks } ]
+           ~cost:1 ())
+    in
+    let spawn body = Fj_program.Spawn (Fj_program.Builder.proc b [ [ body ] ]) in
+    Fj_program.Builder.finish b
+      (Fj_program.Builder.proc b [ [ spawn (thread [ 1; 2 ]); spawn (thread locks_b) ] ])
+  in
+  List.iter
+    (fun (locks_b, want) ->
+      let pt = Prog_tree.of_program (build locks_b) in
+      let got =
+        (Spr_race.Drivers.detect_serial_locked pt Spr_core.Algorithms.sp_order)
+          .Spr_race.Drivers.racy_locs
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "locks [%s]" (String.concat ";" (List.map string_of_int locks_b)))
+        want got;
+      Alcotest.(check (list int)) "agrees with the naive oracle"
+        (Spr_race.Naive_checker.racy_locs_locked pt)
+        got)
+    [ ([ 2; 7 ], []); ([ 3 ], [ 5 ]); ([], [ 5 ]) ]
+
+let locked_counter_modes () =
+  List.iter
+    (fun (mode, want_race) ->
+      let pt = Prog_tree.of_program (W.locked_counter ~mode ~leaves:16 ()) in
+      let locked = Spr_race.Drivers.detect_serial_locked pt Spr_core.Algorithms.sp_order in
+      Alcotest.(check bool) "lockset verdict" want_race
+        (locked.Spr_race.Drivers.racy_locs <> []))
+    [ (`Common_lock, false); (`Distinct_locks, true); (`No_locks, true) ]
+
+(* ------------------------------------------------------------------ *)
+(* qcheck differential: random locked programs vs the naive set-model
+   oracle, with each reported race re-validated independently.        *)
+
+let lockset_vs_set_model =
+  QCheck2.Test.make ~count:200 ~name:"lockset racy locs = naive set-model oracle"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 40))
+    (fun (seed, threads) ->
+      let rng = Rng.create seed in
+      let p =
+        W.random_prog ~rng ~threads ~spawn_prob:0.5 ~locs:4 ~accesses_per_thread:3
+          ~lock_count:3 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let locked = Spr_race.Drivers.detect_serial_locked pt Spr_core.Algorithms.sp_order in
+      locked.Spr_race.Drivers.racy_locs = Spr_race.Naive_checker.racy_locs_locked pt)
+
+(* Every race the detector reports must satisfy all three clauses of
+   the All-Sets condition, checked from scratch: threads parallel per
+   the LCA reference, some pair of their accesses to that location
+   conflicting with disjoint locksets. *)
+let reported_races_are_true_positives =
+  QCheck2.Test.make ~count:120 ~name:"every reported lockset race is a true positive"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (2 -- 30))
+    (fun (seed, threads) ->
+      let rng = Rng.create seed in
+      let p =
+        W.random_prog ~rng ~threads ~spawn_prob:0.6 ~locs:3 ~accesses_per_thread:3
+          ~lock_count:2 ()
+      in
+      let pt = Prog_tree.of_program p in
+      let locked = Spr_race.Drivers.detect_serial_locked pt Spr_core.Algorithms.sp_order in
+      let accesses_of tid loc =
+        let th = (Fj_program.threads p).(tid) in
+        Array.to_list th.Fj_program.accesses
+        |> List.filter (fun (a : Fj_program.access) -> a.loc = loc)
+      in
+      let disjoint a b = not (List.exists (fun x -> List.mem x b) a) in
+      List.for_all
+        (fun (r : L.race) ->
+          Spr_sptree.Sp_reference.parallel
+            (Prog_tree.leaf_of_thread pt r.L.earlier)
+            (Prog_tree.leaf_of_thread pt r.L.later)
+          && List.exists
+               (fun (a : Fj_program.access) ->
+                 List.exists
+                   (fun (b : Fj_program.access) ->
+                     (a.write || b.write)
+                     && disjoint (List.sort_uniq compare a.locks)
+                          (List.sort_uniq compare b.locks))
+                   (accesses_of r.L.later r.L.loc))
+               (accesses_of r.L.earlier r.L.loc))
+        locked.Spr_race.Drivers.lock_races)
+
+let () =
+  Alcotest.run "lockset"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "disjoint parallel writes race" `Quick disjoint_parallel_writes;
+          Alcotest.test_case "common lock suppresses" `Quick common_lock_suppresses;
+          Alcotest.test_case "nested lock stacks" `Quick nested_stacks;
+          Alcotest.test_case "unsorted duplicate locksets" `Quick unsorted_duplicate_locks;
+          Alcotest.test_case "read/read never races" `Quick reads_never_race;
+          Alcotest.test_case "ordered threads never race" `Quick ordered_threads_never_race;
+          Alcotest.test_case "pruning bounds history" `Quick pruning_bounds_history;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "nested critical sections" `Quick nested_sections_program;
+          Alcotest.test_case "locked-counter modes" `Quick locked_counter_modes;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest lockset_vs_set_model;
+          QCheck_alcotest.to_alcotest reported_races_are_true_positives;
+        ] );
+    ]
